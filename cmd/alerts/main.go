@@ -1,0 +1,90 @@
+// Command alerts queries and maintains a LogSynergy alert store (the
+// durable JSONL history written by the detection pipeline).
+//
+// Usage:
+//
+//	alerts -store alerts.jsonl list [-system SystemB] [-min-score 0.9] [-open] [-limit 20]
+//	alerts -store alerts.jsonl ack -id 17
+//	alerts -store alerts.jsonl compact [-drop-acked]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"logsynergy/internal/alertstore"
+)
+
+func main() {
+	store := flag.String("store", "alerts.jsonl", "alert store path")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: alerts -store <path> <list|ack|compact> [flags]")
+		os.Exit(2)
+	}
+
+	s, err := alertstore.Open(*store)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "alerts: %v\n", err)
+		os.Exit(1)
+	}
+	defer s.Close()
+
+	switch args[0] {
+	case "list":
+		fs := flag.NewFlagSet("list", flag.ExitOnError)
+		system := fs.String("system", "", "filter by system")
+		minScore := fs.Float64("min-score", 0, "minimum score")
+		open := fs.Bool("open", false, "unacknowledged only")
+		limit := fs.Int("limit", 0, "max results")
+		fs.Parse(args[1:])
+		recs := s.Find(alertstore.Query{
+			System:             *system,
+			MinScore:           *minScore,
+			UnacknowledgedOnly: *open,
+			Limit:              *limit,
+		})
+		for _, r := range recs {
+			status := "open"
+			if r.Acknowledged {
+				status = "acked"
+			}
+			fmt.Printf("#%d %s score=%.3f %s [%s]\n",
+				r.ID, r.Report.System, r.Report.Score,
+				r.Report.Timestamp.Format("2006-01-02T15:04:05"), status)
+		}
+		fmt.Fprintf(os.Stderr, "%d alerts\n", len(recs))
+	case "ack":
+		fs := flag.NewFlagSet("ack", flag.ExitOnError)
+		id := fs.Uint64("id", 0, "alert id")
+		fs.Parse(args[1:])
+		ok, err := s.Acknowledge(*id)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "alerts: %v\n", err)
+			os.Exit(1)
+		}
+		if !ok {
+			fmt.Fprintf(os.Stderr, "alerts: no alert #%d\n", *id)
+			os.Exit(1)
+		}
+		fmt.Printf("acknowledged #%d\n", *id)
+	case "compact":
+		fs := flag.NewFlagSet("compact", flag.ExitOnError)
+		dropAcked := fs.Bool("drop-acked", false, "drop acknowledged alerts")
+		fs.Parse(args[1:])
+		keep := func(r alertstore.Record) bool { return true }
+		if *dropAcked {
+			keep = func(r alertstore.Record) bool { return !r.Acknowledged }
+		}
+		if err := s.Compact(keep); err != nil {
+			fmt.Fprintf(os.Stderr, "alerts: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("compacted: %d alerts retained\n", s.Len())
+	default:
+		fmt.Fprintf(os.Stderr, "alerts: unknown command %q\n", args[0])
+		os.Exit(2)
+	}
+}

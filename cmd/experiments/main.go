@@ -1,0 +1,95 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments -id table3            # dataset statistics (Table III)
+//	experiments -id table4            # overall comparison, public datasets
+//	experiments -id table5            # overall comparison, ISP datasets
+//	experiments -id fig4a|fig4b|fig4c # hyper-parameter sensitivity
+//	experiments -id fig5              # ablations (LEI, SUFE, transfer)
+//	experiments -id fig6              # cross-group transfer study
+//	experiments -id deploy            # §VI deployment workflow
+//	experiments -id case              # Fig. 8 case study
+//	experiments -id all               # everything, in paper order
+//
+// Add -scale smoke|cpu|paper to pick the experiment size (default cpu),
+// and -targets to restrict sweeps to specific systems.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"logsynergy/internal/core"
+	"logsynergy/internal/experiments"
+)
+
+func main() {
+	id := flag.String("id", "all", "experiment id (table3,table4,table5,fig4a,fig4b,fig4c,fig5,fig6,deploy,labelnoise,case,all)")
+	scaleName := flag.String("scale", "cpu", "experiment scale: smoke, bench, cpu, paper")
+	targetsFlag := flag.String("targets", "", "comma-separated targets for sweeps (default: all six)")
+	flag.Parse()
+
+	var scale experiments.Scale
+	switch *scaleName {
+	case "smoke":
+		scale = experiments.SmokeScale()
+	case "bench":
+		scale = experiments.BenchScale()
+	case "cpu":
+		scale = experiments.CPUScale()
+	case "paper":
+		scale = experiments.PaperScale()
+	default:
+		fmt.Fprintf(os.Stderr, "experiments: unknown scale %q\n", *scaleName)
+		os.Exit(1)
+	}
+
+	lab := experiments.NewLab(scale)
+	cfg := core.DefaultConfig()
+
+	targets := append(experiments.PublicNames(), experiments.ISPNames()...)
+	if *targetsFlag != "" {
+		targets = strings.Split(*targetsFlag, ",")
+	}
+
+	run := func(name string) {
+		switch name {
+		case "table3":
+			fmt.Println(experiments.RenderTable3(lab.Table3()))
+		case "table4":
+			fmt.Println(lab.Table4(cfg).Render())
+		case "table5":
+			fmt.Println(lab.Table5(cfg).Render())
+		case "fig4a":
+			fmt.Println(lab.Fig4a(cfg, targets).Render())
+		case "fig4b":
+			fmt.Println(lab.Fig4b(cfg, targets).Render())
+		case "fig4c":
+			fmt.Println(lab.Fig4c(cfg, targets).Render())
+		case "fig5":
+			fmt.Println(lab.Fig5(cfg, targets).Render())
+		case "fig6":
+			fmt.Println(lab.Fig6(cfg).Render())
+		case "deploy":
+			fmt.Println(lab.Deployment(cfg, "SystemB", 20000).Render())
+		case "labelnoise":
+			fmt.Println(lab.LabelNoise(cfg, "Thunderbird", []float64{0, 0.05, 0.1, 0.2, 0.4}).Render())
+		case "case":
+			fmt.Println(lab.CaseStudy().Render())
+		default:
+			fmt.Fprintf(os.Stderr, "experiments: unknown id %q\n", name)
+			os.Exit(1)
+		}
+	}
+
+	if *id == "all" {
+		for _, name := range []string{"table3", "table4", "table5", "fig4a", "fig4b", "fig4c", "fig5", "fig6", "deploy", "labelnoise", "case"} {
+			run(name)
+		}
+		return
+	}
+	run(*id)
+}

@@ -1,0 +1,74 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeFile(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestReadLines(t *testing.T) {
+	dir := t.TempDir()
+	path := writeFile(t, dir, "x.log", "a\nb\nc\n")
+	lines, err := readLines(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lines) != 3 || lines[1] != "b" {
+		t.Fatalf("got %v", lines)
+	}
+	if _, err := readLines(filepath.Join(dir, "missing")); err == nil {
+		t.Fatal("missing file must error")
+	}
+}
+
+func TestLoadLabeledFile(t *testing.T) {
+	dir := t.TempDir()
+	var logs, labels string
+	for i := 0; i < 30; i++ {
+		if i == 13 {
+			logs += "kernel panic in module alpha code 7\n"
+			labels += "1\n"
+		} else {
+			logs += "service heartbeat ok seq 42\n"
+			labels += "0\n"
+		}
+	}
+	logPath := writeFile(t, dir, "sys.log", logs)
+	labPath := writeFile(t, dir, "sys.lab", labels)
+
+	seqs, err := loadLabeledFile(logPath, labPath, "sys")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seqs.Samples) == 0 {
+		t.Fatal("no sequences")
+	}
+	anomalous := 0
+	for _, s := range seqs.Samples {
+		if s.Label {
+			anomalous++
+		}
+	}
+	// Line 13 falls into windows starting at 5 and 10 (length 10, step 5).
+	if anomalous != 2 {
+		t.Fatalf("want 2 anomalous windows, got %d", anomalous)
+	}
+}
+
+func TestLoadLabeledFileMismatch(t *testing.T) {
+	dir := t.TempDir()
+	logPath := writeFile(t, dir, "a.log", "x\ny\n")
+	labPath := writeFile(t, dir, "a.lab", "0\n")
+	if _, err := loadLabeledFile(logPath, labPath, "sys"); err == nil {
+		t.Fatal("length mismatch must error")
+	}
+}

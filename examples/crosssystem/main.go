@@ -1,0 +1,67 @@
+// Crosssystem: the §V lesson-learned study in miniature — transfer
+// direction matters. Rich supercomputer logs (BGL) cover the anomaly
+// space of a simpler cloud cache tier (SystemB), so BGL→SystemB works;
+// SystemB's narrow anomaly set cannot cover BGL, so the reverse degrades.
+package main
+
+import (
+	"fmt"
+
+	"logsynergy/internal/baselines"
+	"logsynergy/internal/core"
+	"logsynergy/internal/embed"
+	"logsynergy/internal/lei"
+	"logsynergy/internal/logdata"
+	"logsynergy/internal/metrics"
+	"logsynergy/internal/repr"
+	"logsynergy/internal/window"
+)
+
+func transfer(source, target *logdata.SystemSpec, interp lei.Interpreter, embedder *embed.Embedder) metrics.Result {
+	srcSeqs := logdata.Build(source, 1, 0.02, window.Default()).Head(4000)
+	tgtAll := logdata.Build(target, 2, 0.03, window.Default())
+	train, test := tgtAll.SplitTrainTest(400)
+
+	sc := &baselines.Scenario{
+		Sources:     []*logdata.Sequences{srcSeqs},
+		TargetTrain: train,
+		TargetTest:  test.Head(4000),
+		Embedder:    embedder,
+		Seed:        7,
+	}
+
+	var sources []*repr.Dataset
+	for _, s := range sc.Sources {
+		sources = append(sources, repr.Build(s, interp, embedder))
+	}
+	table := repr.BuildEventTable(sc.TargetTrain, interp, embedder)
+	model := core.TrainModel(core.DefaultConfig(), sources, repr.BuildDataset(sc.TargetTrain, table))
+	testSet := repr.BuildDataset(sc.TargetTest, table)
+	return core.EvaluateDataset(model, testSet)
+}
+
+func main() {
+	interp := lei.NewSimLLM(lei.Config{})
+	embedder := embed.New(32)
+
+	bgl, sysB := logdata.BGL(), logdata.SystemB()
+
+	fmt.Printf("anomaly coverage: BGL covers %.0f%% of SystemB's anomaly concepts; "+
+		"SystemB covers %.0f%% of BGL's\n\n",
+		100*bgl.Coverage(sysB), 100*sysB.Coverage(bgl))
+
+	fmt.Println("transfer BGL -> SystemB (rich source, simple target)...")
+	fwd := transfer(bgl, sysB, interp, embedder)
+	fmt.Printf("  P=%.1f%% R=%.1f%% F1=%.1f%%\n\n", 100*fwd.Precision, 100*fwd.Recall, 100*fwd.F1)
+
+	fmt.Println("transfer SystemB -> BGL (simple source, rich target)...")
+	rev := transfer(sysB, bgl, interp, embedder)
+	fmt.Printf("  P=%.1f%% R=%.1f%% F1=%.1f%%\n\n", 100*rev.Precision, 100*rev.Recall, 100*rev.F1)
+
+	if fwd.F1 > rev.F1 {
+		fmt.Println("as in the paper's Fig. 6: transfer works when the source's anomaly")
+		fmt.Println("knowledge covers the target's, and degrades in the reverse direction.")
+	} else {
+		fmt.Println("unexpected: reverse transfer outperformed forward transfer on this seed.")
+	}
+}

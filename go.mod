@@ -1,0 +1,3 @@
+module logsynergy
+
+go 1.22

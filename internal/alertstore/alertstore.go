@@ -1,0 +1,309 @@
+// Package alertstore provides durable storage for anomaly reports: an
+// append-only JSONL log with an in-memory index, crash-tolerant reopen,
+// time-range and system queries, and compaction. The production workflow
+// (§VI) routes every alert to operators; a deployment also needs the
+// alert history on disk for audits, post-mortems and the §VI-C
+// false-positive/false-negative analysis — this package is that history.
+package alertstore
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"logsynergy/internal/core"
+)
+
+// Record is one stored alert.
+type Record struct {
+	// ID is the store-assigned sequence number (1-based, append order).
+	ID uint64 `json:"id"`
+	// Report is the alert payload.
+	Report core.Report `json:"report"`
+	// StoredAt is when the record was appended.
+	StoredAt time.Time `json:"stored_at"`
+	// Acknowledged marks alerts an operator has handled.
+	Acknowledged bool `json:"acknowledged,omitempty"`
+}
+
+// Store is an append-only alert log. It is safe for concurrent use.
+type Store struct {
+	mu      sync.Mutex
+	path    string
+	file    *os.File
+	w       *bufio.Writer
+	records []Record // in-memory index, append order
+	nextID  uint64
+	// Sync forces an fsync after every append (durability over speed).
+	Sync bool
+}
+
+// Open opens (or creates) a store at path, replaying existing records. A
+// truncated or corrupt trailing line — the signature of a crash mid-write
+// — is dropped; everything before it is recovered.
+func Open(path string) (*Store, error) {
+	s := &Store{path: path, nextID: 1}
+	if err := s.replay(); err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("alertstore: opening %s: %w", path, err)
+	}
+	s.file = f
+	s.w = bufio.NewWriter(f)
+	return s, nil
+}
+
+// replay loads existing records into the index.
+func (s *Store) replay() error {
+	f, err := os.Open(s.path)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("alertstore: replaying %s: %w", s.path, err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	index := make(map[uint64]int)
+	for sc.Scan() {
+		var r Record
+		if err := json.Unmarshal(sc.Bytes(), &r); err != nil {
+			// Corrupt (likely torn) record: stop replay here. Everything
+			// already loaded is intact; the writer will append after the
+			// damaged tail, which queries never see.
+			break
+		}
+		// Later versions of a record (e.g. acknowledgements) supersede
+		// earlier ones in place, keeping first-seen order.
+		if i, ok := index[r.ID]; ok {
+			s.records[i] = r
+		} else {
+			index[r.ID] = len(s.records)
+			s.records = append(s.records, r)
+		}
+		if r.ID >= s.nextID {
+			s.nextID = r.ID + 1
+		}
+	}
+	return sc.Err()
+}
+
+// Append stores one report and returns its record.
+func (s *Store) Append(rep *core.Report) (Record, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec := Record{ID: s.nextID, Report: *rep, StoredAt: time.Now().UTC()}
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return Record{}, fmt.Errorf("alertstore: encoding record: %w", err)
+	}
+	if _, err := s.w.Write(append(line, '\n')); err != nil {
+		return Record{}, fmt.Errorf("alertstore: appending: %w", err)
+	}
+	if err := s.w.Flush(); err != nil {
+		return Record{}, fmt.Errorf("alertstore: flushing: %w", err)
+	}
+	if s.Sync {
+		if err := s.file.Sync(); err != nil {
+			return Record{}, fmt.Errorf("alertstore: syncing: %w", err)
+		}
+	}
+	s.nextID++
+	s.records = append(s.records, rec)
+	return rec, nil
+}
+
+// Close flushes and closes the underlying file.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.file == nil {
+		return nil
+	}
+	if err := s.w.Flush(); err != nil {
+		return err
+	}
+	err := s.file.Close()
+	s.file = nil
+	return err
+}
+
+// Len returns the number of stored records.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.records)
+}
+
+// Query selects records matching the filter, in append order.
+type Query struct {
+	// System filters by monitored system name ("" = all).
+	System string
+	// From and To bound the report timestamp (zero = unbounded).
+	From, To time.Time
+	// MinScore keeps only reports at or above the score.
+	MinScore float64
+	// UnacknowledgedOnly keeps only open alerts.
+	UnacknowledgedOnly bool
+	// Limit caps the result count (0 = unlimited).
+	Limit int
+}
+
+// matches reports whether a record satisfies the query.
+func (q Query) matches(r Record) bool {
+	if q.System != "" && r.Report.System != q.System {
+		return false
+	}
+	if !q.From.IsZero() && r.Report.Timestamp.Before(q.From) {
+		return false
+	}
+	if !q.To.IsZero() && r.Report.Timestamp.After(q.To) {
+		return false
+	}
+	if r.Report.Score < q.MinScore {
+		return false
+	}
+	if q.UnacknowledgedOnly && r.Acknowledged {
+		return false
+	}
+	return true
+}
+
+// Find returns matching records.
+func (s *Store) Find(q Query) []Record {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []Record
+	for _, r := range s.records {
+		if q.matches(r) {
+			out = append(out, r)
+			if q.Limit > 0 && len(out) >= q.Limit {
+				break
+			}
+		}
+	}
+	return out
+}
+
+// Acknowledge marks a record handled. The flag is persisted as a new
+// version of the record appended to the log (last version wins on replay
+// ... simplest possible MVCC). Returns false if the id is unknown.
+func (s *Store) Acknowledge(id uint64) (bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := range s.records {
+		if s.records[i].ID == id {
+			s.records[i].Acknowledged = true
+			line, err := json.Marshal(s.records[i])
+			if err != nil {
+				return false, err
+			}
+			if _, err := s.w.Write(append(line, '\n')); err != nil {
+				return false, err
+			}
+			return true, s.w.Flush()
+		}
+	}
+	return false, nil
+}
+
+// Compact rewrites the log keeping only records matching keep (nil keeps
+// everything, deduplicating superseded record versions). The store stays
+// usable afterwards.
+func (s *Store) Compact(keep func(Record) bool) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	// Deduplicate by id (last version wins), preserving append order.
+	last := make(map[uint64]int, len(s.records))
+	for i, r := range s.records {
+		last[r.ID] = i
+	}
+	var kept []Record
+	for i, r := range s.records {
+		if last[r.ID] != i {
+			continue
+		}
+		if keep == nil || keep(r) {
+			kept = append(kept, r)
+		}
+	}
+
+	tmp := s.path + ".compact"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("alertstore: compacting: %w", err)
+	}
+	w := bufio.NewWriter(f)
+	for _, r := range kept {
+		line, err := json.Marshal(r)
+		if err != nil {
+			f.Close()
+			return err
+		}
+		if _, err := w.Write(append(line, '\n')); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+
+	if err := s.w.Flush(); err != nil {
+		return err
+	}
+	if err := s.file.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, s.path); err != nil {
+		return fmt.Errorf("alertstore: swapping compacted log: %w", err)
+	}
+	nf, err := os.OpenFile(s.path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	s.file = nf
+	s.w = bufio.NewWriter(nf)
+	s.records = kept
+	return nil
+}
+
+// Sink adapts the store to the pipeline's report sink interface. Append
+// errors are counted rather than propagated (alert delivery must not
+// block detection).
+type Sink struct {
+	Store *Store
+
+	mu     sync.Mutex
+	errors int
+}
+
+// NewSink wraps a store as a pipeline sink.
+func NewSink(store *Store) *Sink { return &Sink{Store: store} }
+
+// Notify implements the pipeline Sink interface.
+func (s *Sink) Notify(r *core.Report) {
+	if _, err := s.Store.Append(r); err != nil {
+		s.mu.Lock()
+		s.errors++
+		s.mu.Unlock()
+	}
+}
+
+// Errors returns the count of failed appends.
+func (s *Sink) Errors() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.errors
+}

@@ -1,0 +1,166 @@
+package baselines
+
+import (
+	"testing"
+
+	"logsynergy/internal/embed"
+	"logsynergy/internal/logdata"
+	"logsynergy/internal/window"
+)
+
+// testScenario builds a small BGL+Spirit → Thunderbird transfer scenario.
+func testScenario(t *testing.T, srcLines, tgtLines, tgtTrain int) *Scenario {
+	t.Helper()
+	mk := func(spec *logdata.SystemSpec, lines int, seed int64) *logdata.Sequences {
+		return logdata.Build(spec, seed, float64(lines)/float64(spec.Lines), window.Default())
+	}
+	tgt := mk(logdata.Thunderbird(), tgtLines, 3)
+	train, test := tgt.SplitTrainTest(tgtTrain)
+	return &Scenario{
+		Sources:     []*logdata.Sequences{mk(logdata.BGL(), srcLines, 1), mk(logdata.Spirit(), srcLines, 2)},
+		TargetTrain: train,
+		TargetTest:  test,
+		Embedder:    embed.New(32),
+		Seed:        7,
+	}
+}
+
+// checkScores validates the Method contract: one probability per test
+// sequence, all within [0,1].
+func checkScores(t *testing.T, m Method, sc *Scenario) []float64 {
+	t.Helper()
+	scores := m.Score(sc)
+	if len(scores) != len(sc.TargetTest.Samples) {
+		t.Fatalf("%s: %d scores for %d test sequences", m.Name(), len(scores), len(sc.TargetTest.Samples))
+	}
+	for i, s := range scores {
+		if s < 0 || s > 1 {
+			t.Fatalf("%s: score[%d]=%v outside [0,1]", m.Name(), i, s)
+		}
+	}
+	return scores
+}
+
+func TestAllMethodsRunAndScore(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training test")
+	}
+	sc := testScenario(t, 4000, 6000, 300)
+	methods := []Method{
+		NewDeepLog(), NewLogAnomaly(), NewPLELog(), NewSpikeLog(),
+		NewNeuralLog(), NewLogRobust(), NewPreLog(), NewLogTAD(),
+		NewLogTransfer(), NewMetaLog(),
+	}
+	labels := make([]bool, len(sc.TargetTest.Samples))
+	anomalies := 0
+	for i, s := range sc.TargetTest.Samples {
+		labels[i] = s.Label
+		if s.Label {
+			anomalies++
+		}
+	}
+	if anomalies == 0 {
+		t.Fatal("test scenario has no anomalies")
+	}
+	for _, m := range methods {
+		m := m
+		t.Run(m.Name(), func(t *testing.T) {
+			res := Evaluate(m, sc)
+			checkScores(t, m, sc)
+			t.Logf("%s: %s", m.Name(), res)
+		})
+	}
+}
+
+func TestDeepLogFlagsUnseenEvents(t *testing.T) {
+	sc := testScenario(t, 2000, 4000, 200)
+	d := NewDeepLog()
+	d.Fit(sc)
+	// An out-of-vocabulary event id must make the sequence anomalous.
+	huge := []int{999999, 0, 0, 0, 0, 0, 0, 0, 0, 0}
+	if !d.sequenceAnomalous(huge) {
+		t.Fatal("unseen event must be flagged anomalous")
+	}
+}
+
+func TestDeepLogHighRecall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training test")
+	}
+	sc := testScenario(t, 2000, 6000, 300)
+	res := Evaluate(NewDeepLog(), sc)
+	// The paper's shape: unsupervised target-only methods reach very high
+	// recall (anomalous events never appear in normal training data) at
+	// poor precision.
+	if res.Recall < 0.9 {
+		t.Errorf("DeepLog recall %.3f, want >= 0.9", res.Recall)
+	}
+	if res.Precision > 0.8 {
+		t.Errorf("DeepLog precision %.3f unexpectedly high for the paper's shape", res.Precision)
+	}
+}
+
+func TestLogAnomalyMatchesUnseenTemplates(t *testing.T) {
+	sc := testScenario(t, 2000, 4000, 200)
+	l := NewLogAnomaly()
+	l.Fit(sc)
+	if l.classes == 0 {
+		t.Fatal("no vocabulary learned")
+	}
+	// A known id maps to itself.
+	for id, cls := range l.vocab {
+		got, ok := l.match(sc, id, sc.TargetTest.Templates)
+		if !ok || got != cls {
+			t.Fatalf("known id %d mapped to %d (ok=%v), want %d", id, got, ok, cls)
+		}
+		break
+	}
+}
+
+func TestNormalOnlyFilter(t *testing.T) {
+	sc := testScenario(t, 2000, 4000, 200)
+	d := sc.Raw(sc.TargetTrain)
+	n := normalOnly(d)
+	for _, l := range n.Labels {
+		if l {
+			t.Fatal("normalOnly must strip anomalous rows")
+		}
+	}
+	want := 0
+	for _, l := range d.Labels {
+		if !l {
+			want++
+		}
+	}
+	if n.Len() != want {
+		t.Fatalf("normalOnly kept %d rows, want %d", n.Len(), want)
+	}
+}
+
+func TestScenarioRawCaching(t *testing.T) {
+	sc := testScenario(t, 2000, 4000, 200)
+	a := sc.Raw(sc.TargetTrain)
+	b := sc.Raw(sc.TargetTrain)
+	if a != b {
+		t.Fatal("Raw must cache per sequence set")
+	}
+}
+
+func TestMethodNames(t *testing.T) {
+	names := map[string]bool{}
+	for _, m := range []Method{
+		NewDeepLog(), NewLogAnomaly(), NewPLELog(), NewSpikeLog(),
+		NewNeuralLog(), NewLogRobust(), NewPreLog(), NewLogTAD(),
+		NewLogTransfer(), NewMetaLog(),
+	} {
+		if m.Name() == "" || names[m.Name()] {
+			t.Fatalf("duplicate or empty method name %q", m.Name())
+		}
+		names[m.Name()] = true
+	}
+	direct := NewNeuralLog()
+	direct.SourceOnly = true
+	if direct.Name() != "NeuralLog (direct)" {
+		t.Fatalf("direct NeuralLog name: %q", direct.Name())
+	}
+}

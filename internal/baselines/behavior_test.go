@@ -1,0 +1,162 @@
+package baselines
+
+import (
+	"testing"
+)
+
+// These tests pin per-method behaviours that the paper's analysis relies
+// on, beyond the generic contract of baselines_test.go.
+
+func TestLogTADThresholdFromNormals(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training test")
+	}
+	sc := testScenario(t, 1500, 4000, 250)
+	l := NewLogTAD()
+	l.Fit(sc)
+	if l.threshold <= 0 {
+		t.Fatalf("threshold must be positive, got %v", l.threshold)
+	}
+	// Scores are calibrated so 0.5 corresponds to the learned threshold.
+	scores := l.Score(sc)
+	above := 0
+	for _, s := range scores {
+		if s > 0.5 {
+			above++
+		}
+	}
+	if above == 0 {
+		t.Fatal("some test sequences should exceed the distance threshold")
+	}
+	if above == len(scores) {
+		t.Fatal("not every sequence can be anomalous")
+	}
+}
+
+func TestLogTransferFreezesSharedLayers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training test")
+	}
+	sc := testScenario(t, 1000, 3000, 200)
+	l := NewLogTransfer()
+	l.Train.Epochs = 2
+	l.Fit(sc)
+
+	// Snapshot LSTM weights, fine-tune again on target: they must not move.
+	before := l.sharedPS.Get("logtransfer.lstm.wx").Value.Clone()
+	l.trainOn(sc.Raw(sc.TargetTrain), l.headPS)
+	after := l.sharedPS.Get("logtransfer.lstm.wx").Value
+	for i := range before.Data {
+		if before.Data[i] != after.Data[i] {
+			t.Fatal("shared LSTM must stay frozen during target fine-tuning")
+		}
+	}
+}
+
+func TestMetaLogAdaptationChangesParams(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training test")
+	}
+	sc := testScenario(t, 1000, 3000, 200)
+	m := NewMetaLog()
+	m.MetaIterations = 5
+	m.Train.Epochs = 1
+	m.Fit(sc)
+	if m.ps.NumParams() == 0 {
+		t.Fatal("no parameters created")
+	}
+}
+
+func TestPreLogHeadOnlyTuning(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training test")
+	}
+	sc := testScenario(t, 1000, 3000, 200)
+	p := NewPreLog()
+	p.PreEpochs = 1
+	p.Train.Epochs = 1
+	p.Fit(sc)
+	// Prompt tuning must not touch the pre-trained encoder: its params
+	// and the head's live in disjoint sets.
+	for _, param := range p.hps.All() {
+		if p.ps.Get(param.Name) != nil {
+			t.Fatal("head parameters must be disjoint from encoder parameters")
+		}
+	}
+}
+
+func TestSpikeLogLIFRange(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training test")
+	}
+	sc := testScenario(t, 1000, 3000, 200)
+	s := NewSpikeLog()
+	s.Train.Epochs = 1
+	s.Fit(sc)
+	scores := s.Score(sc)
+	for _, v := range scores {
+		if v < 0 || v > 1 {
+			t.Fatalf("score %v outside [0,1]", v)
+		}
+	}
+}
+
+func TestPLELogPseudoLabelsMarkNovelEvents(t *testing.T) {
+	sc := testScenario(t, 1000, 4000, 300)
+	p := NewPLELog()
+	target := sc.Raw(sc.TargetTrain)
+	var labeledNormal, unlabeled []int
+	for i, l := range target.Labels {
+		if !l && i%2 == 0 {
+			labeledNormal = append(labeledNormal, i)
+		} else {
+			unlabeled = append(unlabeled, i)
+		}
+	}
+	pseudo := p.estimateLabels(target, labeledNormal, unlabeled)
+	// True anomalies among the unlabeled should be pseudo-labeled
+	// anomalous more often than true normals.
+	var anomRate, normRate float64
+	var anomN, normN int
+	for _, j := range unlabeled {
+		if target.Labels[j] {
+			anomN++
+			if pseudo[j] {
+				anomRate++
+			}
+		} else {
+			normN++
+			if pseudo[j] {
+				normRate++
+			}
+		}
+	}
+	if anomN == 0 {
+		t.Skip("no anomalies in this slice")
+	}
+	anomRate /= float64(anomN)
+	normRate /= float64(normN)
+	if anomRate <= normRate {
+		t.Fatalf("pseudo-labels must enrich true anomalies: anom %.2f vs norm %.2f", anomRate, normRate)
+	}
+}
+
+func TestRuleBasedHighPrecisionLowRecall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("data-building test")
+	}
+	sc := testScenario(t, 1000, 6000, 300)
+	r := NewRuleBased()
+	res := Evaluate(r, sc)
+	t.Logf("rule-based: %s (%d rules)", res, r.NumRules())
+	if r.NumRules() == 0 {
+		t.Skip("no anomalies in this training slice to derive rules from")
+	}
+	// §VI-C shape: predefined-anomaly detection — precise but incomplete.
+	if res.Recall >= 0.95 {
+		t.Errorf("rule-based recall %.2f should be limited to seen anomaly kinds", res.Recall)
+	}
+	if res.Precision < 0.5 && res.Recall > 0 {
+		t.Errorf("rule-based precision %.2f should be high on matched rules", res.Precision)
+	}
+}

@@ -1,0 +1,187 @@
+package baselines
+
+import (
+	"math/rand"
+
+	"logsynergy/internal/logdata"
+	"logsynergy/internal/nn"
+	"logsynergy/internal/nn/optim"
+	"logsynergy/internal/tensor"
+)
+
+// DeepLog (Du et al., CCS 2017) models normal execution as a language over
+// log events: an LSTM predicts the next event id from a history window,
+// and a sequence is anomalous when an observed event falls outside the
+// model's top-k predictions (or was never seen in training). Per the
+// paper's protocol it is unsupervised and target-only: it trains on the
+// normal sequences of the target system's training slice.
+type DeepLog struct {
+	// History is the prediction context length (events).
+	History int
+	// TopK is the prediction tolerance (paper's setup: 9).
+	TopK int
+	// Hidden is the LSTM width.
+	Hidden int
+	// Epochs and LR control training.
+	Epochs int
+	LR     float64
+
+	vocab   map[int]int // target event id -> dense class index
+	classes int
+	ps      *nn.ParamSet
+	lstm    *nn.LSTM
+	out     *nn.Linear
+	rng     *rand.Rand
+}
+
+// NewDeepLog returns DeepLog with the evaluation defaults (top-9, as in
+// §IV-A2, at CPU-scale width).
+func NewDeepLog() *DeepLog {
+	return &DeepLog{History: 5, TopK: 9, Hidden: 32, Epochs: 10, LR: 3e-3}
+}
+
+// Name implements Method.
+func (d *DeepLog) Name() string { return "DeepLog" }
+
+// Fit implements Method: train next-event prediction on the target train
+// slice's normal sequences only.
+func (d *DeepLog) Fit(sc *Scenario) {
+	d.rng = rand.New(rand.NewSource(sc.Seed + 11))
+	histories, nexts := d.trainingPairs(sc.TargetTrain)
+
+	d.ps = nn.NewParamSet()
+	d.lstm = nn.NewLSTM(d.ps, "deeplog.lstm", d.rng, d.classes, d.Hidden)
+	d.out = nn.NewLinear(d.ps, "deeplog.out", d.rng, d.Hidden, d.classes)
+	opt := optim.NewAdamW(d.ps, d.LR)
+
+	n := len(histories)
+	if n == 0 {
+		return
+	}
+	batch := 64
+	for epoch := 0; epoch < d.Epochs; epoch++ {
+		perm := d.rng.Perm(n)
+		for start := 0; start < n; start += batch {
+			end := start + batch
+			if end > n {
+				end = n
+			}
+			idx := perm[start:end]
+			x := d.oneHotBatch(histories, idx)
+			labels := make([]int, len(idx))
+			for i, j := range idx {
+				labels[i] = nexts[j]
+			}
+			g := nn.NewGraph()
+			_, last := d.lstm.Forward(g, g.Const(x))
+			loss := g.CrossEntropyLogits(d.out.Forward(g, last), labels)
+			g.Backward(loss)
+			d.ps.ClipGradNorm(5)
+			opt.Step()
+		}
+	}
+}
+
+// trainingPairs extracts (history, next) pairs from normal sequences and
+// builds the event vocabulary.
+func (d *DeepLog) trainingPairs(train *logdata.Sequences) (histories [][]int, nexts []int) {
+	d.vocab = make(map[int]int)
+	for _, s := range train.Samples {
+		if s.Label {
+			continue // unsupervised: normal patterns only
+		}
+		for _, id := range s.EventIDs {
+			if _, ok := d.vocab[id]; !ok {
+				d.vocab[id] = len(d.vocab)
+			}
+		}
+	}
+	d.classes = len(d.vocab)
+	if d.classes == 0 {
+		return nil, nil
+	}
+	for _, s := range train.Samples {
+		if s.Label {
+			continue
+		}
+		for t := d.History; t < len(s.EventIDs); t++ {
+			hist := make([]int, d.History)
+			for i := 0; i < d.History; i++ {
+				hist[i] = d.vocab[s.EventIDs[t-d.History+i]]
+			}
+			histories = append(histories, hist)
+			nexts = append(nexts, d.vocab[s.EventIDs[t]])
+		}
+	}
+	return histories, nexts
+}
+
+// oneHotBatch encodes selected histories as [B, History, classes].
+func (d *DeepLog) oneHotBatch(histories [][]int, idx []int) *tensor.Tensor {
+	x := tensor.New(len(idx), d.History, d.classes)
+	for i, j := range idx {
+		for t, cls := range histories[j] {
+			x.Data[(i*d.History+t)*d.classes+cls] = 1
+		}
+	}
+	return x
+}
+
+// Score implements Method: a sequence scores 1 when any event is out of
+// vocabulary or outside the model's top-k next-event predictions.
+func (d *DeepLog) Score(sc *Scenario) []float64 {
+	test := sc.TargetTest
+	out := make([]float64, len(test.Samples))
+	for i, s := range test.Samples {
+		if d.sequenceAnomalous(s.EventIDs) {
+			out[i] = 1
+		}
+	}
+	return out
+}
+
+func (d *DeepLog) sequenceAnomalous(eventIDs []int) bool {
+	if d.classes == 0 {
+		return true
+	}
+	for _, id := range eventIDs {
+		if _, ok := d.vocab[id]; !ok {
+			return true // unseen template: immediate anomaly
+		}
+	}
+	for t := d.History; t < len(eventIDs); t++ {
+		hist := make([]int, d.History)
+		for i := 0; i < d.History; i++ {
+			hist[i] = d.vocab[eventIDs[t-d.History+i]]
+		}
+		actual := d.vocab[eventIDs[t]]
+		if !d.inTopK(hist, actual) {
+			return true
+		}
+	}
+	return false
+}
+
+// inTopK predicts the next event for one history and checks membership of
+// actual among the TopK most probable classes.
+func (d *DeepLog) inTopK(hist []int, actual int) bool {
+	x := tensor.New(1, d.History, d.classes)
+	for t, cls := range hist {
+		x.Data[t*d.classes+cls] = 1
+	}
+	g := nn.NewGraph()
+	_, last := d.lstm.Forward(g, g.Const(x))
+	logits := d.out.Forward(g, last).Value
+	k := d.TopK
+	if k >= d.classes {
+		return true
+	}
+	target := logits.Data[actual]
+	higher := 0
+	for _, z := range logits.Data {
+		if z > target {
+			higher++
+		}
+	}
+	return higher < k
+}

@@ -1,0 +1,215 @@
+package baselines
+
+import (
+	"math/rand"
+
+	"logsynergy/internal/embed"
+	"logsynergy/internal/lei"
+	"logsynergy/internal/nn"
+	"logsynergy/internal/nn/optim"
+	"logsynergy/internal/tensor"
+)
+
+// LogAnomaly (Meng et al., IJCAI 2019) extends DeepLog with template2vec
+// semantics and a quantitative (count-vector) channel. Like DeepLog it is
+// unsupervised and target-only, but unseen test templates are matched to
+// the nearest known template in embedding space instead of being flagged
+// outright, and the next-event predictor reads semantic vectors rather
+// than one-hot ids.
+type LogAnomaly struct {
+	// History, TopK, Hidden, Epochs, LR as in DeepLog (paper setup:
+	// 2 LSTM layers, 128 hidden, top-9; CPU scale reduces the width).
+	History int
+	TopK    int
+	Hidden  int
+	Epochs  int
+	LR      float64
+	// MatchThreshold is the minimum cosine similarity for template
+	// matching; below it an unseen template still counts as anomalous.
+	MatchThreshold float64
+
+	vocab     map[int]int
+	classes   int
+	vectors   *tensor.Tensor // [classes, dim] template2vec table
+	dim       int
+	ps        *nn.ParamSet
+	lstm      *nn.LSTM
+	out       *nn.Linear
+	countProj *nn.Linear
+	rng       *rand.Rand
+}
+
+// NewLogAnomaly returns the evaluation configuration.
+func NewLogAnomaly() *LogAnomaly {
+	return &LogAnomaly{History: 5, TopK: 9, Hidden: 32, Epochs: 10, LR: 3e-3, MatchThreshold: 0.55}
+}
+
+// Name implements Method.
+func (l *LogAnomaly) Name() string { return "LogAnomaly" }
+
+// Fit implements Method.
+func (l *LogAnomaly) Fit(sc *Scenario) {
+	l.rng = rand.New(rand.NewSource(sc.Seed + 13))
+	l.dim = sc.Embedder.Dim
+	train := sc.TargetTrain
+
+	// Vocabulary and template2vec table from normal training sequences.
+	l.vocab = make(map[int]int)
+	for _, s := range train.Samples {
+		if s.Label {
+			continue
+		}
+		for _, id := range s.EventIDs {
+			if _, ok := l.vocab[id]; !ok {
+				l.vocab[id] = len(l.vocab)
+			}
+		}
+	}
+	l.classes = len(l.vocab)
+	if l.classes == 0 {
+		return
+	}
+	l.vectors = tensor.New(l.classes, l.dim)
+	for id, cls := range l.vocab {
+		v := sc.Embedder.Embed(lei.Identity{}.Interpret("", train.Templates[id]).Text)
+		copy(l.vectors.Data[cls*l.dim:(cls+1)*l.dim], v)
+	}
+
+	l.ps = nn.NewParamSet()
+	// Input per step: semantic vector ++ normalized count vector summary.
+	l.lstm = nn.NewLSTM(l.ps, "loganomaly.lstm", l.rng, l.dim, l.Hidden)
+	l.countProj = nn.NewLinear(l.ps, "loganomaly.count", l.rng, l.classes, l.Hidden)
+	l.out = nn.NewLinear(l.ps, "loganomaly.out", l.rng, 2*l.Hidden, l.classes)
+	opt := optim.NewAdamW(l.ps, l.LR)
+
+	var histories [][]int
+	var nexts []int
+	for _, s := range train.Samples {
+		if s.Label {
+			continue
+		}
+		for t := l.History; t < len(s.EventIDs); t++ {
+			h := make([]int, l.History)
+			for i := range h {
+				h[i] = l.vocab[s.EventIDs[t-l.History+i]]
+			}
+			histories = append(histories, h)
+			nexts = append(nexts, l.vocab[s.EventIDs[t]])
+		}
+	}
+	if len(histories) == 0 {
+		return
+	}
+	batch := 64
+	for epoch := 0; epoch < l.Epochs; epoch++ {
+		perm := l.rng.Perm(len(histories))
+		for start := 0; start < len(perm); start += batch {
+			end := start + batch
+			if end > len(perm) {
+				end = len(perm)
+			}
+			idx := perm[start:end]
+			batchHist := make([][]int, len(idx))
+			labels := make([]int, len(idx))
+			for i, j := range idx {
+				batchHist[i] = histories[j]
+				labels[i] = nexts[j]
+			}
+			x, counts := l.encode(batchHist)
+			g := nn.NewGraph()
+			_, seqLast := l.lstm.Forward(g, g.Const(x))
+			quant := g.ReLU(l.countProj.Forward(g, g.Const(counts)))
+			joint := g.ConcatCols(seqLast, quant)
+			loss := g.CrossEntropyLogits(l.out.Forward(g, joint), labels)
+			g.Backward(loss)
+			l.ps.ClipGradNorm(5)
+			opt.Step()
+		}
+	}
+}
+
+// encode builds the semantic input tensor [B,H,dim] and the count-vector
+// matrix [B,classes] for a batch of class-index histories.
+func (l *LogAnomaly) encode(histories [][]int) (x, counts *tensor.Tensor) {
+	x = tensor.New(len(histories), l.History, l.dim)
+	counts = tensor.New(len(histories), l.classes)
+	for i, h := range histories {
+		for t, cls := range h {
+			copy(x.Data[(i*l.History+t)*l.dim:(i*l.History+t+1)*l.dim],
+				l.vectors.Data[cls*l.dim:(cls+1)*l.dim])
+			counts.Data[i*l.classes+cls] += 1.0 / float64(l.History)
+		}
+	}
+	return x, counts
+}
+
+// match maps a target event id to the nearest known class via template2vec
+// similarity; ok is false when nothing is similar enough.
+func (l *LogAnomaly) match(sc *Scenario, id int, templates []string) (int, bool) {
+	if cls, ok := l.vocab[id]; ok {
+		return cls, true
+	}
+	v := sc.Embedder.Embed(templates[id])
+	bestCls, bestSim := -1, -1.0
+	for cls := 0; cls < l.classes; cls++ {
+		sim := embed.Cosine(v, l.vectors.Data[cls*l.dim:(cls+1)*l.dim])
+		if sim > bestSim {
+			bestCls, bestSim = cls, sim
+		}
+	}
+	if bestSim < l.MatchThreshold {
+		return -1, false
+	}
+	return bestCls, true
+}
+
+// Score implements Method.
+func (l *LogAnomaly) Score(sc *Scenario) []float64 {
+	test := sc.TargetTest
+	out := make([]float64, len(test.Samples))
+	for i, s := range test.Samples {
+		if l.sequenceAnomalous(sc, s.EventIDs, test.Templates) {
+			out[i] = 1
+		}
+	}
+	return out
+}
+
+func (l *LogAnomaly) sequenceAnomalous(sc *Scenario, eventIDs []int, templates []string) bool {
+	if l.classes == 0 {
+		return true
+	}
+	mapped := make([]int, len(eventIDs))
+	for i, id := range eventIDs {
+		cls, ok := l.match(sc, id, templates)
+		if !ok {
+			return true
+		}
+		mapped[i] = cls
+	}
+	for t := l.History; t < len(mapped); t++ {
+		if !l.inTopK(mapped[t-l.History:t], mapped[t]) {
+			return true
+		}
+	}
+	return false
+}
+
+func (l *LogAnomaly) inTopK(hist []int, actual int) bool {
+	if l.TopK >= l.classes {
+		return true
+	}
+	x, counts := l.encode([][]int{hist})
+	g := nn.NewGraph()
+	_, last := l.lstm.Forward(g, g.Const(x))
+	quant := g.ReLU(l.countProj.Forward(g, g.Const(counts)))
+	logits := l.out.Forward(g, g.ConcatCols(last, quant)).Value
+	target := logits.Data[actual]
+	higher := 0
+	for _, z := range logits.Data {
+		if z > target {
+			higher++
+		}
+	}
+	return higher < l.TopK
+}

@@ -1,0 +1,75 @@
+package baselines
+
+import (
+	"math/rand"
+
+	"logsynergy/internal/nn"
+	"logsynergy/internal/nn/optim"
+	"logsynergy/internal/repr"
+	"logsynergy/internal/tensor"
+)
+
+// LogRobust (Zhang et al., ESEC/FSE 2019) classifies log sequences with an
+// attention-based Bi-LSTM over semantic template vectors, built to tolerate
+// unstable (evolving) log data. Supervised single-system; under the
+// cross-system protocol it pools all labeled source + target samples.
+type LogRobust struct {
+	// Hidden is the per-direction LSTM width (paper: 2×128; CPU scale).
+	Hidden int
+	Train  trainCfg
+
+	ps   *nn.ParamSet
+	bi   *nn.BiLSTM
+	attn *nn.Linear // scalar attention score per timestep
+	clf  *seqClassifier
+	opt  *optim.AdamW
+}
+
+// NewLogRobust returns the evaluation configuration.
+func NewLogRobust() *LogRobust {
+	return &LogRobust{Hidden: 24, Train: defaultTrainCfg()}
+}
+
+// Name implements Method.
+func (l *LogRobust) Name() string { return "LogRobust" }
+
+// Fit implements Method.
+func (l *LogRobust) Fit(sc *Scenario) {
+	rng := rand.New(rand.NewSource(sc.Seed + 19))
+	l.ps = nn.NewParamSet()
+	l.bi = nn.NewBiLSTM(l.ps, "logrobust.bilstm", rng, sc.Embedder.Dim, l.Hidden)
+	l.attn = nn.NewLinear(l.ps, "logrobust.attn", rng, 2*l.Hidden, 1)
+	enc := func(g *nn.Graph, x *nn.Node, train bool) *nn.Node {
+		return l.attend(g, l.bi.Forward(g, x))
+	}
+	l.clf = newSeqClassifier(l.ps, rng, enc, 2*l.Hidden)
+	l.opt = optim.NewAdamW(l.ps, l.Train.LR)
+
+	parts := append(sc.RawSources(), sc.Raw(sc.TargetTrain))
+	l.clf.fit(repr.Concat(parts...), l.Train, rng, l.opt)
+}
+
+// attend pools the BiLSTM outputs [B,T,2H] with learned softmax attention.
+func (l *LogRobust) attend(g *nn.Graph, seq *nn.Node) *nn.Node {
+	b, t, h := seq.Value.Dim(0), seq.Value.Dim(1), seq.Value.Dim(2)
+	flat := g.Reshape(seq, b*t, h)
+	scores := g.Reshape(l.attn.Forward(g, flat), b, 1, t) // [B,1,T]
+	weights := g.SoftmaxLastDim(scores)
+	ctx := g.BMM(weights, seq) // [B,1,2H]
+	return g.Reshape(ctx, b, h)
+}
+
+// Score implements Method.
+func (l *LogRobust) Score(sc *Scenario) []float64 {
+	return l.clf.score(sc.Raw(sc.TargetTest))
+}
+
+// attentionWeights exposes the per-step attention for diagnostics/tests.
+func (l *LogRobust) attentionWeights(x *tensor.Tensor) *tensor.Tensor {
+	g := nn.NewGraph()
+	seq := l.bi.Forward(g, g.Const(x))
+	b, t, h := seq.Value.Dim(0), seq.Value.Dim(1), seq.Value.Dim(2)
+	flat := g.Reshape(seq, b*t, h)
+	scores := g.Reshape(l.attn.Forward(g, flat), b, 1, t)
+	return g.SoftmaxLastDim(scores).Value
+}

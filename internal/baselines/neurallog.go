@@ -1,0 +1,70 @@
+package baselines
+
+import (
+	"math/rand"
+
+	"logsynergy/internal/nn"
+	"logsynergy/internal/nn/optim"
+	"logsynergy/internal/repr"
+)
+
+// NeuralLog (Le & Zhang, ASE 2021) detects anomalies without log parsing:
+// raw message semantics (BERT embeddings in the original; the shared raw
+// embedder here) feed a transformer-encoder classifier. It is a supervised
+// single-system method; under the paper's cross-system protocol it simply
+// pools all labeled training samples from the source systems and the
+// target slice, with no transfer mechanism.
+type NeuralLog struct {
+	// ModelDim, Heads, FFDim mirror the original single-layer transformer
+	// (embedding 768, FF 2048) at CPU scale.
+	ModelDim int
+	Heads    int
+	FFDim    int
+	Depth    int
+	Train    trainCfg
+	// SourceOnly trains without the target slice — the paper's "direct
+	// application of NeuralLog" transfer-learning ablation arm (§IV-D3).
+	SourceOnly bool
+
+	clf *seqClassifier
+	enc *nn.TransformerEncoder
+	opt *optim.AdamW
+}
+
+// NewNeuralLog returns the evaluation configuration.
+func NewNeuralLog() *NeuralLog {
+	return &NeuralLog{ModelDim: 32, Heads: 2, FFDim: 64, Depth: 1, Train: defaultTrainCfg()}
+}
+
+// Name implements Method.
+func (n *NeuralLog) Name() string {
+	if n.SourceOnly {
+		return "NeuralLog (direct)"
+	}
+	return "NeuralLog"
+}
+
+// Fit implements Method.
+func (n *NeuralLog) Fit(sc *Scenario) {
+	rng := rand.New(rand.NewSource(sc.Seed + 17))
+	ps := nn.NewParamSet()
+	n.enc = nn.NewTransformerEncoder(ps, "neurallog.enc", rng, sc.Embedder.Dim,
+		n.ModelDim, n.Heads, n.FFDim, n.Depth, 0.1)
+	encFn := func(g *nn.Graph, x *nn.Node, train bool) *nn.Node {
+		return n.enc.EncodePooled(g, x, rng, train)
+	}
+	n.clf = newSeqClassifier(ps, rng, encFn, n.ModelDim)
+	n.opt = optim.NewAdamW(ps, n.Train.LR)
+
+	parts := sc.RawSources()
+	if !n.SourceOnly {
+		parts = append(parts, sc.Raw(sc.TargetTrain))
+	}
+	pooled := repr.Concat(parts...)
+	n.clf.fit(pooled, n.Train, rng, n.opt)
+}
+
+// Score implements Method.
+func (n *NeuralLog) Score(sc *Scenario) []float64 {
+	return n.clf.score(sc.Raw(sc.TargetTest))
+}

@@ -1,0 +1,172 @@
+package baselines
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"logsynergy/internal/embed"
+	"logsynergy/internal/nn"
+	"logsynergy/internal/nn/optim"
+	"logsynergy/internal/repr"
+)
+
+// PLELog (Yang et al., ICSE 2021) is semi-supervised and target-only: it
+// knows a portion of the normal sequences (50% in the paper's protocol)
+// and estimates probabilistic labels for the remaining unlabeled ones by
+// clustering in semantic space, then trains a GRU classifier on the
+// estimated labels. The original clusters with HDBSCAN; this
+// implementation pseudo-labels by per-event novelty against the labeled
+// normal event population, which preserves the method's behaviour:
+// unlabeled sequences containing events far from known-normal structure
+// get anomalous pseudo-labels.
+type PLELog struct {
+	// LabeledNormalFraction is how much of the normal training data is
+	// revealed as labeled (paper protocol: 0.5).
+	LabeledNormalFraction float64
+	// PseudoAnomalyQuantile marks the farthest unlabeled sequences as
+	// anomalous during label estimation.
+	PseudoAnomalyQuantile float64
+	// Hidden is the GRU width (paper: 100; CPU scale).
+	Hidden int
+	Train  trainCfg
+
+	ps  *nn.ParamSet
+	gru *nn.GRU
+	clf *seqClassifier
+}
+
+// NewPLELog returns the evaluation configuration.
+func NewPLELog() *PLELog {
+	return &PLELog{
+		LabeledNormalFraction: 0.5,
+		PseudoAnomalyQuantile: 0.95,
+		Hidden:                32,
+		Train:                 defaultTrainCfg(),
+	}
+}
+
+// Name implements Method.
+func (p *PLELog) Name() string { return "PLELog" }
+
+// Fit implements Method.
+func (p *PLELog) Fit(sc *Scenario) {
+	rng := rand.New(rand.NewSource(sc.Seed + 23))
+	target := sc.Raw(sc.TargetTrain)
+
+	// Split: half the normals are revealed as labeled; every other sample
+	// (remaining normals + all anomalies) is unlabeled.
+	var labeledNormal, unlabeled []int
+	for i, l := range target.Labels {
+		if !l && rng.Float64() < p.LabeledNormalFraction {
+			labeledNormal = append(labeledNormal, i)
+		} else {
+			unlabeled = append(unlabeled, i)
+		}
+	}
+
+	pseudo := p.estimateLabels(target, labeledNormal, unlabeled)
+
+	p.ps = nn.NewParamSet()
+	p.gru = nn.NewGRU(p.ps, "plelog.gru", rng, sc.Embedder.Dim, p.Hidden)
+	enc := func(g *nn.Graph, x *nn.Node, train bool) *nn.Node {
+		_, last := p.gru.Forward(g, x)
+		return last
+	}
+	p.clf = newSeqClassifier(p.ps, rng, enc, p.Hidden)
+	opt := optim.NewAdamW(p.ps, p.Train.LR)
+
+	// Train on pseudo-labeled data.
+	pseudoDataset := &repr.Dataset{
+		System: target.System,
+		X:      target.X,
+		Labels: pseudo,
+		Table:  target.Table,
+		SeqLen: target.SeqLen,
+	}
+	p.clf.fit(pseudoDataset, p.Train, rng, opt)
+}
+
+// estimateLabels assigns pseudo-labels. Known normals stay normal; an
+// unlabeled sequence's anomaly evidence is its most *novel* event — the
+// maximum over its events of the distance to the nearest event observed in
+// labeled-normal sequences (clustering sequences by their mean embedding
+// would dilute a single anomalous event 10× and miss it). Sequences beyond
+// the novelty quantile become pseudo-anomalies.
+func (p *PLELog) estimateLabels(d *repr.Dataset, labeledNormal, unlabeled []int) []bool {
+	normalEvents := collectEventVectors(d, labeledNormal)
+	novelty := make([]float64, len(unlabeled))
+	for i, j := range unlabeled {
+		novelty[i] = maxEventNovelty(d, j, normalEvents)
+	}
+	sorted := append([]float64(nil), novelty...)
+	sort.Float64s(sorted)
+	cut := 1.0
+	if len(sorted) > 0 {
+		cut = sorted[int(float64(len(sorted)-1)*p.PseudoAnomalyQuantile)]
+	}
+	pseudo := make([]bool, d.Len())
+	for i, j := range unlabeled {
+		if novelty[i] >= cut && novelty[i] > 0 {
+			pseudo[j] = true
+		}
+	}
+	return pseudo
+}
+
+// collectEventVectors gathers the distinct event vectors of selected rows.
+func collectEventVectors(d *repr.Dataset, rows []int) [][]float64 {
+	t, dim := d.SeqLen, d.Dim()
+	seen := make(map[string]bool)
+	var out [][]float64
+	for _, r := range rows {
+		for s := 0; s < t; s++ {
+			v := d.X.Data[(r*t+s)*dim : (r*t+s+1)*dim]
+			key := vecKey(v)
+			if !seen[key] {
+				seen[key] = true
+				out = append(out, v)
+			}
+		}
+	}
+	return out
+}
+
+// vecKey is an exact-identity key for an event vector (vectors are copies
+// of event-table rows, so bitwise equality identifies the event).
+func vecKey(v []float64) string {
+	b := make([]byte, len(v)*8)
+	for i, x := range v {
+		bits := math.Float64bits(x)
+		for k := 0; k < 8; k++ {
+			b[i*8+k] = byte(bits >> (8 * k))
+		}
+	}
+	return string(b)
+}
+
+// maxEventNovelty is the largest per-event distance to the nearest known
+// normal event vector.
+func maxEventNovelty(d *repr.Dataset, row int, normalEvents [][]float64) float64 {
+	t, dim := d.SeqLen, d.Dim()
+	worst := 0.0
+	for s := 0; s < t; s++ {
+		v := d.X.Data[(row*t+s)*dim : (row*t+s+1)*dim]
+		best := 1.0
+		for _, nv := range normalEvents {
+			dist := 1 - embed.Cosine(v, nv)
+			if dist < best {
+				best = dist
+			}
+		}
+		if best > worst {
+			worst = best
+		}
+	}
+	return worst
+}
+
+// Score implements Method.
+func (p *PLELog) Score(sc *Scenario) []float64 {
+	return p.clf.score(sc.Raw(sc.TargetTest))
+}

@@ -1,0 +1,107 @@
+package baselines
+
+import "strings"
+
+// RuleBased models the incumbent practice the paper's deployment replaced
+// (§VI-C): operators accumulate keyword rules from anomalies they have
+// already seen. Rules fire with high precision but can only detect
+// *predefined* anomalies, so recall on a new system stays low until
+// enough incidents have been analyzed — the paper reports 1–2 weeks of
+// engineering per rule.
+//
+// The simulation derives rules from the anomalous sequences in the target
+// training slice: each anomalous template contributes its distinctive
+// keywords. Anything matching a rule is flagged; everything else passes.
+type RuleBased struct {
+	// MinKeywordLen filters trivial tokens out of learned rules.
+	MinKeywordLen int
+
+	rules []string
+}
+
+// NewRuleBased returns the §VI-C reference configuration.
+func NewRuleBased() *RuleBased { return &RuleBased{MinKeywordLen: 6} }
+
+// Name implements Method.
+func (r *RuleBased) Name() string { return "Rule-based" }
+
+// Fit implements Method: accumulate rules from observed target anomalies.
+// (Operators cannot see the source systems' incidents — rules are written
+// per system, which is exactly why the approach scales poorly.)
+func (r *RuleBased) Fit(sc *Scenario) {
+	// An operator writing a rule picks strings that never occur in normal
+	// traffic; model that with the normal-template vocabulary as a
+	// blocklist.
+	normalIDs := make(map[int]bool)
+	for _, s := range sc.TargetTrain.Samples {
+		if !s.Label {
+			for _, id := range s.EventIDs {
+				normalIDs[id] = true
+			}
+		}
+	}
+	normalVocab := make(map[string]bool)
+	for id := range normalIDs {
+		for _, tok := range ruleTokens(sc.TargetTrain.Templates[id], r.MinKeywordLen) {
+			normalVocab[tok] = true
+		}
+	}
+
+	seen := make(map[string]bool)
+	for _, s := range sc.TargetTrain.Samples {
+		if !s.Label {
+			continue
+		}
+		for _, id := range s.EventIDs {
+			if normalIDs[id] {
+				continue
+			}
+			for _, kw := range ruleTokens(sc.TargetTrain.Templates[id], r.MinKeywordLen) {
+				if !normalVocab[kw] && !seen[kw] {
+					seen[kw] = true
+					r.rules = append(r.rules, kw)
+				}
+			}
+		}
+	}
+}
+
+// ruleTokens extracts candidate rule tokens from a template.
+func ruleTokens(template string, minLen int) []string {
+	var out []string
+	for _, tok := range strings.Fields(strings.ToLower(template)) {
+		tok = strings.Trim(tok, ".,:;()[]{}\"'=<>*")
+		if len(tok) >= minLen && !strings.ContainsAny(tok, "0123456789") {
+			out = append(out, tok)
+		}
+	}
+	return out
+}
+
+// NumRules reports the accumulated rule count (the §VI-C effort metric).
+func (r *RuleBased) NumRules() int { return len(r.rules) }
+
+// Score implements Method: a sequence scores 1 iff any of its templates
+// matches a rule.
+func (r *RuleBased) Score(sc *Scenario) []float64 {
+	out := make([]float64, len(sc.TargetTest.Samples))
+	for i, s := range sc.TargetTest.Samples {
+		for _, id := range s.EventIDs {
+			if r.matches(sc.TargetTest.Templates[id]) {
+				out[i] = 1
+				break
+			}
+		}
+	}
+	return out
+}
+
+func (r *RuleBased) matches(template string) bool {
+	lowered := strings.ToLower(template)
+	for _, rule := range r.rules {
+		if strings.Contains(lowered, rule) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,115 @@
+// Package club implements the Contrastive Log-ratio Upper Bound (CLUB)
+// mutual information estimator (Cheng et al., ICML 2020), the component
+// LogSynergy's SUFE uses to measure — and then minimize — the mutual
+// information between system-unified features F_u(x) and system-specific
+// features F_s(x) (paper Eq. 3).
+//
+// CLUB bounds I(X;Y) ≤ E_{p(x,y)}[log q(y|x)] − E_{p(x)p(y)}[log q(y|x)]
+// where q is a learned variational approximation of p(y|x). Following the
+// original implementation, q(y|x) is a diagonal Gaussian whose mean and
+// log-variance are produced by small MLPs, trained by maximum likelihood
+// with its own optimizer, while the main model minimizes the bound.
+package club
+
+import (
+	"math/rand"
+
+	"logsynergy/internal/nn"
+	"logsynergy/internal/nn/optim"
+	"logsynergy/internal/tensor"
+)
+
+// Estimator is a CLUB mutual-information estimator between two feature
+// vectors of dimensions xDim and yDim.
+type Estimator struct {
+	// Params holds q's parameters (owned by the estimator's own optimizer,
+	// never by the main model's).
+	Params *nn.ParamSet
+
+	mu     *nn.MLP
+	logvar *nn.MLP
+	opt    *optim.AdamW
+	rng    *rand.Rand
+}
+
+// New creates an estimator with hidden-layer width hidden and its own
+// AdamW optimizer with learning rate lr.
+func New(rng *rand.Rand, xDim, yDim, hidden int, lr float64) *Estimator {
+	ps := nn.NewParamSet()
+	e := &Estimator{
+		Params: ps,
+		mu:     nn.NewMLP(ps, "club.mu", rng, xDim, hidden, yDim),
+		logvar: nn.NewMLP(ps, "club.logvar", rng, xDim, hidden, yDim),
+		rng:    rng,
+	}
+	e.opt = optim.NewAdamW(ps, lr)
+	e.opt.WeightDecay = 0
+	return e
+}
+
+// qParamsFrozen lifts q's parameters as constants so the main model's
+// backward pass flows gradients into x and y but never updates q.
+func (e *Estimator) forward(g *nn.Graph, x *nn.Node, frozen bool) (mean, logvar *nn.Node) {
+	forwardMLP := func(m *nn.MLP, in *nn.Node) *nn.Node {
+		h := in
+		for i, l := range m.Layers {
+			var w, b *nn.Node
+			if frozen {
+				w, b = g.Const(l.W.Value), g.Const(l.B.Value)
+			} else {
+				w, b = g.Param(l.W), g.Param(l.B)
+			}
+			h = g.AddBias(g.MatMul(h, w), b)
+			if i+1 < len(m.Layers) {
+				h = g.ReLU(h)
+			}
+		}
+		return h
+	}
+	mean = forwardMLP(e.mu, x)
+	logvar = g.Tanh(forwardMLP(e.logvar, x)) // bounded log-variance for stability
+	return mean, logvar
+}
+
+// logProb builds the per-sample Gaussian log-density matrix
+// log q(y|x) up to the constant term: -0.5 * ((y-μ)² / σ² + logσ²).
+func (e *Estimator) logProb(g *nn.Graph, mean, logvar, y *nn.Node) *nn.Node {
+	diff := g.Sub(y, mean)
+	sq := g.Square(diff)
+	invVar := g.Exp(g.Neg(logvar))
+	return g.Scale(g.Add(g.Mul(sq, invVar), logvar), -0.5)
+}
+
+// Estimate returns the sampled CLUB upper bound as a scalar node on the
+// main model's graph: positive pairs use aligned (x_i, y_i), negative pairs
+// re-pair each x_i with a uniformly sampled y_j. q's parameters are frozen;
+// gradients flow only into x and y — exactly how SUFE uses the bound to
+// shape the feature extractor.
+func (e *Estimator) Estimate(g *nn.Graph, x, y *nn.Node) *nn.Node {
+	n := x.Value.Rows()
+	mean, logvar := e.forward(g, x, true)
+	positive := g.Mean(e.logProb(g, mean, logvar, y))
+
+	// Negative pairing: gather a shuffled view of y.
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = e.rng.Intn(n)
+	}
+	yNeg := g.GatherRows(y, perm)
+	negative := g.Mean(e.logProb(g, mean, logvar, yNeg))
+	return g.Sub(positive, negative)
+}
+
+// LearnStep trains q by maximum likelihood on detached feature batches
+// (raw tensors, not graph nodes) and returns the negative log-likelihood.
+// Call it once per training batch, before or after the main model's step.
+func (e *Estimator) LearnStep(x, y *tensor.Tensor) float64 {
+	g := nn.NewGraph()
+	xn, yn := g.Const(x), g.Const(y)
+	mean, logvar := e.forward(g, xn, false)
+	nll := g.Neg(g.Mean(e.logProb(g, mean, logvar, yn)))
+	g.Backward(nll)
+	e.Params.ClipGradNorm(5)
+	e.opt.Step()
+	return nll.Value.Data[0]
+}

@@ -1,0 +1,70 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"logsynergy/internal/embed"
+	"logsynergy/internal/lei"
+	"logsynergy/internal/repr"
+)
+
+// Bundle is the serialized form of a deployed LogSynergy model: the
+// configuration, trained parameters, and the target system's event table
+// (templates + interpretations; embeddings are recomputed from the
+// deterministic embedder on load).
+type Bundle struct {
+	Config     Config               `json:"config"`
+	NumSystems int                  `json:"num_systems"`
+	System     string               `json:"system"`
+	EmbedDim   int                  `json:"embed_dim"`
+	Interps    []lei.Interpretation `json:"interps"`
+	Params     json.RawMessage      `json:"params"`
+}
+
+// SaveBundle serializes a trained model and its target event table.
+func SaveBundle(w io.Writer, m *Model, table *repr.EventTable) error {
+	var paramBuf bytes.Buffer
+	if err := m.Params.Save(&paramBuf); err != nil {
+		return fmt.Errorf("core: saving parameters: %w", err)
+	}
+	b := Bundle{
+		Config:     m.Cfg,
+		NumSystems: m.numSystems,
+		System:     table.System,
+		EmbedDim:   table.Dim,
+		Interps:    table.Interps,
+		Params:     json.RawMessage(paramBuf.Bytes()),
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(b)
+}
+
+// LoadBundle reconstructs a detector from a serialized bundle. The event
+// embeddings are recomputed with a fresh embedder of the recorded
+// dimension — the hash embedder is deterministic, so the reconstruction is
+// exact.
+func LoadBundle(r io.Reader) (*Detector, error) {
+	var b Bundle
+	if err := json.NewDecoder(r).Decode(&b); err != nil {
+		return nil, fmt.Errorf("core: decoding bundle: %w", err)
+	}
+	m := NewModel(b.Config, b.NumSystems)
+	if err := m.Params.Load(bytes.NewReader(b.Params)); err != nil {
+		return nil, err
+	}
+	e := embed.New(b.EmbedDim)
+	texts := make([]string, len(b.Interps))
+	for i, in := range b.Interps {
+		texts[i] = in.Text
+	}
+	table := &repr.EventTable{
+		System:  b.System,
+		Dim:     b.EmbedDim,
+		Vectors: e.EmbedAll(texts),
+		Interps: b.Interps,
+	}
+	return NewDetector(m, table), nil
+}

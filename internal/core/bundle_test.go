@@ -1,0 +1,55 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"logsynergy/internal/embed"
+	"logsynergy/internal/lei"
+	"logsynergy/internal/logdata"
+	"logsynergy/internal/repr"
+	"logsynergy/internal/window"
+)
+
+func TestBundleRoundTrip(t *testing.T) {
+	interp := lei.NewSimLLM(lei.Config{})
+	e := embed.New(16)
+	seqs := logdata.Build(logdata.SystemB(), 5, 0.005, window.Default())
+	table := repr.BuildEventTable(seqs, interp, e)
+	d := repr.BuildDataset(seqs, table)
+
+	cfg := DefaultConfig()
+	cfg.EmbedDim = 16
+	m := NewModel(cfg, 3)
+	before := m.Score(d.X, 64)
+
+	var buf bytes.Buffer
+	if err := SaveBundle(&buf, m, table); err != nil {
+		t.Fatal(err)
+	}
+	det, err := LoadBundle(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := det.Model.Score(d.X, 64)
+	for i := range before {
+		if diff := before[i] - after[i]; diff > 1e-12 || diff < -1e-12 {
+			t.Fatalf("score %d drifted across save/load: %v vs %v", i, before[i], after[i])
+		}
+	}
+	if det.Table.Len() != table.Len() {
+		t.Fatalf("table length %d vs %d", det.Table.Len(), table.Len())
+	}
+	// Embeddings must be reconstructed exactly (deterministic embedder).
+	for i := range table.Vectors.Data {
+		if det.Table.Vectors.Data[i] != table.Vectors.Data[i] {
+			t.Fatal("event embeddings drifted across save/load")
+		}
+	}
+}
+
+func TestLoadBundleRejectsGarbage(t *testing.T) {
+	if _, err := LoadBundle(bytes.NewReader([]byte("{not json"))); err == nil {
+		t.Fatal("expected decode error")
+	}
+}

@@ -1,0 +1,111 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"logsynergy/internal/metrics"
+	"logsynergy/internal/repr"
+	"logsynergy/internal/tensor"
+)
+
+// Threshold is the fixed anomaly decision threshold the paper uses for
+// every classifier (§III-E, §IV-A3).
+const Threshold = 0.5
+
+// Report is the anomaly report generated for a detected sequence
+// (paper §III-E and §VI-A "Report"): the original event templates, their
+// LEI interpretations, the anomaly score, and metadata.
+type Report struct {
+	// System identifies the monitored (target) system.
+	System string
+	// Timestamp is when the detection was made.
+	Timestamp time.Time
+	// Score is the anomaly probability in [0,1].
+	Score float64
+	// EventIDs is the offending sequence.
+	EventIDs []int
+	// Templates holds the raw event templates of the sequence.
+	Templates []string
+	// Interpretations holds the LEI interpretation of each event.
+	Interpretations []string
+}
+
+// String renders the report the way the on-call alert does.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "ANOMALY system=%s score=%.3f time=%s\n", r.System, r.Score, r.Timestamp.Format(time.RFC3339))
+	for i := range r.EventIDs {
+		fmt.Fprintf(&b, "  [%d] %s\n      -> %s\n", r.EventIDs[i], r.Templates[i], r.Interpretations[i])
+	}
+	return b.String()
+}
+
+// Detector is the online detection phase: it embeds incoming sequences
+// with the same event table used offline and scores them with the trained
+// model's F + C_anomaly.
+type Detector struct {
+	Model *Model
+	Table *repr.EventTable
+	// Now supplies report timestamps (overridable in tests).
+	Now func() time.Time
+}
+
+// NewDetector wires a trained model to the target system's event table.
+func NewDetector(m *Model, table *repr.EventTable) *Detector {
+	return &Detector{Model: m, Table: table, Now: time.Now}
+}
+
+// ScoreSequence scores a single event-id sequence.
+func (d *Detector) ScoreSequence(eventIDs []int) float64 {
+	x := d.embed(eventIDs)
+	return d.Model.Score(x, 1)[0]
+}
+
+// Detect scores a sequence and, if it crosses the threshold, produces the
+// anomaly report.
+func (d *Detector) Detect(eventIDs []int) (float64, *Report) {
+	score := d.ScoreSequence(eventIDs)
+	if score <= Threshold {
+		return score, nil
+	}
+	return score, d.BuildReport(eventIDs, score)
+}
+
+// BuildReport assembles the anomaly report for a sequence without running
+// the model (used by the pattern library for cached anomalous patterns).
+func (d *Detector) BuildReport(eventIDs []int, score float64) *Report {
+	rep := &Report{
+		System:    d.Table.System,
+		Timestamp: d.Now(),
+		Score:     score,
+		EventIDs:  append([]int(nil), eventIDs...),
+	}
+	for _, id := range eventIDs {
+		in := d.Table.Interps[id]
+		rep.Templates = append(rep.Templates, in.Template)
+		rep.Interpretations = append(rep.Interpretations, in.Text)
+	}
+	return rep
+}
+
+// embed maps an event-id sequence to a [1,T,D] tensor via the event table.
+func (d *Detector) embed(eventIDs []int) *tensor.Tensor {
+	dim := d.Table.Dim
+	x := tensor.New(1, len(eventIDs), dim)
+	for j, id := range eventIDs {
+		if id < 0 || id >= d.Table.Vectors.Rows() {
+			panic(fmt.Sprintf("core: event id %d outside table of %d events", id, d.Table.Vectors.Rows()))
+		}
+		copy(x.Data[j*dim:(j+1)*dim], d.Table.Vectors.Data[id*dim:(id+1)*dim])
+	}
+	return x
+}
+
+// EvaluateDataset scores every sequence of a materialized dataset and
+// returns the paper's (P, R, F1) triple at the fixed 0.5 threshold.
+func EvaluateDataset(m *Model, d *repr.Dataset) metrics.Result {
+	scores := m.Score(d.X, 256)
+	return metrics.Evaluate(scores, d.Labels, Threshold)
+}

@@ -1,0 +1,233 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+
+	"logsynergy/internal/club"
+	"logsynergy/internal/daan"
+	"logsynergy/internal/mmd"
+	"logsynergy/internal/nn"
+	"logsynergy/internal/tensor"
+)
+
+// Model is the LogSynergy network (paper §III-D1): feature extractor F
+// (transformer encoder), anomaly classifier C_anomaly, system classifier
+// C_system, mutual-information module MI (CLUB) and domain-adaptation
+// module DA (DAAN). Only F and C_anomaly run during online detection.
+type Model struct {
+	Cfg Config
+
+	// Params holds F, C_anomaly and C_system — the parameters the main
+	// optimizer owns. The DA classifiers train through the same optimizer
+	// (their set is merged in by the Trainer); CLUB's q has its own.
+	Params *nn.ParamSet
+
+	encoder   *nn.TransformerEncoder
+	inputProj *nn.Linear
+	poolProj  *nn.Linear
+	canomaly  *nn.MLP
+	csystem   *nn.MLP
+	mi        *club.Estimator
+	da        *daan.Adapter
+
+	numSystems int
+	rng        *rand.Rand
+}
+
+// NewModel builds a LogSynergy model for numSystems training systems
+// (sources plus target; the system classifier predicts which one a sample
+// came from).
+func NewModel(cfg Config, numSystems int) *Model {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	ps := nn.NewParamSet()
+	fd := cfg.featureDim()
+	m := &Model{
+		Cfg:        cfg,
+		Params:     ps,
+		encoder:    nn.NewTransformerEncoder(ps, "F", rng, cfg.EmbedDim, cfg.ModelDim, cfg.Heads, cfg.FFDim, cfg.Depth, cfg.Dropout),
+		inputProj:  nn.NewLinear(ps, "Fskip", rng, cfg.EmbedDim, cfg.ModelDim),
+		poolProj:   nn.NewLinear(ps, "Fpool", rng, 2*cfg.ModelDim, cfg.fusedDim()),
+		canomaly:   nn.NewMLP(ps, "Canomaly", rng, fd, fd, 1),
+		numSystems: numSystems,
+		rng:        rng,
+	}
+	if cfg.UseSUFE {
+		m.csystem = nn.NewMLP(ps, "Csystem", rng, fd, fd, numSystems)
+		m.mi = club.New(rand.New(rand.NewSource(cfg.Seed+101)), fd, fd, 2*fd, 1e-3)
+	}
+	if cfg.UseDA && cfg.DAMethod != "mmd" {
+		m.da = daan.New(rand.New(rand.NewSource(cfg.Seed+202)), fd, fd, 2, cfg.DynamicOmega)
+	}
+	return m
+}
+
+// DomainAdapterParams exposes the DA classifiers' parameters so the
+// Trainer can register them with the main optimizer (they are updated
+// adversarially via the GRL, exactly as in DAAN). Returns nil without DA.
+func (m *Model) DomainAdapterParams() *nn.ParamSet {
+	if m.da == nil {
+		return nil
+	}
+	return m.da.Params
+}
+
+// forwardOut bundles the per-batch forward products: the sequence-level
+// anomaly logits plus the pooled unified/specific features the auxiliary
+// objectives (C_system, MI, DA) operate on. fsMean is nil without SUFE.
+type forwardOut struct {
+	logits *nn.Node // [B,1] sequence anomaly logits
+	fuMean *nn.Node // [B,fd] pooled system-unified features
+	fsMean *nn.Node // [B,fd] pooled system-specific features (SUFE only)
+}
+
+// forward runs the full feature extractor.
+//
+// F fuses, per timestep, the transformer's contextual state h_t with a
+// projection of the raw event embedding x_t (a skip connection past the
+// encoder, keeping each event's LEI-unified identity intact regardless of
+// the surrounding system-flavored context). The fused per-step features
+// split into unified (F_u) and specific (F_s) halves under SUFE.
+//
+// The anomaly readout is multiple-instance: C_anomaly scores every step's
+// F_u and the sequence logit is the per-step maximum. A sequence is
+// anomalous iff it *contains* an anomalous event (the labeling rule in
+// §IV-A1), and the max readout represents "contains" exactly — pooling
+// first and classifying second dilutes a single anomalous event by 1/T
+// and lets normal context shadow it, which breaks cross-system transfer
+// on the 0.17%-anomaly-rate targets of Table III.
+func (m *Model) forward(g *nn.Graph, x *nn.Node, train bool) forwardOut {
+	b, t := x.Value.Dim(0), x.Value.Dim(1)
+	md := m.Cfg.ModelDim
+	h := m.encoder.Forward(g, x, m.rng, train)  // [B,T,M]
+	skip := g.Tanh(m.inputProj.Forward3D(g, x)) // [B,T,M]
+	hFlat := g.Reshape(h, b*t, md)
+	sFlat := g.Reshape(skip, b*t, md)
+	zFlat := m.poolProj.Forward(g, g.ConcatCols(hFlat, sFlat)) // [B*T, fusedDim]
+
+	fd := m.Cfg.featureDim()
+	fuFlat := zFlat
+	var fsFlat *nn.Node
+	if m.Cfg.UseSUFE {
+		fuFlat = g.SliceCols(zFlat, 0, fd)
+		fsFlat = g.SliceCols(zFlat, fd, 2*fd)
+	}
+
+	stepLogits := m.canomaly.Forward(g, fuFlat)         // [B*T,1]
+	logits := g.MaxTime(g.Reshape(stepLogits, b, t, 1)) // [B,1]
+
+	out := forwardOut{
+		logits: logits,
+		fuMean: g.MeanTime(g.Reshape(fuFlat, b, t, fd)),
+	}
+	if fsFlat != nil {
+		out.fsMean = g.MeanTime(g.Reshape(fsFlat, b, t, fd))
+	}
+	return out
+}
+
+// batchLosses bundles the per-batch objective terms (Eq. 5 components).
+type batchLosses struct {
+	Total, Anomaly, System, MI, DA float64
+}
+
+// trainStep builds the full training graph for one batch and runs
+// backward. x is [B,T,E]; labels are anomaly labels; systems are system
+// ids in [0, numSystems); domains are 0 (source) / 1 (target); grlLambda
+// is the current gradient-reversal strength.
+func (m *Model) trainStep(x *tensor.Tensor, labels []float64, systems []int, domains []float64, grlLambda float64) batchLosses {
+	if m.Cfg.InputNoise > 0 {
+		x = x.Clone()
+		for i := range x.Data {
+			x.Data[i] += m.rng.NormFloat64() * m.Cfg.InputNoise
+		}
+	}
+	g := nn.NewGraph()
+	fwd := m.forward(g, g.Const(x), true)
+
+	loss := g.BCEWithLogits(fwd.logits, labels)
+	out := batchLosses{Anomaly: loss.Value.Data[0]}
+
+	if m.Cfg.UseSUFE {
+		sysLoss := g.CrossEntropyLogits(m.csystem.Forward(g, fwd.fsMean), systems)
+		out.System = sysLoss.Value.Data[0]
+		loss = g.Add(loss, sysLoss)
+
+		miLoss := m.mi.Estimate(g, fwd.fuMean, fwd.fsMean)
+		out.MI = miLoss.Value.Data[0]
+		loss = g.Add(loss, g.Scale(miLoss, m.Cfg.LambdaMI))
+	}
+
+	if m.Cfg.UseDA {
+		var daLoss *nn.Node
+		if m.Cfg.DAMethod == "mmd" {
+			daLoss = mmd.Loss(g, fwd.fuMean, domains, nil)
+		} else {
+			probs := make([]float64, len(labels))
+			for i, z := range fwd.logits.Value.Data {
+				probs[i] = 1 / (1 + math.Exp(-z))
+			}
+			daLoss = m.da.Loss(g, fwd.fuMean, domains, probs, grlLambda)
+		}
+		out.DA = daLoss.Value.Data[0]
+		loss = g.Add(loss, g.Scale(daLoss, m.Cfg.LambdaDA))
+	}
+
+	out.Total = loss.Value.Data[0]
+	g.Backward(loss)
+
+	// Train CLUB's variational q on the detached feature batch, keeping
+	// the MI bound tight as the feature distribution moves.
+	if m.Cfg.UseSUFE {
+		m.mi.LearnStep(fwd.fuMean.Value, fwd.fsMean.Value)
+	}
+	return out
+}
+
+// Score returns anomaly probabilities for a batch tensor [N,T,E],
+// processing in chunks of batch to bound memory. This is the online
+// detection path: F and C_anomaly only (paper §III-E).
+func (m *Model) Score(x *tensor.Tensor, batch int) []float64 {
+	n := x.Dim(0)
+	if batch <= 0 {
+		batch = 256
+	}
+	t, d := x.Dim(1), x.Dim(2)
+	stride := t * d
+	out := make([]float64, 0, n)
+	for start := 0; start < n; start += batch {
+		end := start + batch
+		if end > n {
+			end = n
+		}
+		chunk := tensor.FromSlice(x.Data[start*stride:end*stride], end-start, t, d)
+		g := nn.NewGraph()
+		fwd := m.forward(g, g.Const(chunk), false)
+		for _, z := range fwd.logits.Value.Data {
+			out = append(out, 1/(1+math.Exp(-z)))
+		}
+	}
+	return out
+}
+
+// SystemLogits predicts the system id distribution from F_s for a batch
+// (diagnostics; only meaningful with SUFE enabled).
+func (m *Model) SystemLogits(x *tensor.Tensor) *tensor.Tensor {
+	if !m.Cfg.UseSUFE {
+		return nil
+	}
+	g := nn.NewGraph()
+	fwd := m.forward(g, g.Const(x), false)
+	return m.csystem.Forward(g, fwd.fsMean).Value
+}
+
+// Features returns the pooled (F_u, F_s) values for a batch (diagnostics
+// and the case-study experiment). fs is nil without SUFE.
+func (m *Model) Features(x *tensor.Tensor) (fuV, fsV *tensor.Tensor) {
+	g := nn.NewGraph()
+	fwd := m.forward(g, g.Const(x), false)
+	if fwd.fsMean == nil {
+		return fwd.fuMean.Value, nil
+	}
+	return fwd.fuMean.Value, fwd.fsMean.Value
+}

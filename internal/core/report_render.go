@@ -1,0 +1,43 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteJSON serializes the report for webhook/queue consumers.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// Markdown renders the report for chat-ops channels: a summary line, the
+// interpreted events, and the raw templates in a collapsible-style block.
+func (r *Report) Markdown() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "**ANOMALY** `%s` score **%.3f** at %s\n\n",
+		r.System, r.Score, r.Timestamp.Format("2006-01-02 15:04:05 MST"))
+	b.WriteString("| # | event | interpretation |\n|---|---|---|\n")
+	for i := range r.EventIDs {
+		interp := ""
+		if i < len(r.Interpretations) {
+			interp = r.Interpretations[i]
+		}
+		fmt.Fprintf(&b, "| %d | E%d | %s |\n", i+1, r.EventIDs[i], escapeCell(interp))
+	}
+	b.WriteString("\nraw templates:\n```\n")
+	for _, t := range r.Templates {
+		b.WriteString(t)
+		b.WriteByte('\n')
+	}
+	b.WriteString("```\n")
+	return b.String()
+}
+
+// escapeCell keeps template text from breaking the markdown table.
+func escapeCell(s string) string {
+	return strings.NewReplacer("|", "\\|", "\n", " ").Replace(s)
+}

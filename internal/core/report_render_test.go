@@ -1,0 +1,58 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func sampleReport() *Report {
+	return &Report{
+		System:          "SystemB",
+		Timestamp:       time.Date(2023, 9, 1, 12, 0, 0, 0, time.UTC),
+		Score:           0.987,
+		EventIDs:        []int{4, 9},
+		Templates:       []string{"[ERR] engine: allocation of <*> bytes failed", "[DBG] engine: GET <*> hit"},
+		Interpretations: []string{"process terminated because system ran out of memory", "cache lookup | served"},
+	}
+}
+
+func TestWriteJSONRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleReport().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.System != "SystemB" || back.Score != 0.987 || len(back.EventIDs) != 2 {
+		t.Fatalf("round trip lost data: %+v", back)
+	}
+}
+
+func TestMarkdownRendering(t *testing.T) {
+	md := sampleReport().Markdown()
+	if !strings.Contains(md, "**ANOMALY** `SystemB` score **0.987**") {
+		t.Fatalf("summary line missing:\n%s", md)
+	}
+	if !strings.Contains(md, "| 1 | E4 |") || !strings.Contains(md, "| 2 | E9 |") {
+		t.Fatalf("event rows missing:\n%s", md)
+	}
+	// The pipe inside an interpretation must be escaped so the table holds.
+	if !strings.Contains(md, `cache lookup \| served`) {
+		t.Fatalf("cell escaping failed:\n%s", md)
+	}
+	if !strings.Contains(md, "```") {
+		t.Fatal("raw template block missing")
+	}
+}
+
+func TestReportString(t *testing.T) {
+	s := sampleReport().String()
+	if !strings.Contains(s, "ANOMALY system=SystemB") || !strings.Contains(s, "-> process terminated") {
+		t.Fatalf("text rendering incomplete:\n%s", s)
+	}
+}

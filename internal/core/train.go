@@ -1,0 +1,175 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"logsynergy/internal/nn"
+	"logsynergy/internal/nn/optim"
+	"logsynergy/internal/repr"
+	"logsynergy/internal/tensor"
+)
+
+// Trainer runs LogSynergy's offline training phase (paper §III-D): samples
+// from every source system plus the small labeled slice of the target
+// system, optimized jointly under Eq. 5.
+type Trainer struct {
+	Model *Model
+	Cfg   Config
+
+	sources []*repr.Dataset
+	target  *repr.Dataset
+
+	samplers []*repr.BalancedSampler // one per dataset, target last
+	opt      *optim.AdamW
+	sched    *optim.CosineSchedule
+	rng      *rand.Rand
+}
+
+// NewTrainer wires a model to its training datasets. The system-classifier
+// label of sources[i] is i; the target system's is len(sources).
+func NewTrainer(cfg Config, sources []*repr.Dataset, target *repr.Dataset) *Trainer {
+	model := NewModel(cfg, len(sources)+1)
+	all := nn.NewParamSet()
+	all.Merge(model.Params)
+	if dp := model.DomainAdapterParams(); dp != nil {
+		all.Merge(dp)
+	}
+	t := &Trainer{
+		Model:   model,
+		Cfg:     cfg,
+		sources: sources,
+		target:  target,
+		opt:     optim.NewAdamW(all, cfg.LR),
+		rng:     rand.New(rand.NewSource(cfg.Seed + 303)),
+	}
+	totalSamples := target.Len()
+	for _, s := range sources {
+		totalSamples += s.Len()
+	}
+	steps := totalSamples / cfg.BatchSize * cfg.Epochs
+	if steps < cfg.Epochs {
+		steps = cfg.Epochs
+	}
+	// Cosine decay to a tenth of the base rate consolidates the decision
+	// boundary late in training (the transfer targets have few positive
+	// concepts; a hot final LR leaves them on the boundary).
+	t.sched = optim.NewCosineSchedule(t.opt, cfg.LR/10, steps)
+	for _, s := range sources {
+		t.samplers = append(t.samplers, repr.NewBalancedSampler(s.Labels, cfg.PosFraction, t.rng))
+	}
+	t.samplers = append(t.samplers, repr.NewBalancedSampler(target.Labels, cfg.PosFraction, t.rng))
+	return t
+}
+
+// EpochStats summarizes one training epoch.
+type EpochStats struct {
+	Epoch                          int
+	Total, Anomaly, System, MI, DA float64
+	Omega                          float64
+}
+
+// Train runs the configured number of epochs and returns per-epoch stats.
+func (t *Trainer) Train() []EpochStats {
+	totalSamples := t.target.Len()
+	for _, s := range t.sources {
+		totalSamples += s.Len()
+	}
+	stepsPerEpoch := totalSamples / t.Cfg.BatchSize
+	if stepsPerEpoch < 1 {
+		stepsPerEpoch = 1
+	}
+	totalSteps := stepsPerEpoch * t.Cfg.Epochs
+
+	var stats []EpochStats
+	step := 0
+	for epoch := 0; epoch < t.Cfg.Epochs; epoch++ {
+		var acc EpochStats
+		acc.Epoch = epoch
+		for s := 0; s < stepsPerEpoch; s++ {
+			// Standard DANN/DAAN schedule: ramp the GRL strength with
+			// training progress p: λ = 2/(1+e^{-10p}) − 1.
+			p := float64(step) / float64(totalSteps)
+			grl := 2/(1+math.Exp(-10*p)) - 1
+			x, labels, systems, domains := t.assembleBatch()
+			losses := t.Model.trainStep(x, labels, systems, domains, grl)
+			t.Model.Params.ClipGradNorm(5)
+			t.sched.Tick()
+			t.opt.Step()
+			acc.Total += losses.Total
+			acc.Anomaly += losses.Anomaly
+			acc.System += losses.System
+			acc.MI += losses.MI
+			acc.DA += losses.DA
+			step++
+		}
+		inv := 1 / float64(stepsPerEpoch)
+		acc.Total *= inv
+		acc.Anomaly *= inv
+		acc.System *= inv
+		acc.MI *= inv
+		acc.DA *= inv
+		if t.Model.da != nil {
+			t.Model.da.UpdateOmega()
+			acc.Omega = t.Model.da.Omega()
+		}
+		if !t.Cfg.Quiet {
+			fmt.Printf("epoch %d: total=%.4f anomaly=%.4f system=%.4f mi=%.4f da=%.4f omega=%.2f\n",
+				epoch, acc.Total, acc.Anomaly, acc.System, acc.MI, acc.DA, acc.Omega)
+		}
+		stats = append(stats, acc)
+	}
+	return stats
+}
+
+// assembleBatch composes one minibatch: TargetShare of the rows come from
+// the target dataset, the rest split evenly across sources. Each dataset's
+// rows are drawn through its balanced sampler.
+func (t *Trainer) assembleBatch() (x *tensor.Tensor, labels []float64, systems []int, domains []float64) {
+	b := t.Cfg.BatchSize
+	nTarget := int(float64(b) * t.Cfg.TargetShare)
+	if nTarget < 1 {
+		nTarget = 1
+	}
+	nSource := b - nTarget
+	perSource := nSource / len(t.sources)
+
+	seqLen := t.target.SeqLen
+	dim := t.target.Dim()
+	x = tensor.New(b, seqLen, dim)
+	labels = make([]float64, b)
+	systems = make([]int, b)
+	domains = make([]float64, b)
+
+	row := 0
+	copyRows := func(d *repr.Dataset, sampler *repr.BalancedSampler, count, sysID int, domain float64) {
+		idx := sampler.Sample(count)
+		bx, bl := d.Gather(idx)
+		stride := seqLen * dim
+		copy(x.Data[row*stride:(row+count)*stride], bx.Data)
+		for i := 0; i < count; i++ {
+			labels[row+i] = bl[i]
+			systems[row+i] = sysID
+			domains[row+i] = domain
+		}
+		row += count
+	}
+	for i, s := range t.sources {
+		count := perSource
+		if i == len(t.sources)-1 {
+			count = nSource - perSource*(len(t.sources)-1) // remainder
+		}
+		copyRows(s, t.samplers[i], count, i, 0)
+	}
+	copyRows(t.target, t.samplers[len(t.samplers)-1], nTarget, len(t.sources), 1)
+	return x, labels, systems, domains
+}
+
+// TrainModel is the one-call entry point: build a trainer, train it, and
+// return the fitted model.
+func TrainModel(cfg Config, sources []*repr.Dataset, target *repr.Dataset) *Model {
+	t := NewTrainer(cfg, sources, target)
+	t.Train()
+	return t.Model
+}

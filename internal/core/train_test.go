@@ -1,0 +1,197 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"logsynergy/internal/repr"
+	"logsynergy/internal/tensor"
+)
+
+// syntheticDataset fabricates a repr.Dataset directly (no log pipeline):
+// n sequences of length t over dim-d embeddings, with the given positive
+// rows.
+func syntheticDataset(system string, n, t, d int, positives []int, seed int64) *repr.Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	x := tensor.Randn(rng, 1, n, t, d)
+	labels := make([]bool, n)
+	for _, p := range positives {
+		labels[p] = true
+	}
+	return &repr.Dataset{
+		System: system,
+		X:      x,
+		Labels: labels,
+		Table:  &repr.EventTable{System: system, Dim: d},
+		SeqLen: t,
+	}
+}
+
+func tinyConfig() Config {
+	cfg := DefaultConfig()
+	cfg.EmbedDim = 8
+	cfg.ModelDim = 8
+	cfg.Heads = 2
+	cfg.FFDim = 16
+	cfg.Depth = 1
+	cfg.Epochs = 1
+	cfg.BatchSize = 16
+	return cfg
+}
+
+func TestAssembleBatchComposition(t *testing.T) {
+	cfg := tinyConfig()
+	sources := []*repr.Dataset{
+		syntheticDataset("s0", 50, 4, 8, []int{1, 2}, 1),
+		syntheticDataset("s1", 50, 4, 8, []int{3}, 2),
+	}
+	target := syntheticDataset("tgt", 30, 4, 8, []int{7}, 3)
+	tr := NewTrainer(cfg, sources, target)
+	x, labels, systems, domains := tr.assembleBatch()
+
+	if x.Dim(0) != cfg.BatchSize {
+		t.Fatalf("batch rows %d want %d", x.Dim(0), cfg.BatchSize)
+	}
+	nTarget := int(float64(cfg.BatchSize) * cfg.TargetShare)
+	counts := map[int]int{}
+	for i, sys := range systems {
+		counts[sys]++
+		// Domain label must track system id: sources 0, target 1.
+		wantDomain := 0.0
+		if sys == len(sources) {
+			wantDomain = 1
+		}
+		if domains[i] != wantDomain {
+			t.Fatalf("row %d: system %d has domain %v", i, sys, domains[i])
+		}
+	}
+	if counts[len(sources)] != nTarget {
+		t.Fatalf("target rows %d want %d", counts[len(sources)], nTarget)
+	}
+	if counts[0]+counts[1] != cfg.BatchSize-nTarget {
+		t.Fatalf("source rows %d want %d", counts[0]+counts[1], cfg.BatchSize-nTarget)
+	}
+	// Oversampling must surface positives regularly.
+	pos := 0
+	for _, l := range labels {
+		if l == 1 {
+			pos++
+		}
+	}
+	if pos == 0 {
+		// One batch can be unlucky; sample a few more.
+		for i := 0; i < 5 && pos == 0; i++ {
+			_, labels, _, _ = tr.assembleBatch()
+			for _, l := range labels {
+				if l == 1 {
+					pos++
+				}
+			}
+		}
+		if pos == 0 {
+			t.Fatal("balanced sampling never produced a positive row")
+		}
+	}
+}
+
+func TestTrainerEpochStats(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Epochs = 2
+	sources := []*repr.Dataset{syntheticDataset("s0", 40, 4, 8, []int{0, 5}, 4)}
+	target := syntheticDataset("tgt", 40, 4, 8, []int{9}, 5)
+	tr := NewTrainer(cfg, sources, target)
+	stats := tr.Train()
+	if len(stats) != 2 {
+		t.Fatalf("want 2 epochs of stats, got %d", len(stats))
+	}
+	for _, s := range stats {
+		if s.Total <= 0 {
+			t.Fatalf("epoch %d: non-positive total loss %v", s.Epoch, s.Total)
+		}
+		if s.Omega < 0 || s.Omega > 1 {
+			t.Fatalf("epoch %d: omega %v out of range", s.Epoch, s.Omega)
+		}
+	}
+}
+
+func TestTrainingReducesLossOnSeparableData(t *testing.T) {
+	// Make positives trivially separable: a constant offset on the first
+	// embedding dimension of every event.
+	cfg := tinyConfig()
+	cfg.Epochs = 30
+	mk := func(name string, seed int64) *repr.Dataset {
+		d := syntheticDataset(name, 60, 4, 8, []int{0, 1, 2, 3, 4, 5}, seed)
+		for row := 0; row < 6; row++ {
+			for s := 0; s < 4; s++ {
+				d.X.Data[(row*4+s)*8] += 6
+			}
+		}
+		return d
+	}
+	tr := NewTrainer(cfg, []*repr.Dataset{mk("s0", 6)}, mk("tgt", 7))
+	stats := tr.Train()
+	if stats[len(stats)-1].Anomaly >= stats[0].Anomaly {
+		t.Fatalf("anomaly loss did not fall: %.4f -> %.4f",
+			stats[0].Anomaly, stats[len(stats)-1].Anomaly)
+	}
+	// The trained model must separate the synthetic anomaly pattern.
+	test := mk("tgt2", 8)
+	res := EvaluateDataset(tr.Model, test)
+	if res.F1 < 0.8 {
+		t.Fatalf("trivially separable data should yield high F1, got %+v", res)
+	}
+}
+
+func TestNoSUFEModelHasNoSystemClassifier(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.UseSUFE = false
+	m := NewModel(cfg, 2)
+	if m.csystem != nil || m.mi != nil {
+		t.Fatal("w/o SUFE there must be no system classifier or MI module")
+	}
+	if m.SystemLogits(tensor.New(1, 4, 8)) != nil {
+		t.Fatal("SystemLogits must be nil without SUFE")
+	}
+}
+
+func TestNoDAModelHasNoAdapter(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.UseDA = false
+	m := NewModel(cfg, 2)
+	if m.DomainAdapterParams() != nil {
+		t.Fatal("w/o DA there must be no adapter parameters")
+	}
+}
+
+func TestFeaturesShapes(t *testing.T) {
+	cfg := tinyConfig()
+	m := NewModel(cfg, 2)
+	x := tensor.New(3, 4, 8)
+	fu, fs := m.Features(x)
+	if fu.Rows() != 3 || fu.Cols() != cfg.featureDim() {
+		t.Fatalf("fu shape %v", fu.Shape)
+	}
+	if fs == nil || fs.Cols() != cfg.featureDim() {
+		t.Fatal("fs missing under SUFE")
+	}
+}
+
+func TestMMDDomainAdaptationTrains(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.DAMethod = "mmd"
+	cfg.Epochs = 2
+	sources := []*repr.Dataset{syntheticDataset("s0", 40, 4, 8, []int{0, 5}, 14)}
+	target := syntheticDataset("tgt", 40, 4, 8, []int{9}, 15)
+	tr := NewTrainer(cfg, sources, target)
+	if tr.Model.DomainAdapterParams() != nil {
+		t.Fatal("MMD adaptation must not create a domain classifier")
+	}
+	stats := tr.Train()
+	if len(stats) != 2 {
+		t.Fatalf("stats: %d", len(stats))
+	}
+	// MMD loss is recorded in the DA slot.
+	if stats[0].DA == 0 && stats[1].DA == 0 {
+		t.Log("note: MMD loss was exactly zero (degenerate batches possible)")
+	}
+}

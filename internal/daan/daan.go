@@ -1,0 +1,192 @@
+// Package daan implements the Dynamic Adversarial Adaptation Network
+// (Yu et al., ICDM 2019) that LogSynergy uses for domain adaptation
+// (paper §III-D3, Eq. 4): a domain classifier trained adversarially
+// through a gradient reversal layer pushes the feature extractor to
+// produce system-unified features that are indistinguishable between the
+// source and target domains.
+//
+// DAAN's distinguishing feature over plain DANN is the dynamic adversarial
+// factor ω, which balances the marginal (global) alignment loss against
+// conditional (per-class) alignment losses, re-estimated each epoch from
+// the classifiers' proxy A-distances.
+package daan
+
+import (
+	"math/rand"
+
+	"logsynergy/internal/nn"
+	"logsynergy/internal/tensor"
+)
+
+// Adapter is the domain adaptation module. Global aligns the marginal
+// feature distributions; Conditional[c] aligns features of predicted
+// class c (normal / anomalous for LogSynergy's binary task).
+type Adapter struct {
+	// Params holds the domain classifiers' parameters; they are trained by
+	// the main optimizer (adversarially, via the GRL).
+	Params *nn.ParamSet
+
+	global      *nn.MLP
+	conditional []*nn.MLP
+
+	// omega is the dynamic adversarial factor in [0,1]: 1 = only marginal
+	// alignment, 0 = only conditional alignment. DAAN initializes it at 1.
+	omega float64
+	// dynamic enables the ω update; when false the adapter degenerates to
+	// a plain DANN-style marginal aligner (used by the ablation bench).
+	dynamic bool
+
+	// running proxy error accumulators for the ω update
+	globalErrSum, globalErrN float64
+	condErrSum, condErrN     []float64
+}
+
+// New creates an adapter over features of dimension dim with numClasses
+// conditional classifiers. dynamic selects DAAN's ω update.
+func New(rng *rand.Rand, dim, hidden, numClasses int, dynamic bool) *Adapter {
+	ps := nn.NewParamSet()
+	a := &Adapter{
+		Params:     ps,
+		global:     nn.NewMLP(ps, "daan.global", rng, dim, hidden, 1),
+		omega:      1,
+		dynamic:    dynamic,
+		condErrSum: make([]float64, numClasses),
+		condErrN:   make([]float64, numClasses),
+	}
+	for c := 0; c < numClasses; c++ {
+		a.conditional = append(a.conditional,
+			nn.NewMLP(ps, "daan.cond."+string(rune('a'+c)), rng, dim, hidden, 1))
+	}
+	return a
+}
+
+// Omega returns the current dynamic adversarial factor.
+func (a *Adapter) Omega() float64 { return a.omega }
+
+// Loss builds the DAAN adversarial loss on the graph. features is the
+// [B,dim] system-unified feature batch (gradients will be reversed into
+// it), domainLabels[i] is 0 for source and 1 for target samples, and
+// classProbs[i] is the anomaly classifier's predicted probability of class
+// 1 for sample i (used to weight the conditional classifiers, following
+// DAAN's use of soft predictions).
+func (a *Adapter) Loss(g *nn.Graph, features *nn.Node, domainLabels []float64, classProbs []float64, grlLambda float64) *nn.Node {
+	rev := g.GRL(features, grlLambda)
+
+	globalLogits := a.global.Forward(g, rev)
+	lossGlobal := g.BCEWithLogits(globalLogits, domainLabels)
+	a.recordGlobal(globalLogits.Value.Data, domainLabels)
+
+	if len(a.conditional) == 0 {
+		return lossGlobal
+	}
+
+	// Conditional terms: each class classifier sees features weighted by
+	// the model's soft class membership. For the binary anomaly task,
+	// class 0 weight = 1-p, class 1 weight = p.
+	var lossCond *nn.Node
+	for c, clf := range a.conditional {
+		weights := make([]float64, len(classProbs))
+		for i, p := range classProbs {
+			if c == 1 {
+				weights[i] = p
+			} else {
+				weights[i] = 1 - p
+			}
+		}
+		weighted := g.Mul(rev, broadcastColumn(g, weights, features.Value.Cols()))
+		logits := clf.Forward(g, weighted)
+		l := g.BCEWithLogits(logits, domainLabels)
+		a.recordConditional(c, logits.Value.Data, domainLabels)
+		if lossCond == nil {
+			lossCond = l
+		} else {
+			lossCond = g.Add(lossCond, l)
+		}
+	}
+	lossCond = g.Scale(lossCond, 1/float64(len(a.conditional)))
+
+	return g.Add(g.Scale(lossGlobal, a.omega), g.Scale(lossCond, 1-a.omega))
+}
+
+// broadcastColumn turns per-row weights into a constant [B,dim] node.
+func broadcastColumn(g *nn.Graph, weights []float64, dim int) *nn.Node {
+	t := make([]float64, len(weights)*dim)
+	for i, w := range weights {
+		row := t[i*dim : (i+1)*dim]
+		for j := range row {
+			row[j] = w
+		}
+	}
+	return g.Const(tensor.FromSlice(t, len(weights), dim))
+}
+
+// recordGlobal accumulates the global classifier's error rate for ω.
+func (a *Adapter) recordGlobal(logits, labels []float64) {
+	for i, z := range logits {
+		pred := 0.0
+		if z > 0 {
+			pred = 1
+		}
+		if pred != labels[i] {
+			a.globalErrSum++
+		}
+		a.globalErrN++
+	}
+}
+
+// recordConditional accumulates one conditional classifier's error rate.
+func (a *Adapter) recordConditional(c int, logits, labels []float64) {
+	for i, z := range logits {
+		pred := 0.0
+		if z > 0 {
+			pred = 1
+		}
+		if pred != labels[i] {
+			a.condErrSum[c]++
+		}
+		a.condErrN[c]++
+	}
+}
+
+// UpdateOmega re-estimates ω from the accumulated proxy A-distances
+// (d = 2(1-2ε)) and resets the accumulators. DAAN calls this once per
+// epoch. With dynamic disabled it leaves ω at 1.
+func (a *Adapter) UpdateOmega() {
+	defer a.reset()
+	if !a.dynamic || a.globalErrN == 0 {
+		return
+	}
+	dGlobal := aDistance(a.globalErrSum / a.globalErrN)
+	var dCondSum float64
+	n := 0
+	for c := range a.conditional {
+		if a.condErrN[c] > 0 {
+			dCondSum += aDistance(a.condErrSum[c] / a.condErrN[c])
+			n++
+		}
+	}
+	if n == 0 {
+		return
+	}
+	dCond := dCondSum / float64(n)
+	if dGlobal+dCond == 0 {
+		return
+	}
+	a.omega = dGlobal / (dGlobal + dCond)
+}
+
+func (a *Adapter) reset() {
+	a.globalErrSum, a.globalErrN = 0, 0
+	for c := range a.condErrSum {
+		a.condErrSum[c], a.condErrN[c] = 0, 0
+	}
+}
+
+// aDistance is the proxy A-distance 2(1-2ε), clamped to be non-negative.
+func aDistance(err float64) float64 {
+	d := 2 * (1 - 2*err)
+	if d < 0 {
+		return -d
+	}
+	return d
+}

@@ -1,0 +1,155 @@
+package daan
+
+import (
+	"math/rand"
+	"testing"
+
+	"logsynergy/internal/nn"
+	"logsynergy/internal/tensor"
+)
+
+// domainShiftedBatch builds a feature batch where source rows are centered
+// at -offset and target rows at +offset along every dimension.
+func domainShiftedBatch(rng *rand.Rand, n, dim int, offset float64) (*tensor.Tensor, []float64) {
+	x := tensor.Randn(rng, 0.3, n, dim)
+	labels := make([]float64, n)
+	for i := 0; i < n; i++ {
+		shift := -offset
+		if i%2 == 1 {
+			labels[i] = 1
+			shift = offset
+		}
+		for j := 0; j < dim; j++ {
+			x.Data[i*dim+j] += shift
+		}
+	}
+	return x, labels
+}
+
+func uniformProbs(n int) []float64 {
+	p := make([]float64, n)
+	for i := range p {
+		p[i] = 0.5
+	}
+	return p
+}
+
+func TestLossGradientsReachFeaturesAndClassifiers(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := New(rng, 4, 8, 2, true)
+	ps := nn.NewParamSet()
+	x, labels := domainShiftedBatch(rng, 16, 4, 1)
+	xp := ps.New("x", x)
+
+	g := nn.NewGraph()
+	loss := a.Loss(g, g.Param(xp), labels, uniformProbs(16), 1)
+	g.Backward(loss)
+
+	if xp.Grad.MaxAbs() == 0 {
+		t.Fatal("adversarial loss must propagate gradients into the features")
+	}
+	grads := 0
+	for _, p := range a.Params.All() {
+		if p.Grad.MaxAbs() > 0 {
+			grads++
+		}
+	}
+	if grads == 0 {
+		t.Fatal("domain classifiers must receive gradients")
+	}
+}
+
+// TestGRLPushesFeaturesAgainstClassifier checks the adversarial mechanics
+// directly: first train only the domain classifier until it separates the
+// domains, then freeze it and update only the feature extractor through
+// the GRL — the domain loss must rise (features become less separable).
+// (The full minimax equilibrium is exercised end-to-end by the Fig. 5
+// ablation, where the task loss anchors the extractor.)
+func TestGRLPushesFeaturesAgainstClassifier(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	dim := 4
+	a := New(rng, dim, 8, 2, true)
+	ps := nn.NewParamSet()
+	w := ps.New("w", nn.XavierUniform(rng, dim, dim))
+	for i := 0; i < dim; i++ {
+		w.Value.Data[i*dim+i] += 1
+	}
+
+	lr := 0.05
+	x, labels := domainShiftedBatch(rng, 64, dim, 1.5)
+
+	// Phase 1: classifier only.
+	var clfLoss float64
+	for step := 0; step < 200; step++ {
+		g := nn.NewGraph()
+		feat := g.MatMul(g.Const(x), g.Const(w.Value))
+		loss := a.Loss(g, feat, labels, uniformProbs(64), 1)
+		g.Backward(loss)
+		clfLoss = loss.Value.Data[0]
+		for _, p := range a.Params.All() {
+			for i := range p.Value.Data {
+				p.Value.Data[i] -= lr * p.Grad.Data[i]
+			}
+		}
+		a.Params.ZeroGrad()
+	}
+	if clfLoss > 0.3 {
+		t.Fatalf("domain classifier failed to learn the shift, loss %.3f", clfLoss)
+	}
+
+	// Phase 2: features only, through the GRL.
+	var featLoss float64
+	for step := 0; step < 100; step++ {
+		g := nn.NewGraph()
+		feat := g.MatMul(g.Const(x), g.Param(w))
+		loss := a.Loss(g, feat, labels, uniformProbs(64), 1)
+		g.Backward(loss)
+		featLoss = loss.Value.Data[0]
+		for i := range w.Value.Data {
+			w.Value.Data[i] -= lr * w.Grad.Data[i]
+		}
+		ps.ZeroGrad()
+		a.Params.ZeroGrad() // classifier frozen: discard its gradients
+	}
+	if featLoss <= clfLoss*2 {
+		t.Fatalf("GRL feature updates must raise the domain loss: %.3f -> %.3f", clfLoss, featLoss)
+	}
+}
+
+func TestOmegaUpdates(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := New(rng, 4, 8, 2, true)
+	if a.Omega() != 1 {
+		t.Fatalf("omega must start at 1, got %v", a.Omega())
+	}
+	x, labels := domainShiftedBatch(rng, 64, 4, 1)
+	g := nn.NewGraph()
+	a.Loss(g, g.Const(x), labels, uniformProbs(64), 1)
+	a.UpdateOmega()
+	if a.Omega() < 0 || a.Omega() > 1 {
+		t.Fatalf("omega out of range: %v", a.Omega())
+	}
+}
+
+func TestStaticAdapterKeepsOmegaOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	a := New(rng, 4, 8, 2, false)
+	x, labels := domainShiftedBatch(rng, 32, 4, 1)
+	g := nn.NewGraph()
+	a.Loss(g, g.Const(x), labels, uniformProbs(32), 1)
+	a.UpdateOmega()
+	if a.Omega() != 1 {
+		t.Fatalf("static adapter must keep omega=1, got %v", a.Omega())
+	}
+}
+
+func TestNoConditionalClassifiers(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	a := New(rng, 4, 8, 0, true)
+	x, labels := domainShiftedBatch(rng, 16, 4, 1)
+	g := nn.NewGraph()
+	loss := a.Loss(g, g.Const(x), labels, nil, 1)
+	if loss.Value.Size() != 1 {
+		t.Fatal("loss must be scalar")
+	}
+}

@@ -1,0 +1,268 @@
+// Package drain implements the Drain online log parsing algorithm
+// (He, Zhu, Zheng, Lyu: "Drain: An Online Log Parsing Approach with Fixed
+// Depth Tree", ICWS 2017), the parser LogSynergy's pre-processing phase
+// uses to turn raw log messages into structured log events and parameters.
+//
+// Drain routes each tokenized message through a fixed-depth prefix tree:
+// the first level branches on token count, the next levels branch on the
+// leading tokens (tokens containing digits collapse to a wildcard), and
+// each leaf holds a list of log groups. A message joins the group whose
+// template it is most similar to, or starts a new group; template positions
+// that disagree become the <*> wildcard parameter marker.
+package drain
+
+import (
+	"regexp"
+	"strings"
+	"sync"
+)
+
+// Wildcard is the template placeholder for a parameter position.
+const Wildcard = "<*>"
+
+// Config controls tree shape and matching thresholds.
+type Config struct {
+	// Depth is the total tree depth including the root and leaf levels.
+	// Depth-2 token prefixes are used for routing. Default 4.
+	Depth int
+	// SimThreshold is the minimum token-level similarity for a message to
+	// join an existing group. Default 0.4.
+	SimThreshold float64
+	// MaxChildren caps the branching factor of internal nodes; overflow
+	// tokens route through a shared wildcard child. Default 100.
+	MaxChildren int
+	// Maskers are applied to the raw message before tokenization, replacing
+	// every match with the wildcard. Use them for timestamps, IPs, hex ids.
+	Maskers []*regexp.Regexp
+}
+
+// DefaultConfig returns the configuration used in the Drain paper, plus
+// maskers for the value shapes that appear in this project's log corpora.
+func DefaultConfig() Config {
+	return Config{
+		Depth:        4,
+		SimThreshold: 0.4,
+		MaxChildren:  100,
+		Maskers: []*regexp.Regexp{
+			regexp.MustCompile(`\b\d{1,3}(\.\d{1,3}){3}(:\d+)?\b`), // IPv4, optional port
+			regexp.MustCompile(`\b0x[0-9a-fA-F]+\b`),               // hex literals
+			regexp.MustCompile(`\b[0-9a-fA-F]{8,}\b`),              // long hex ids
+			regexp.MustCompile(`\b\d+\b`),                          // integers
+		},
+	}
+}
+
+// Event is one discovered log template.
+type Event struct {
+	// ID is a stable identifier assigned in discovery order, starting at 0.
+	ID int
+	// Template is the event text with parameters replaced by <*>.
+	Template string
+	// Example is the first raw (masked) message that created the group.
+	Example string
+	// Count is how many messages matched this event.
+	Count int
+
+	tokens []string
+}
+
+// Match is the parse result for a single message.
+type Match struct {
+	// EventID identifies the matched template.
+	EventID int
+	// Template is the (possibly updated) template text.
+	Template string
+	// Params holds the concrete values at wildcard positions, in order.
+	Params []string
+}
+
+// Parser is a thread-safe online Drain parser.
+type Parser struct {
+	cfg Config
+
+	mu     sync.Mutex
+	root   map[int]*node // keyed by token count
+	events []*Event
+}
+
+// node is an internal routing node or a leaf holding candidate groups.
+type node struct {
+	children map[string]*node
+	groups   []*Event // non-nil only at leaves
+}
+
+// New creates a parser with the given configuration, applying defaults for
+// zero-valued fields.
+func New(cfg Config) *Parser {
+	if cfg.Depth <= 2 {
+		cfg.Depth = 4
+	}
+	if cfg.SimThreshold <= 0 {
+		cfg.SimThreshold = 0.4
+	}
+	if cfg.MaxChildren <= 0 {
+		cfg.MaxChildren = 100
+	}
+	return &Parser{cfg: cfg, root: make(map[int]*node)}
+}
+
+// NewDefault creates a parser with DefaultConfig.
+func NewDefault() *Parser { return New(DefaultConfig()) }
+
+// Parse routes one raw log message through the tree, creating or updating
+// a template, and returns the matched event with extracted parameters.
+func (p *Parser) Parse(message string) Match {
+	masked := p.mask(message)
+	tokens := strings.Fields(masked)
+	if len(tokens) == 0 {
+		tokens = []string{""}
+	}
+	// Maskers replace value substrings within tokens, never whitespace, so
+	// the raw message tokenizes 1:1 with the masked one; parameters are
+	// extracted from the raw tokens to preserve the concrete values.
+	rawTokens := strings.Fields(message)
+	if len(rawTokens) != len(tokens) {
+		rawTokens = tokens // defensive: fall back to masked values
+	}
+
+	p.mu.Lock()
+	defer p.mu.Unlock()
+
+	leaf := p.route(tokens)
+	best, bestSim := p.bestGroup(leaf, tokens)
+	if best == nil || bestSim < p.cfg.SimThreshold {
+		ev := &Event{
+			ID:       len(p.events),
+			Template: strings.Join(tokens, " "),
+			Example:  masked,
+			Count:    1,
+			tokens:   append([]string(nil), tokens...),
+		}
+		p.events = append(p.events, ev)
+		leaf.groups = append(leaf.groups, ev)
+		return Match{EventID: ev.ID, Template: ev.Template, Params: extractParams(ev.tokens, rawTokens)}
+	}
+
+	// Merge: positions that disagree become wildcards.
+	changed := false
+	for i, tok := range tokens {
+		if best.tokens[i] != tok && best.tokens[i] != Wildcard {
+			best.tokens[i] = Wildcard
+			changed = true
+		}
+	}
+	if changed {
+		best.Template = strings.Join(best.tokens, " ")
+	}
+	best.Count++
+	return Match{EventID: best.ID, Template: best.Template, Params: extractParams(best.tokens, rawTokens)}
+}
+
+// mask applies the configured maskers to the raw message.
+func (p *Parser) mask(message string) string {
+	for _, re := range p.cfg.Maskers {
+		message = re.ReplaceAllString(message, Wildcard)
+	}
+	return message
+}
+
+// route walks (and lazily builds) the internal levels, returning the leaf.
+func (p *Parser) route(tokens []string) *node {
+	n, ok := p.root[len(tokens)]
+	if !ok {
+		n = &node{}
+		p.root[len(tokens)] = n
+	}
+	prefixLevels := p.cfg.Depth - 2
+	for d := 0; d < prefixLevels; d++ {
+		key := Wildcard
+		if d < len(tokens) {
+			key = routingKey(tokens[d])
+		}
+		if n.children == nil {
+			n.children = make(map[string]*node)
+		}
+		child, ok := n.children[key]
+		if !ok {
+			if len(n.children) >= p.cfg.MaxChildren {
+				key = Wildcard
+				child, ok = n.children[key]
+			}
+			if !ok {
+				child = &node{}
+				n.children[key] = child
+			}
+		}
+		n = child
+	}
+	return n
+}
+
+// routingKey collapses digit-bearing tokens to the wildcard so variable
+// values do not explode the tree, per the Drain paper.
+func routingKey(token string) string {
+	if token == Wildcard || strings.ContainsAny(token, "0123456789") {
+		return Wildcard
+	}
+	return token
+}
+
+// bestGroup returns the most similar group at the leaf and its similarity.
+func (p *Parser) bestGroup(leaf *node, tokens []string) (*Event, float64) {
+	var best *Event
+	bestSim := -1.0
+	for _, ev := range leaf.groups {
+		sim := similarity(ev.tokens, tokens)
+		if sim > bestSim {
+			best, bestSim = ev, sim
+		}
+	}
+	return best, bestSim
+}
+
+// similarity is the fraction of positions where the template token equals
+// the message token; wildcard positions do not count as matches (Drain's
+// simSeq definition).
+func similarity(template, tokens []string) float64 {
+	if len(template) != len(tokens) {
+		return 0
+	}
+	same := 0
+	for i := range template {
+		if template[i] == tokens[i] && template[i] != Wildcard {
+			same++
+		}
+	}
+	return float64(same) / float64(len(tokens))
+}
+
+// extractParams returns the message tokens at wildcard template positions.
+func extractParams(template, tokens []string) []string {
+	var params []string
+	for i, t := range template {
+		if t == Wildcard {
+			params = append(params, tokens[i])
+		}
+	}
+	return params
+}
+
+// Events returns a snapshot of every discovered event, in ID order.
+func (p *Parser) Events() []*Event {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]*Event, len(p.events))
+	for i, ev := range p.events {
+		cp := *ev
+		cp.tokens = nil
+		out[i] = &cp
+	}
+	return out
+}
+
+// NumEvents returns how many distinct templates have been discovered.
+func (p *Parser) NumEvents() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.events)
+}

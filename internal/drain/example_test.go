@@ -1,0 +1,28 @@
+package drain_test
+
+import (
+	"fmt"
+
+	"logsynergy/internal/drain"
+)
+
+// Example shows template discovery and parameter extraction.
+func Example() {
+	p := drain.NewDefault()
+	p.Parse("Connection refused from 10.0.0.1:8080 after 3 retries")
+	m := p.Parse("Connection refused from 192.168.1.5:9090 after 7 retries")
+	fmt.Println(m.Template)
+	fmt.Println(m.Params)
+	// Output:
+	// Connection refused from <*> after <*> retries
+	// [192.168.1.5:9090 7]
+}
+
+func ExampleParser_Parse_merging() {
+	p := drain.NewDefault()
+	p.Parse("disk scan failed with error EIO")
+	m := p.Parse("disk scan failed with error ENOSPC")
+	fmt.Println(m.Template)
+	// Output:
+	// disk scan failed with error <*>
+}

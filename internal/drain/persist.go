@@ -1,0 +1,61 @@
+package drain
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// savedEvent is the serialized form of one template group.
+type savedEvent struct {
+	ID       int    `json:"id"`
+	Template string `json:"template"`
+	Example  string `json:"example"`
+	Count    int    `json:"count"`
+}
+
+// SaveState serializes the parser's template groups as JSON. The routing
+// tree itself is not stored: it is rebuilt deterministically from the
+// templates on load.
+func (p *Parser) SaveState(w io.Writer) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]savedEvent, len(p.events))
+	for i, ev := range p.events {
+		out[i] = savedEvent{ID: ev.ID, Template: ev.Template, Example: ev.Example, Count: ev.Count}
+	}
+	return json.NewEncoder(w).Encode(out)
+}
+
+// LoadState reconstructs a parser from SaveState output, preserving event
+// ids, templates and counts. Subsequent parsing continues the id space
+// exactly where the saved parser left off — the property a restart-safe
+// deployment needs so stored models keep referencing the right events.
+func LoadState(r io.Reader, cfg Config) (*Parser, error) {
+	var in []savedEvent
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("drain: decoding state: %w", err)
+	}
+	p := New(cfg)
+	for i, se := range in {
+		if se.ID != i {
+			return nil, fmt.Errorf("drain: non-contiguous event id %d at position %d", se.ID, i)
+		}
+		tokens := strings.Fields(se.Template)
+		if len(tokens) == 0 {
+			tokens = []string{""}
+		}
+		ev := &Event{
+			ID:       se.ID,
+			Template: se.Template,
+			Example:  se.Example,
+			Count:    se.Count,
+			tokens:   tokens,
+		}
+		leaf := p.route(tokens)
+		leaf.groups = append(leaf.groups, ev)
+		p.events = append(p.events, ev)
+	}
+	return p, nil
+}

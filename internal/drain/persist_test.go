@@ -1,0 +1,82 @@
+package drain
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+func TestSaveLoadStateRoundTrip(t *testing.T) {
+	p := NewDefault()
+	msgs := []string{
+		"connection refused from 10.0.0.1:80 after 3 retries",
+		"connection refused from 10.0.0.2:81 after 9 retries",
+		"kernel panic in module alpha",
+		"job 17 finished with status 0",
+	}
+	for _, m := range msgs {
+		p.Parse(m)
+	}
+	var buf bytes.Buffer
+	if err := p.SaveState(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	p2, err := LoadState(&buf, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.NumEvents() != p.NumEvents() {
+		t.Fatalf("event count %d vs %d", p2.NumEvents(), p.NumEvents())
+	}
+	// Known shapes must map to the same event ids in the restored parser.
+	for _, m := range msgs {
+		a := p.Parse(m)
+		b := p2.Parse(m)
+		if a.EventID != b.EventID {
+			t.Fatalf("%q: ids diverge %d vs %d", m, a.EventID, b.EventID)
+		}
+	}
+	// New shapes must continue the id space.
+	n := p2.NumEvents()
+	m := p2.Parse("completely new structural shape with words")
+	if m.EventID != n {
+		t.Fatalf("restored parser assigned id %d, want %d", m.EventID, n)
+	}
+	// Counts survive.
+	evs := p2.Events()
+	if evs[0].Count < 2 {
+		t.Fatalf("counts not preserved: %+v", evs[0])
+	}
+}
+
+func TestLoadStateRejectsGarbage(t *testing.T) {
+	if _, err := LoadState(bytes.NewReader([]byte("nope")), DefaultConfig()); err == nil {
+		t.Fatal("expected decode error")
+	}
+}
+
+func TestLoadStateRejectsNonContiguousIDs(t *testing.T) {
+	data := []byte(`[{"id":5,"template":"a b c","example":"a b c","count":1}]`)
+	if _, err := LoadState(bytes.NewReader(data), DefaultConfig()); err == nil {
+		t.Fatal("expected id continuity error")
+	}
+}
+
+func TestSaveLoadLargeState(t *testing.T) {
+	p := NewDefault()
+	for i := 0; i < 500; i++ {
+		p.Parse(fmt.Sprintf("shape%d distinct structure token%d value %d", i%37, i%37, i))
+	}
+	var buf bytes.Buffer
+	if err := p.SaveState(&buf); err != nil {
+		t.Fatal(err)
+	}
+	p2, err := LoadState(&buf, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.NumEvents() != p.NumEvents() {
+		t.Fatalf("events %d vs %d", p2.NumEvents(), p.NumEvents())
+	}
+}

@@ -1,0 +1,22 @@
+package embed
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkEmbed measures single-sentence embedding (the LEI output path).
+func BenchmarkEmbed(b *testing.B) {
+	e := New(32)
+	for i := 0; i < b.N; i++ {
+		e.Embed("network connection interrupted due to loss of signal")
+	}
+}
+
+// BenchmarkEmbedColdCache measures embedding with unseen vocabulary.
+func BenchmarkEmbedColdCache(b *testing.B) {
+	e := New(32)
+	for i := 0; i < b.N; i++ {
+		e.Embed(fmt.Sprintf("unique token stream %d variant", i))
+	}
+}

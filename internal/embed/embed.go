@@ -1,0 +1,211 @@
+// Package embed provides the event-embedding stage of LogSynergy's pipeline
+// (paper §III-C "Event Embedding"): mapping each interpretation sentence to
+// a dense vector in a feature space shared by every system.
+//
+// The paper uses a pre-trained transformer (DistilBERT) and notes the
+// specific model is not a contribution — any encoder with a shared feature
+// space works. Offline, this package substitutes a deterministic hash
+// embedder: every token gets a fixed pseudo-random unit vector derived from
+// its hash, and a sentence embeds as the normalized weighted mean of its
+// unigram and bigram vectors. The property the experiments rely on is
+// preserved exactly: sentences sharing vocabulary land close together, and
+// disjoint dialect vocabularies land far apart, independent of which
+// system produced them.
+package embed
+
+import (
+	"hash/fnv"
+	"math"
+	"math/rand"
+	"strings"
+	"sync"
+
+	"logsynergy/internal/tensor"
+)
+
+// Embedder maps text to fixed-dimension unit vectors. It is safe for
+// concurrent use and caches token vectors.
+type Embedder struct {
+	// Dim is the embedding dimensionality.
+	Dim int
+	// BigramWeight blends word-order information into the bag-of-words
+	// representation (0 disables bigrams).
+	BigramWeight float64
+	// SynonymWeight blends each token's synonym-class vector into the
+	// representation. Pre-trained language models place synonyms close
+	// together ("severed", "refused" and "unreachable" all embed near
+	// "disconnected"); pure hash vectors are exactly orthogonal for
+	// distinct tokens. This term restores that smoothness: every token in
+	// a synonym family also contributes a shared class vector. 0 disables.
+	SynonymWeight float64
+	// ParentheticalWeight down-weights tokens inside parentheses. LEI
+	// interpretations carry their meaning in the canonical head sentence
+	// and attach system-flavored context in a trailing parenthetical;
+	// sentence encoders likewise weight head content over modifiers. With
+	// weight 1 the two parts count equally.
+	ParentheticalWeight float64
+
+	mu    sync.Mutex
+	cache map[string][]float64
+}
+
+// New creates an embedder with the given dimension (paper-equivalent role:
+// the pre-trained encoder's final hidden size).
+func New(dim int) *Embedder {
+	if dim <= 0 {
+		panic("embed: dimension must be positive")
+	}
+	return &Embedder{
+		Dim:                 dim,
+		BigramWeight:        0.5,
+		SynonymWeight:       0.6,
+		ParentheticalWeight: 0.25,
+		cache:               make(map[string][]float64),
+	}
+}
+
+// tokenVector returns the fixed pseudo-random vector for one token.
+func (e *Embedder) tokenVector(token string) []float64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if v, ok := e.cache[token]; ok {
+		return v
+	}
+	h := fnv.New64a()
+	h.Write([]byte(token))
+	rng := rand.New(rand.NewSource(int64(h.Sum64())))
+	v := make([]float64, e.Dim)
+	norm := 0.0
+	for i := range v {
+		v[i] = rng.NormFloat64()
+		norm += v[i] * v[i]
+	}
+	norm = math.Sqrt(norm)
+	for i := range v {
+		v[i] /= norm
+	}
+	e.cache[token] = v
+	return v
+}
+
+// Tokenize lowercases and splits text into alphanumeric word tokens.
+func Tokenize(text string) []string {
+	var tokens []string
+	var b strings.Builder
+	flush := func() {
+		if b.Len() > 0 {
+			tokens = append(tokens, b.String())
+			b.Reset()
+		}
+	}
+	for _, r := range strings.ToLower(text) {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9':
+			b.WriteRune(r)
+		default:
+			flush()
+		}
+	}
+	flush()
+	return tokens
+}
+
+// Embed returns the unit-normalized embedding of text. Empty or tokenless
+// text embeds to the zero vector. Parenthesized spans contribute with
+// ParentheticalWeight; the head text with weight 1.
+func (e *Embedder) Embed(text string) []float64 {
+	out := make([]float64, e.Dim)
+	head, parens := splitParenthetical(text)
+	e.accumulate(out, head, 1)
+	if parens != "" {
+		w := e.ParentheticalWeight
+		if w <= 0 {
+			w = 1
+		}
+		e.accumulate(out, parens, w)
+	}
+	norm := 0.0
+	for _, x := range out {
+		norm += x * x
+	}
+	if norm > 0 {
+		norm = math.Sqrt(norm)
+		for i := range out {
+			out[i] /= norm
+		}
+	}
+	return out
+}
+
+// splitParenthetical separates the head text from parenthesized spans.
+func splitParenthetical(text string) (head, parens string) {
+	var h, p strings.Builder
+	depth := 0
+	for _, r := range text {
+		switch {
+		case r == '(':
+			depth++
+			h.WriteByte(' ')
+		case r == ')':
+			if depth > 0 {
+				depth--
+			}
+			p.WriteByte(' ')
+		case depth > 0:
+			p.WriteRune(r)
+		default:
+			h.WriteRune(r)
+		}
+	}
+	return h.String(), strings.TrimSpace(p.String())
+}
+
+// accumulate adds weight * embedding-mass of text into out.
+func (e *Embedder) accumulate(out []float64, text string, weight float64) {
+	tokens := Tokenize(text)
+	for _, tok := range tokens {
+		v := e.tokenVector(tok)
+		for i := range out {
+			out[i] += weight * v[i]
+		}
+		if e.SynonymWeight > 0 {
+			if class, ok := synonymClass[tok]; ok {
+				cv := e.tokenVector("\x00class:" + class)
+				for i := range out {
+					out[i] += weight * e.SynonymWeight * cv[i]
+				}
+			}
+		}
+	}
+	if e.BigramWeight > 0 {
+		for i := 0; i+1 < len(tokens); i++ {
+			v := e.tokenVector(tokens[i] + "_" + tokens[i+1])
+			for j := range out {
+				out[j] += weight * e.BigramWeight * v[j]
+			}
+		}
+	}
+}
+
+// EmbedAll embeds a batch of texts into a [len(texts), Dim] tensor.
+func (e *Embedder) EmbedAll(texts []string) *tensor.Tensor {
+	out := tensor.New(len(texts), e.Dim)
+	for i, t := range texts {
+		copy(out.Data[i*e.Dim:(i+1)*e.Dim], e.Embed(t))
+	}
+	return out
+}
+
+// Cosine returns the cosine similarity of two equal-length vectors.
+func Cosine(a, b []float64) float64 {
+	var dot, na, nb float64
+	for i := range a {
+		dot += a[i] * b[i]
+		na += a[i] * a[i]
+		nb += b[i] * b[i]
+	}
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return dot / math.Sqrt(na*nb)
+}

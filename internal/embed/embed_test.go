@@ -1,0 +1,137 @@
+package embed
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestUnitNorm(t *testing.T) {
+	e := New(32)
+	v := e.Embed("network interface down due to loss of signal")
+	norm := 0.0
+	for _, x := range v {
+		norm += x * x
+	}
+	if math.Abs(norm-1) > 1e-9 {
+		t.Fatalf("embedding norm %v, want 1", norm)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := New(64).Embed("disk write failed on device")
+	b := New(64).Embed("disk write failed on device")
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("embeddings must be deterministic across embedder instances")
+		}
+	}
+}
+
+func TestSimilarSentencesCloserThanDissimilar(t *testing.T) {
+	e := New(64)
+	a := e.Embed("network connection interrupted due to loss of signal")
+	b := e.Embed("network connection interrupted because signal was lost")
+	c := e.Embed("billing reconciliation mismatch detected between ledgers")
+	simAB := Cosine(a, b)
+	simAC := Cosine(a, c)
+	if simAB <= simAC {
+		t.Fatalf("paraphrase similarity %.3f must exceed unrelated similarity %.3f", simAB, simAC)
+	}
+	if simAB < 0.4 {
+		t.Fatalf("paraphrases too far apart: %.3f", simAB)
+	}
+}
+
+func TestDisjointVocabularyNearOrthogonal(t *testing.T) {
+	e := New(128)
+	a := e.Embed("alpha beta gamma delta")
+	b := e.Embed("epsilon zeta eta theta")
+	if s := Cosine(a, b); math.Abs(s) > 0.35 {
+		t.Fatalf("disjoint vocab similarity %.3f should be near zero", s)
+	}
+}
+
+func TestWordOrderMatters(t *testing.T) {
+	e := New(128)
+	a := e.Embed("server killed process")
+	b := e.Embed("process killed server")
+	if s := Cosine(a, b); s >= 0.9999 {
+		t.Fatalf("bigram mixing should distinguish word order, sim=%v", s)
+	}
+}
+
+func TestEmptyTextZeroVector(t *testing.T) {
+	e := New(16)
+	v := e.Embed("  ...  ")
+	for _, x := range v {
+		if x != 0 {
+			t.Fatal("tokenless text must embed to the zero vector")
+		}
+	}
+}
+
+func TestTokenize(t *testing.T) {
+	got := Tokenize("ciod: Error reading <*> from 10.0.0.1!")
+	want := []string{"ciod", "error", "reading", "from", "10", "0", "0", "1"}
+	if len(got) != len(want) {
+		t.Fatalf("tokenize: %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("token %d: %q want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestEmbedAllShape(t *testing.T) {
+	e := New(8)
+	m := e.EmbedAll([]string{"one two", "three four", "five"})
+	if m.Rows() != 3 || m.Cols() != 8 {
+		t.Fatalf("shape %v", m.Shape)
+	}
+}
+
+func TestConcurrentEmbedding(t *testing.T) {
+	e := New(32)
+	var wg sync.WaitGroup
+	results := make([][]float64, 16)
+	for i := range results {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = e.Embed("shared cache token stream")
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < len(results); i++ {
+		for j := range results[0] {
+			if results[i][j] != results[0][j] {
+				t.Fatal("concurrent embeddings must agree")
+			}
+		}
+	}
+}
+
+// Property: cosine similarity is symmetric and bounded.
+func TestCosineProperties(t *testing.T) {
+	e := New(24)
+	f := func(a, b string) bool {
+		va, vb := e.Embed(a), e.Embed(b)
+		s1, s2 := Cosine(va, vb), Cosine(vb, va)
+		return math.Abs(s1-s2) < 1e-12 && s1 <= 1+1e-9 && s1 >= -1-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewRejectsBadDim(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-positive dim")
+		}
+	}()
+	New(0)
+}

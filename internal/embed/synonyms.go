@@ -1,0 +1,76 @@
+package embed
+
+// synonymClass maps tokens to coarse semantic families, standing in for
+// the semantic neighborhood structure a pre-trained language model gives
+// raw log text. Families are built from common logging vocabulary, not
+// from this repository's generators — they would apply to any log corpus.
+var synonymClass = buildSynonymClasses()
+
+func buildSynonymClasses() map[string]string {
+	families := map[string][]string{
+		"failure": {
+			"fail", "failed", "failing", "failure", "failures", "fatal", "panic",
+			"fault", "faulted", "segfault", "crash", "crashed", "dead", "died",
+			"abort", "aborted", "aborting", "killed", "exiting", "broken",
+		},
+		"error": {
+			"error", "errors", "err", "exception", "invalid", "corrupt",
+			"corrupted", "mismatch", "uncorrected", "unrecovered", "unrecoverable",
+		},
+		"disconnect": {
+			"down", "lost", "refused", "severed", "unreachable", "interrupted",
+			"reset", "disconnect", "disconnected", "dropped", "offline",
+		},
+		"network": {
+			"connection", "conn", "socket", "link", "channel", "peer",
+			"network", "net", "stream", "port",
+		},
+		"timeout": {
+			"timeout", "timeouts", "timed", "deadline", "unresponsive", "expire",
+		},
+		"memory": {
+			"memory", "mem", "oom", "heap", "allocation", "rss", "swap",
+		},
+		"storage": {
+			"disk", "storage", "device", "sector", "block", "blocks",
+			"filesystem", "journal", "inode", "scsi", "ide",
+		},
+		"auth": {
+			"auth", "authentication", "login", "password", "credential",
+			"credentials", "principal", "publickey", "token",
+		},
+		"overload": {
+			"overload", "overloaded", "backlog", "congestion", "saturated",
+			"queue", "throttled", "watermark", "deferring", "shedding",
+		},
+		"replication": {
+			"replica", "replicas", "replicate", "replication", "quorum",
+			"ring", "demoted", "follower", "leader", "sync", "resync",
+		},
+		"thermal": {
+			"temperature", "thermal", "overheat", "hot", "cooling", "fan",
+		},
+		"parity": {
+			"parity", "ecc", "checksum", "crc", "syndrome",
+		},
+		"healthy": {
+			"ok", "success", "successfully", "completed", "complete", "done",
+			"normally", "healthy", "passed", "accepted", "established",
+		},
+		"job": {
+			"job", "jobs", "task", "batch", "queued", "submitted", "scheduled",
+			"partition", "walltime",
+		},
+		"maintenance": {
+			"maintenance", "rotated", "rotation", "upgraded", "upgrade",
+			"rebuilt", "reloaded", "refreshed", "drill", "snapshot", "audit",
+		},
+	}
+	m := make(map[string]string)
+	for class, words := range families {
+		for _, w := range words {
+			m[w] = class
+		}
+	}
+	return m
+}

@@ -1,0 +1,141 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"time"
+
+	"logsynergy/internal/baselines"
+	"logsynergy/internal/core"
+	"logsynergy/internal/drain"
+	"logsynergy/internal/logdata"
+	"logsynergy/internal/metrics"
+	"logsynergy/internal/pipeline"
+	"logsynergy/internal/repr"
+	"logsynergy/internal/window"
+)
+
+// DeploymentResult captures the §VI workflow measurements: throughput,
+// pattern-library effectiveness and report volume, with and without the
+// pattern library.
+type DeploymentResult struct {
+	Target string
+	// WithLibrary and WithoutLibrary hold the two runs' stats.
+	WithLibrary    pipeline.Stats
+	WithoutLibrary pipeline.Stats
+	// HitRate is the pattern-library hit fraction.
+	HitRate float64
+	// SpeedupX is wall-clock(without) / wall-clock(with).
+	SpeedupX float64
+	// WithDuration and WithoutDuration are the wall-clock times.
+	WithDuration, WithoutDuration time.Duration
+
+	// §VI-C: the incumbent rule-based practice vs LogSynergy on the same
+	// held-out slice. Rules are precise but only catch predefined
+	// anomalies; the paper's deployment replaced them for exactly this
+	// recall gap.
+	LogSynergyResult metrics.Result
+	RuleBasedResult  metrics.Result
+	NumRules         int
+}
+
+// Render prints the deployment study.
+func (d *DeploymentResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Deployment workflow (target %s, §VI)\n", d.Target)
+	fmt.Fprintf(&b, "  lines=%d sequences=%d new-online-events=%d\n",
+		d.WithLibrary.LinesCollected, d.WithLibrary.SequencesFormed, d.WithLibrary.NewEvents)
+	fmt.Fprintf(&b, "  pattern library: hits=%d misses=%d hit-rate=%.1f%%\n",
+		d.WithLibrary.PatternHits, d.WithLibrary.PatternMisses, 100*d.HitRate)
+	fmt.Fprintf(&b, "  anomalies reported: with-library=%d without=%d\n",
+		d.WithLibrary.Anomalies, d.WithoutLibrary.Anomalies)
+	fmt.Fprintf(&b, "  wall clock: with=%s without=%s speedup=%.1fx\n",
+		d.WithDuration.Round(time.Millisecond), d.WithoutDuration.Round(time.Millisecond), d.SpeedupX)
+	fmt.Fprintf(&b, "  §VI-C vs rule-based (%d rules): LogSynergy %s | rules %s\n",
+		d.NumRules, d.LogSynergyResult, d.RuleBasedResult)
+	return b.String()
+}
+
+// Deployment trains a detector for the target system and replays a live
+// stream through the full production pipeline twice — with and without the
+// pattern library — measuring the §VI workflow properties.
+func (l *Lab) Deployment(cfg core.Config, target string, liveLines int) *DeploymentResult {
+	group := GroupFor(target)
+	spec := logdata.Systems()[target]
+
+	// Offline phase: train on the standard scenario, but parse the target
+	// with a dedicated parser we keep for the online phase.
+	parser := drain.NewDefault()
+	offline := logdata.Generate(spec, l.Scale.Seed+int64(len(target)*131), l.linesFor())
+	parsed := logdata.Parse(offline, parser)
+	tgtSeqs := parsed.Windows(window.Default())
+	train, rest := tgtSeqs.SplitTrainTest(l.Scale.TargetSeqs)
+	holdout := rest.Head(l.testSeqsFor(target))
+
+	var sources []*repr.Dataset
+	for _, name := range group {
+		if name == target {
+			continue
+		}
+		sources = append(sources, repr.Build(l.Sequences(name).Head(l.Scale.SourceSeqs), l.Interp, l.Embedder))
+	}
+	table := repr.BuildEventTable(train, l.Interp, l.Embedder)
+	cfg.EmbedDim = l.Embedder.Dim
+	model := core.TrainModel(cfg, sources, repr.BuildDataset(train, table))
+
+	// Online phase: fresh traffic from the same system.
+	live := logdata.Generate(spec, l.Scale.Seed+991, liveLines)
+
+	run := func(disable bool) (pipeline.Stats, time.Duration) {
+		// Clone the parser state by replaying the offline corpus into a
+		// fresh parser, so both runs start from identical template spaces.
+		p := drain.NewDefault()
+		for _, line := range offline.Lines {
+			p.Parse(line.Message)
+		}
+		tableCopy := repr.BuildEventTable(train, l.Interp, l.Embedder)
+		det := core.NewDetector(model, tableCopy)
+		pcfg := pipeline.DefaultConfig(repr.SystemHint(target))
+		pcfg.DisablePatternLibrary = disable
+		sink := &pipeline.MemorySink{}
+		pl := pipeline.New(pcfg, p, det, l.Interp, l.Embedder, sink)
+		start := time.Now()
+		stats := pl.Run(context.Background(), pipeline.NewSliceSource(live.Messages()))
+		return stats, time.Since(start)
+	}
+
+	withStats, withDur := run(false)
+	withoutStats, withoutDur := run(true)
+
+	// §VI-C: incumbent rule-based practice on the same held-out slice.
+	testTable := repr.BuildEventTable(holdout, l.Interp, l.Embedder)
+	testSet := repr.BuildDataset(holdout, testTable)
+	lsResult := core.EvaluateDataset(model, testSet)
+	sc := &baselines.Scenario{
+		TargetTrain: train,
+		TargetTest:  holdout,
+		Embedder:    l.Embedder,
+		Seed:        l.Scale.Seed,
+	}
+	rb := baselines.NewRuleBased()
+	rbResult := baselines.Evaluate(rb, sc)
+
+	res := &DeploymentResult{
+		Target:           target,
+		WithLibrary:      withStats,
+		WithoutLibrary:   withoutStats,
+		WithDuration:     withDur,
+		WithoutDuration:  withoutDur,
+		LogSynergyResult: lsResult,
+		RuleBasedResult:  rbResult,
+		NumRules:         rb.NumRules(),
+	}
+	if total := withStats.PatternHits + withStats.PatternMisses; total > 0 {
+		res.HitRate = float64(withStats.PatternHits) / float64(total)
+	}
+	if withDur > 0 {
+		res.SpeedupX = float64(withoutDur) / float64(withDur)
+	}
+	return res
+}

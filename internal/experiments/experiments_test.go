@@ -1,0 +1,148 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"logsynergy/internal/core"
+)
+
+func smokeConfig() core.Config {
+	cfg := core.DefaultConfig()
+	cfg.Epochs = 4
+	return cfg
+}
+
+func TestTable3Shapes(t *testing.T) {
+	lab := NewLab(SmokeScale())
+	stats := lab.Table3()
+	if len(stats) != 6 {
+		t.Fatalf("want 6 datasets, got %d", len(stats))
+	}
+	rates := make(map[string]float64)
+	for _, s := range stats {
+		if s.Sequences == 0 || s.Logs == 0 {
+			t.Fatalf("%s: empty dataset", s.Name)
+		}
+		rates[s.Name] = s.AnomalyRate
+	}
+	// Relative ordering from Table III: BGL has by far the highest rate;
+	// SystemA/SystemB the lowest.
+	if rates["BGL"] < rates["Spirit"] || rates["BGL"] < rates["SystemA"] {
+		t.Errorf("BGL must have the highest anomaly rate: %v", rates)
+	}
+	if rates["SystemB"] > rates["Thunderbird"] {
+		t.Errorf("SystemB must be rarer than Thunderbird: %v", rates)
+	}
+	out := RenderTable3(stats)
+	if !strings.Contains(out, "BGL") || !strings.Contains(out, "paperSeqs") {
+		t.Fatalf("render missing columns: %s", out)
+	}
+}
+
+func TestCaseStudyShape(t *testing.T) {
+	lab := NewLab(SmokeScale())
+	cs := lab.CaseStudy()
+	if cs.RawSimilarity <= cs.InterpretedSimilarity {
+		t.Fatalf("Fig. 8 requires raw similarity (%.3f) > interpreted similarity (%.3f)",
+			cs.RawSimilarity, cs.InterpretedSimilarity)
+	}
+	if cs.NormalInterpretation == "" || cs.AnomalousInterpretation == "" {
+		t.Fatal("interpretations must be non-empty")
+	}
+	if !strings.Contains(cs.Render(), "cosine") {
+		t.Fatal("render incomplete")
+	}
+}
+
+func TestScenarioConstruction(t *testing.T) {
+	lab := NewLab(SmokeScale())
+	sc := lab.Scenario(PublicNames(), "BGL", 0, 0)
+	if len(sc.Sources) != 2 {
+		t.Fatalf("want 2 sources, got %d", len(sc.Sources))
+	}
+	for _, s := range sc.Sources {
+		if s.System == "BGL" {
+			t.Fatal("target must not appear among sources")
+		}
+		if len(s.Samples) != lab.Scale.SourceSeqs {
+			t.Fatalf("source slice %d, want %d", len(s.Samples), lab.Scale.SourceSeqs)
+		}
+	}
+	if len(sc.TargetTrain.Samples) != lab.Scale.TargetSeqs {
+		t.Fatalf("target train %d, want %d", len(sc.TargetTrain.Samples), lab.Scale.TargetSeqs)
+	}
+	if len(sc.TargetTest.Samples) == 0 {
+		t.Fatal("empty test set")
+	}
+}
+
+func TestSequencesCached(t *testing.T) {
+	lab := NewLab(SmokeScale())
+	if lab.Sequences("BGL") != lab.Sequences("BGL") {
+		t.Fatal("corpora must be cached")
+	}
+}
+
+func TestGroupFor(t *testing.T) {
+	if GroupFor("Spirit")[0] != "BGL" {
+		t.Fatal("Spirit belongs to the public group")
+	}
+	if GroupFor("SystemC")[0] != "SystemA" {
+		t.Fatal("SystemC belongs to the ISP group")
+	}
+}
+
+func TestLogSynergyMethodSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training test")
+	}
+	lab := NewLab(SmokeScale())
+	sc := lab.Scenario(PublicNames(), "Thunderbird", 0, 0)
+	m := NewLogSynergy(smokeConfig(), lab.Interp)
+	m.Fit(sc)
+	scores := m.Score(sc)
+	if len(scores) != len(sc.TargetTest.Samples) {
+		t.Fatalf("%d scores for %d sequences", len(scores), len(sc.TargetTest.Samples))
+	}
+}
+
+func TestComparisonTableRender(t *testing.T) {
+	tbl := &ComparisonTable{
+		Title:   "test",
+		Targets: []string{"X"},
+		Methods: []string{"m1"},
+		Cells: map[string]map[string]Cell{
+			"m1": {"X": {Method: "m1", Target: "X"}},
+		},
+	}
+	out := tbl.Render()
+	if !strings.Contains(out, "m1") || !strings.Contains(out, "X") {
+		t.Fatalf("render: %s", out)
+	}
+	if tbl.BestF1PerTarget()["X"] != "m1" {
+		t.Fatal("best-of must pick the only method")
+	}
+}
+
+func TestDeploymentSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training test")
+	}
+	lab := NewLab(SmokeScale())
+	cfg := smokeConfig()
+	cfg.Epochs = 2
+	res := lab.Deployment(cfg, "SystemB", 2000)
+	if res.WithLibrary.SequencesFormed == 0 {
+		t.Fatal("no sequences processed")
+	}
+	if res.HitRate <= 0 {
+		t.Fatal("pattern library must get hits on repetitive traffic")
+	}
+	if res.WithoutLibrary.PatternHits != 0 {
+		t.Fatal("disabled library must not hit")
+	}
+	if !strings.Contains(res.Render(), "hit-rate") {
+		t.Fatal("render incomplete")
+	}
+}

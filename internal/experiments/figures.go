@@ -1,0 +1,236 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"logsynergy/internal/baselines"
+	"logsynergy/internal/core"
+	"logsynergy/internal/lei"
+	"logsynergy/internal/logdata"
+)
+
+// SweepPoint is one (x, F1) sample of a sensitivity curve.
+type SweepPoint struct {
+	X  float64
+	F1 float64
+}
+
+// SweepResult is one target system's curve.
+type SweepResult struct {
+	Target string
+	Points []SweepPoint
+}
+
+// Sweep is a full Fig. 4 style experiment: one curve per target system.
+type Sweep struct {
+	Title  string
+	XLabel string
+	Curves []SweepResult
+}
+
+// Render prints the sweep as an x-by-target F1 matrix.
+func (s *Sweep) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (F1%% by %s)\n", s.Title, s.XLabel)
+	fmt.Fprintf(&b, "%-12s", s.XLabel)
+	for _, c := range s.Curves {
+		fmt.Fprintf(&b, " %12s", c.Target)
+	}
+	b.WriteByte('\n')
+	if len(s.Curves) == 0 {
+		return b.String()
+	}
+	for i := range s.Curves[0].Points {
+		fmt.Fprintf(&b, "%-12g", s.Curves[0].Points[i].X)
+		for _, c := range s.Curves {
+			fmt.Fprintf(&b, " %12.2f", 100*c.Points[i].F1)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// trainAndScore runs LogSynergy once on a scenario and returns its F1.
+func (l *Lab) trainAndScore(sc *baselines.Scenario, cfg core.Config) float64 {
+	m := NewLogSynergy(cfg, l.Interp)
+	return baselines.Evaluate(m, sc).F1
+}
+
+// Fig4a reproduces the λ_MI sensitivity study over every target system
+// (paper values: 0.001, 0.01, 0.05, 0.1, 0.5).
+func (l *Lab) Fig4a(cfg core.Config, targets []string) *Sweep {
+	lambdas := []float64{0.001, 0.01, 0.05, 0.1, 0.5}
+	sweep := &Sweep{Title: "Fig. 4a: lambda_MI sensitivity", XLabel: "lambda_MI"}
+	for _, target := range targets {
+		sc := l.Scenario(GroupFor(target), target, 0, 0)
+		curve := SweepResult{Target: target}
+		for _, lam := range lambdas {
+			c := cfg
+			c.LambdaMI = lam
+			curve.Points = append(curve.Points, SweepPoint{X: lam, F1: l.trainAndScore(sc, c)})
+		}
+		sweep.Curves = append(sweep.Curves, curve)
+	}
+	return sweep
+}
+
+// Fig4b reproduces the n_s sensitivity study: the paper sweeps the source
+// sample count from 10,000 to 80,000 in steps of 10,000 around the default
+// 50,000; this sweeps the same 0.2×–1.6× multipliers of the scale's n_s.
+func (l *Lab) Fig4b(cfg core.Config, targets []string) *Sweep {
+	sweep := &Sweep{Title: "Fig. 4b: n_s sensitivity", XLabel: "n_s"}
+	for _, target := range targets {
+		curve := SweepResult{Target: target}
+		for _, step := range sweepSteps {
+			ns := l.Scale.SourceSeqs * step / 5 // 0.2x .. 1.6x
+			sc := l.Scenario(GroupFor(target), target, ns, 0)
+			curve.Points = append(curve.Points, SweepPoint{X: float64(ns), F1: l.trainAndScore(sc, cfg)})
+		}
+		sweep.Curves = append(sweep.Curves, curve)
+	}
+	return sweep
+}
+
+// sweepSteps are the n_s/n_t multipliers (in fifths of the default) the
+// Fig. 4b/4c sweeps sample: 0.2×–1.6×, matching the paper's 10k–80k span
+// around its 50k default with six of the paper's eight grid points.
+var sweepSteps = []int{1, 2, 3, 4, 6, 8}
+
+// Fig4c reproduces the n_t sensitivity study: the paper sweeps the target
+// sample count from 1,000 to 8,000 in steps of 1,000 around the default
+// 5,000; this sweeps the same 0.2×–1.6× multipliers of the scale's n_t.
+func (l *Lab) Fig4c(cfg core.Config, targets []string) *Sweep {
+	sweep := &Sweep{Title: "Fig. 4c: n_t sensitivity", XLabel: "n_t"}
+	for _, target := range targets {
+		curve := SweepResult{Target: target}
+		for _, step := range sweepSteps {
+			nt := l.Scale.TargetSeqs * step / 5
+			sc := l.Scenario(GroupFor(target), target, 0, nt)
+			curve.Points = append(curve.Points, SweepPoint{X: float64(nt), F1: l.trainAndScore(sc, cfg)})
+		}
+		sweep.Curves = append(sweep.Curves, curve)
+	}
+	return sweep
+}
+
+// AblationRow is one target's Fig. 5 outcome.
+type AblationRow struct {
+	Target         string
+	Full           float64
+	WithoutLEI     float64
+	WithoutSUFE    float64
+	DirectNeural   float64
+	FullResult     string
+	AblationDeltas string
+}
+
+// Ablation is the Fig. 5 experiment result.
+type Ablation struct {
+	Rows []AblationRow
+}
+
+// Render prints Fig. 5 as an F1 matrix.
+func (a *Ablation) Render() string {
+	var b strings.Builder
+	b.WriteString("Fig. 5: ablation study (F1%)\n")
+	fmt.Fprintf(&b, "%-12s %12s %12s %12s %16s\n", "Target", "LogSynergy", "w/o LEI", "w/o SUFE", "direct NeuralLog")
+	for _, r := range a.Rows {
+		fmt.Fprintf(&b, "%-12s %12.2f %12.2f %12.2f %16.2f\n",
+			r.Target, 100*r.Full, 100*r.WithoutLEI, 100*r.WithoutSUFE, 100*r.DirectNeural)
+	}
+	return b.String()
+}
+
+// Fig5 reproduces the ablation study: LogSynergy vs LogSynergy w/o LEI vs
+// LogSynergy w/o SUFE vs direct application of NeuralLog (§IV-D).
+func (l *Lab) Fig5(cfg core.Config, targets []string) *Ablation {
+	out := &Ablation{}
+	for _, target := range targets {
+		sc := l.Scenario(GroupFor(target), target, 0, 0)
+
+		full := NewLogSynergy(cfg, l.Interp)
+		fullF1 := baselines.Evaluate(full, sc).F1
+
+		noLEI := NewLogSynergy(cfg, lei.Identity{})
+		noLEI.DisplayName = "LogSynergy w/o LEI"
+		noLEIF1 := baselines.Evaluate(noLEI, sc).F1
+
+		cfgNoSUFE := cfg
+		cfgNoSUFE.UseSUFE = false
+		noSUFE := NewLogSynergy(cfgNoSUFE, l.Interp)
+		noSUFE.DisplayName = "LogSynergy w/o SUFE"
+		noSUFEF1 := baselines.Evaluate(noSUFE, sc).F1
+
+		direct := baselines.NewNeuralLog()
+		direct.SourceOnly = true
+		directF1 := baselines.Evaluate(direct, sc).F1
+
+		out.Rows = append(out.Rows, AblationRow{
+			Target:       target,
+			Full:         fullF1,
+			WithoutLEI:   noLEIF1,
+			WithoutSUFE:  noSUFEF1,
+			DirectNeural: directF1,
+		})
+	}
+	return out
+}
+
+// TransferCell is one Fig. 6 source→target evaluation.
+type TransferCell struct {
+	Source, Target string
+	Precision      float64
+	Recall         float64
+	F1             float64
+}
+
+// CrossTransfer is the Fig. 6 experiment result.
+type CrossTransfer struct {
+	Cells []TransferCell
+}
+
+// Render prints Fig. 6's four transfers.
+func (c *CrossTransfer) Render() string {
+	var b strings.Builder
+	b.WriteString("Fig. 6: cross-group transfer (single source -> target)\n")
+	fmt.Fprintf(&b, "%-12s %-12s %8s %8s %8s\n", "Source", "Target", "P%", "R%", "F1%")
+	for _, cell := range c.Cells {
+		fmt.Fprintf(&b, "%-12s %-12s %8.2f %8.2f %8.2f\n",
+			cell.Source, cell.Target, 100*cell.Precision, 100*cell.Recall, 100*cell.F1)
+	}
+	return b.String()
+}
+
+// Fig6 reproduces the §V lesson-learned study: rich supercomputer logs
+// transfer well to the simpler ISP systems, but not the reverse. The four
+// transfers are BGL→SystemB, Spirit→SystemC, SystemB→BGL, SystemC→Spirit,
+// each with a single source system.
+func (l *Lab) Fig6(cfg core.Config) *CrossTransfer {
+	pairs := [][2]string{
+		{"BGL", "SystemB"},
+		{"Spirit", "SystemC"},
+		{"SystemB", "BGL"},
+		{"SystemC", "Spirit"},
+	}
+	out := &CrossTransfer{}
+	for _, p := range pairs {
+		source, target := p[0], p[1]
+		tgt := l.Sequences(target)
+		train, rest := tgt.SplitTrainTest(l.Scale.TargetSeqs)
+		scenario := &baselines.Scenario{
+			Sources:     []*logdata.Sequences{l.Sequences(source).Head(l.Scale.SourceSeqs)},
+			TargetTrain: train,
+			TargetTest:  rest.Head(l.testSeqsFor(target)),
+			Embedder:    l.Embedder,
+			Seed:        l.Scale.Seed,
+		}
+		m := NewLogSynergy(cfg, l.Interp)
+		res := baselines.Evaluate(m, scenario)
+		out.Cells = append(out.Cells, TransferCell{
+			Source: source, Target: target,
+			Precision: res.Precision, Recall: res.Recall, F1: res.F1,
+		})
+	}
+	return out
+}

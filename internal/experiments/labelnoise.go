@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"logsynergy/internal/baselines"
+	"logsynergy/internal/core"
+	"logsynergy/internal/labeling"
+	"logsynergy/internal/logdata"
+)
+
+// LabelNoisePoint is one (noise rate, F1) sample.
+type LabelNoisePoint struct {
+	Rate float64
+	F1   float64
+}
+
+// LabelNoiseResult is the §IV-E1 external-threat study: LogSynergy trained
+// on corrupted labels (mislabeled anomalies from low-quality logs), plus
+// the realistic two-operator annotation workflow as a reference point.
+type LabelNoiseResult struct {
+	Target string
+	// Points sweeps blunt symmetric label noise on all training data.
+	Points []LabelNoisePoint
+	// WorkflowF1 trains on labels produced by the §VI-B1 two-operator +
+	// adjudicator workflow (realistic annotation quality).
+	WorkflowF1 float64
+	// WorkflowErrorRate is that workflow's label error rate.
+	WorkflowErrorRate float64
+}
+
+// Render prints the study.
+func (r *LabelNoiseResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Label-quality threat study (§IV-E1), target %s\n", r.Target)
+	fmt.Fprintf(&b, "%-12s %8s\n", "noise rate", "F1%")
+	for _, p := range r.Points {
+		fmt.Fprintf(&b, "%-12.2f %8.2f\n", p.Rate, 100*p.F1)
+	}
+	fmt.Fprintf(&b, "two-operator workflow (err %.2f%%): F1 %.2f%%\n",
+		100*r.WorkflowErrorRate, 100*r.WorkflowF1)
+	return b.String()
+}
+
+// noisyTrainSequences returns a copy of seqs with flipped labels.
+func noisyTrainSequences(seqs *logdata.Sequences, labels []bool) *logdata.Sequences {
+	out := &logdata.Sequences{System: seqs.System, Templates: seqs.Templates}
+	out.Samples = make([]logdata.Sample, len(seqs.Samples))
+	copy(out.Samples, seqs.Samples)
+	for i := range out.Samples {
+		out.Samples[i].Label = labels[i]
+	}
+	return out
+}
+
+// labelsOf extracts the ground-truth labels.
+func labelsOf(seqs *logdata.Sequences) []bool {
+	out := make([]bool, len(seqs.Samples))
+	for i, s := range seqs.Samples {
+		out[i] = s.Label
+	}
+	return out
+}
+
+// LabelNoise sweeps training-label corruption for one target system.
+func (l *Lab) LabelNoise(cfg core.Config, target string, rates []float64) *LabelNoiseResult {
+	sc := l.Scenario(GroupFor(target), target, 0, 0)
+	res := &LabelNoiseResult{Target: target}
+
+	runWith := func(corrupt func([]bool, *rand.Rand) []bool, seed int64) float64 {
+		rng := rand.New(rand.NewSource(seed))
+		noisy := &baselines.Scenario{
+			TargetTrain: noisyTrainSequences(sc.TargetTrain, corrupt(labelsOf(sc.TargetTrain), rng)),
+			TargetTest:  sc.TargetTest,
+			Embedder:    sc.Embedder,
+			Seed:        sc.Seed,
+		}
+		for _, src := range sc.Sources {
+			noisy.Sources = append(noisy.Sources,
+				noisyTrainSequences(src, corrupt(labelsOf(src), rng)))
+		}
+		m := NewLogSynergy(cfg, l.Interp)
+		return baselines.Evaluate(m, noisy).F1
+	}
+
+	for _, rate := range rates {
+		rate := rate
+		f1 := runWith(func(labels []bool, rng *rand.Rand) []bool {
+			return labeling.InjectNoise(rng, labels, rate)
+		}, 1000+int64(rate*1e4))
+		res.Points = append(res.Points, LabelNoisePoint{Rate: rate, F1: f1})
+	}
+
+	// Realistic annotation: the §VI-B1 workflow.
+	proc := labeling.DefaultProcess(l.Scale.Seed + 77)
+	var workflowErr float64
+	f1 := runWith(func(labels []bool, _ *rand.Rand) []bool {
+		final, _ := proc.Run(labels)
+		workflowErr = labeling.ErrorRate(final, labels)
+		return final
+	}, 0)
+	res.WorkflowF1 = f1
+	res.WorkflowErrorRate = workflowErr
+	return res
+}

@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"logsynergy/internal/baselines"
+	"logsynergy/internal/core"
+	"logsynergy/internal/lei"
+	"logsynergy/internal/repr"
+)
+
+// LogSynergyMethod adapts the core model to the baselines.Method interface
+// so every method runs under one protocol. Its Interp field selects the
+// event-interpretation stage: the SimLLM for the full pipeline, or
+// lei.Identity{} for the "w/o LEI" ablation.
+type LogSynergyMethod struct {
+	// Cfg is the model/training configuration.
+	Cfg core.Config
+	// Interp is the event interpreter (LEI or identity).
+	Interp lei.Interpreter
+	// DisplayName overrides Name() (used by the ablation arms).
+	DisplayName string
+
+	model *core.Model
+	table *repr.EventTable
+}
+
+// NewLogSynergy returns the full method at the given config.
+func NewLogSynergy(cfg core.Config, interp lei.Interpreter) *LogSynergyMethod {
+	return &LogSynergyMethod{Cfg: cfg, Interp: interp, DisplayName: "LogSynergy"}
+}
+
+// Name implements baselines.Method.
+func (m *LogSynergyMethod) Name() string { return m.DisplayName }
+
+// Fit implements baselines.Method: build LEI-interpreted representations
+// for every system and train under the Eq. 5 objective.
+func (m *LogSynergyMethod) Fit(sc *baselines.Scenario) {
+	var sources []*repr.Dataset
+	for _, s := range sc.Sources {
+		sources = append(sources, repr.Build(s, m.Interp, sc.Embedder))
+	}
+	m.table = repr.BuildEventTable(sc.TargetTrain, m.Interp, sc.Embedder)
+	train := repr.BuildDataset(sc.TargetTrain, m.table)
+	cfg := m.Cfg
+	cfg.EmbedDim = sc.Embedder.Dim
+	cfg.Seed = sc.Seed
+	m.model = core.TrainModel(cfg, sources, train)
+}
+
+// Score implements baselines.Method.
+func (m *LogSynergyMethod) Score(sc *baselines.Scenario) []float64 {
+	test := repr.BuildDataset(sc.TargetTest, m.table)
+	return m.model.Score(test.X, 256)
+}
+
+// Model exposes the trained model (diagnostics, Fig. 8 case study).
+func (m *LogSynergyMethod) Model() *core.Model { return m.model }
+
+// AllMethods returns the paper's full method roster in table order:
+// the nine baselines followed by LogSynergy.
+func AllMethods(cfg core.Config, interp lei.Interpreter) []baselines.Method {
+	return []baselines.Method{
+		baselines.NewDeepLog(),
+		baselines.NewLogAnomaly(),
+		baselines.NewPLELog(),
+		baselines.NewSpikeLog(),
+		baselines.NewNeuralLog(),
+		baselines.NewLogRobust(),
+		baselines.NewPreLog(),
+		baselines.NewLogTAD(),
+		baselines.NewLogTransfer(),
+		baselines.NewMetaLog(),
+		NewLogSynergy(cfg, interp),
+	}
+}
+
+// Table exposes the target event table (diagnostics).
+func (m *LogSynergyMethod) Table() *repr.EventTable { return m.table }

@@ -1,0 +1,167 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"logsynergy/internal/baselines"
+	"logsynergy/internal/core"
+	"logsynergy/internal/metrics"
+)
+
+// Cell is one method×target evaluation outcome.
+type Cell struct {
+	Method  string
+	Target  string
+	Result  metrics.Result
+	Elapsed time.Duration
+}
+
+// ComparisonTable is the result of a Table IV/V style experiment.
+type ComparisonTable struct {
+	// Title names the table ("Table IV", "Table V").
+	Title string
+	// Targets are the column systems, in order.
+	Targets []string
+	// Methods are the row methods, in order.
+	Methods []string
+	// Cells holds every evaluated cell.
+	Cells map[string]map[string]Cell // method -> target -> cell
+}
+
+// Get returns one cell.
+func (t *ComparisonTable) Get(method, target string) Cell {
+	return t.Cells[method][target]
+}
+
+// Render prints the table in the paper's layout (P/R/F1 per target).
+func (t *ComparisonTable) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", t.Title)
+	fmt.Fprintf(&b, "%-22s", "Method")
+	for _, tgt := range t.Targets {
+		fmt.Fprintf(&b, " | %-26s", tgt+" P%/R%/F1%")
+	}
+	b.WriteByte('\n')
+	b.WriteString(strings.Repeat("-", 22+len(t.Targets)*29))
+	b.WriteByte('\n')
+	for _, m := range t.Methods {
+		fmt.Fprintf(&b, "%-22s", m)
+		for _, tgt := range t.Targets {
+			c := t.Get(m, tgt)
+			fmt.Fprintf(&b, " | %7.2f %7.2f %8.2f ",
+				100*c.Result.Precision, 100*c.Result.Recall, 100*c.Result.F1)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// BestF1PerTarget returns the winning method per target column.
+func (t *ComparisonTable) BestF1PerTarget() map[string]string {
+	out := make(map[string]string)
+	for _, tgt := range t.Targets {
+		best, bestF1 := "", -1.0
+		for _, m := range t.Methods {
+			if f := t.Get(m, tgt).Result.F1; f > bestF1 {
+				best, bestF1 = m, f
+			}
+		}
+		out[tgt] = best
+	}
+	return out
+}
+
+// RunComparison evaluates every method on every target of a group — the
+// engine behind Tables IV and V. Each target uses the other group members
+// as sources, exactly as in §IV-A1.
+func (l *Lab) RunComparison(title string, group []string, cfg core.Config) *ComparisonTable {
+	table := &ComparisonTable{
+		Title:   title,
+		Targets: group,
+		Cells:   make(map[string]map[string]Cell),
+	}
+	for _, target := range group {
+		sc := l.Scenario(group, target, 0, 0)
+		for _, m := range AllMethods(cfg, l.Interp) {
+			start := time.Now()
+			res := baselines.Evaluate(m, sc)
+			cell := Cell{Method: m.Name(), Target: target, Result: res, Elapsed: time.Since(start)}
+			if table.Cells[m.Name()] == nil {
+				table.Cells[m.Name()] = make(map[string]Cell)
+				table.Methods = append(table.Methods, m.Name())
+			}
+			table.Cells[m.Name()][target] = cell
+		}
+	}
+	return table
+}
+
+// Table4 reproduces Table IV: overall performance on the public datasets.
+func (l *Lab) Table4(cfg core.Config) *ComparisonTable {
+	return l.RunComparison("Table IV: P/R/F1 on BGL, Spirit, Thunderbird", PublicNames(), cfg)
+}
+
+// Table5 reproduces Table V: overall performance on the ISP datasets.
+func (l *Lab) Table5(cfg core.Config) *ComparisonTable {
+	return l.RunComparison("Table V: P/R/F1 on System A, System B, System C", ISPNames(), cfg)
+}
+
+// DatasetStat is one Table III row.
+type DatasetStat struct {
+	Name         string
+	Logs         int
+	Sequences    int
+	Anomalies    int
+	AnomalyRate  float64
+	PaperLogs    int
+	PaperSeqs    int
+	PaperAnoms   int
+	PaperAnomPct float64
+}
+
+// Table3 reproduces Table III: per-dataset statistics at the lab's scale,
+// next to the paper's full-scale numbers.
+func (l *Lab) Table3() []DatasetStat {
+	paper := map[string][3]int{
+		"BGL":         {1356817, 271362, 29092},
+		"Spirit":      {4783733, 956745, 8857},
+		"Thunderbird": {700005, 140000, 5946},
+		"SystemA":     {2166422, 433014, 886},
+		"SystemB":     {877444, 175481, 296},
+		"SystemC":     {691433, 137258, 5170},
+	}
+	var out []DatasetStat
+	for _, name := range append(PublicNames(), ISPNames()...) {
+		s := l.Sequences(name)
+		p := paper[name]
+		stat := DatasetStat{
+			Name:         name,
+			Logs:         (len(s.Samples)-1)*5 + 10,
+			Sequences:    len(s.Samples),
+			Anomalies:    s.NumAnomalous(),
+			PaperLogs:    p[0],
+			PaperSeqs:    p[1],
+			PaperAnoms:   p[2],
+			PaperAnomPct: 100 * float64(p[2]) / float64(p[1]),
+		}
+		stat.AnomalyRate = 100 * float64(stat.Anomalies) / float64(stat.Sequences)
+		out = append(out, stat)
+	}
+	return out
+}
+
+// RenderTable3 prints the Table III reproduction.
+func RenderTable3(stats []DatasetStat) string {
+	var b strings.Builder
+	b.WriteString("Table III: dataset statistics (this scale vs paper)\n")
+	fmt.Fprintf(&b, "%-12s %10s %10s %10s %8s | %10s %10s %10s %8s\n",
+		"Dataset", "logs", "seqs", "anoms", "anom%", "paperLogs", "paperSeqs", "paperAnom", "paper%")
+	for _, s := range stats {
+		fmt.Fprintf(&b, "%-12s %10d %10d %10d %8.2f | %10d %10d %10d %8.2f\n",
+			s.Name, s.Logs, s.Sequences, s.Anomalies, s.AnomalyRate,
+			s.PaperLogs, s.PaperSeqs, s.PaperAnoms, s.PaperAnomPct)
+	}
+	return b.String()
+}

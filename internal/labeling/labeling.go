@@ -1,0 +1,128 @@
+// Package labeling simulates the manual annotation workflow the paper
+// deploys for new systems (§VI-B1): two operators label every sequence
+// independently; disagreements go to a third operator for adjudication.
+// It also provides the label-noise injection used to study the paper's
+// external threat (§IV-E1): low-quality or misclassified anomaly labels
+// degrade what the model can learn.
+package labeling
+
+import "math/rand"
+
+// Operator is a simulated annotator with class-conditional error rates.
+type Operator struct {
+	// Name identifies the operator in audit trails.
+	Name string
+	// FalsePositiveRate is the probability of labeling a normal sequence
+	// anomalous.
+	FalsePositiveRate float64
+	// FalseNegativeRate is the probability of labeling an anomalous
+	// sequence normal.
+	FalseNegativeRate float64
+}
+
+// Label returns the operator's (possibly wrong) label for a sequence with
+// ground truth truth.
+func (o Operator) Label(rng *rand.Rand, truth bool) bool {
+	if truth {
+		if rng.Float64() < o.FalseNegativeRate {
+			return false
+		}
+		return true
+	}
+	if rng.Float64() < o.FalsePositiveRate {
+		return true
+	}
+	return false
+}
+
+// Outcome records how one sequence was labeled.
+type Outcome struct {
+	// First and Second are the independent labels.
+	First, Second bool
+	// Adjudicated reports whether the third operator was consulted.
+	Adjudicated bool
+	// Final is the label entering the training set.
+	Final bool
+}
+
+// Process runs the paper's two-plus-one workflow over ground-truth labels
+// and returns the final labels plus per-sequence outcomes.
+type Process struct {
+	// First and Second label every sequence; Adjudicator resolves
+	// disagreements.
+	First, Second, Adjudicator Operator
+	// Seed makes the simulation deterministic.
+	Seed int64
+}
+
+// DefaultProcess returns a workflow with realistic operator quality:
+// ~2% false positives, ~5% false negatives per operator, and a senior
+// adjudicator twice as accurate.
+func DefaultProcess(seed int64) Process {
+	return Process{
+		First:       Operator{Name: "op-a", FalsePositiveRate: 0.02, FalseNegativeRate: 0.05},
+		Second:      Operator{Name: "op-b", FalsePositiveRate: 0.02, FalseNegativeRate: 0.05},
+		Adjudicator: Operator{Name: "op-senior", FalsePositiveRate: 0.01, FalseNegativeRate: 0.025},
+		Seed:        seed,
+	}
+}
+
+// Run labels every sequence. The returned labels are what a deployment
+// would train on; outcomes carry the full audit trail.
+func (p Process) Run(truth []bool) (labels []bool, outcomes []Outcome) {
+	rng := rand.New(rand.NewSource(p.Seed))
+	labels = make([]bool, len(truth))
+	outcomes = make([]Outcome, len(truth))
+	for i, t := range truth {
+		a := p.First.Label(rng, t)
+		b := p.Second.Label(rng, t)
+		oc := Outcome{First: a, Second: b}
+		if a == b {
+			oc.Final = a
+		} else {
+			oc.Adjudicated = true
+			oc.Final = p.Adjudicator.Label(rng, t)
+		}
+		labels[i] = oc.Final
+		outcomes[i] = oc
+	}
+	return labels, outcomes
+}
+
+// Disagreements counts adjudicated sequences.
+func Disagreements(outcomes []Outcome) int {
+	n := 0
+	for _, oc := range outcomes {
+		if oc.Adjudicated {
+			n++
+		}
+	}
+	return n
+}
+
+// ErrorRate returns the fraction of final labels differing from truth.
+func ErrorRate(final, truth []bool) float64 {
+	if len(final) == 0 {
+		return 0
+	}
+	wrong := 0
+	for i := range final {
+		if final[i] != truth[i] {
+			wrong++
+		}
+	}
+	return float64(wrong) / float64(len(final))
+}
+
+// InjectNoise flips each label independently with probability rate — the
+// blunt instrument for the §IV-E1 threat study (mislabeled anomalies from
+// low-quality logs).
+func InjectNoise(rng *rand.Rand, labels []bool, rate float64) []bool {
+	out := append([]bool(nil), labels...)
+	for i := range out {
+		if rng.Float64() < rate {
+			out[i] = !out[i]
+		}
+	}
+	return out
+}

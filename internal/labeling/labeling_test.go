@@ -1,0 +1,115 @@
+package labeling
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func truthVector(n int, rate float64, seed int64) []bool {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]bool, n)
+	for i := range out {
+		out[i] = rng.Float64() < rate
+	}
+	return out
+}
+
+func TestPerfectOperatorsNeverErr(t *testing.T) {
+	p := Process{
+		First:       Operator{Name: "a"},
+		Second:      Operator{Name: "b"},
+		Adjudicator: Operator{Name: "c"},
+		Seed:        1,
+	}
+	truth := truthVector(500, 0.1, 2)
+	labels, outcomes := p.Run(truth)
+	if ErrorRate(labels, truth) != 0 {
+		t.Fatal("perfect operators must produce perfect labels")
+	}
+	if Disagreements(outcomes) != 0 {
+		t.Fatal("perfect operators never disagree")
+	}
+}
+
+func TestAdjudicationReducesErrors(t *testing.T) {
+	truth := truthVector(5000, 0.1, 3)
+
+	// Workflow error rate with adjudication.
+	p := DefaultProcess(7)
+	labels, outcomes := p.Run(truth)
+	withAdj := ErrorRate(labels, truth)
+	if Disagreements(outcomes) == 0 {
+		t.Fatal("imperfect operators should disagree sometimes")
+	}
+
+	// Single-operator error rate for comparison.
+	rng := rand.New(rand.NewSource(7))
+	single := make([]bool, len(truth))
+	for i, tr := range truth {
+		single[i] = p.First.Label(rng, tr)
+	}
+	alone := ErrorRate(single, truth)
+
+	if withAdj >= alone {
+		t.Fatalf("two-plus-one workflow (%.4f) must beat a single operator (%.4f)", withAdj, alone)
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	truth := truthVector(200, 0.2, 4)
+	p := DefaultProcess(11)
+	a, _ := p.Run(truth)
+	b, _ := p.Run(truth)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed must give identical labels")
+		}
+	}
+}
+
+func TestInjectNoiseRate(t *testing.T) {
+	labels := make([]bool, 10000)
+	rng := rand.New(rand.NewSource(5))
+	noisy := InjectNoise(rng, labels, 0.3)
+	flipped := 0
+	for i := range noisy {
+		if noisy[i] != labels[i] {
+			flipped++
+		}
+	}
+	rate := float64(flipped) / float64(len(labels))
+	if rate < 0.25 || rate > 0.35 {
+		t.Fatalf("noise rate %.3f, want ≈0.3", rate)
+	}
+	// Original untouched.
+	for _, l := range labels {
+		if l {
+			t.Fatal("InjectNoise must not mutate its input")
+		}
+	}
+}
+
+// Property: final label always equals one of the three operators' views.
+func TestFinalLabelComesFromAnOperator(t *testing.T) {
+	f := func(seed int64) bool {
+		truth := truthVector(100, 0.15, seed)
+		p := DefaultProcess(seed)
+		labels, outcomes := p.Run(truth)
+		for i, oc := range outcomes {
+			if labels[i] != oc.Final {
+				return false
+			}
+			if !oc.Adjudicated && oc.First != oc.Second {
+				return false // agreement must mean identical labels
+			}
+			if !oc.Adjudicated && oc.Final != oc.First {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,29 @@
+package lei_test
+
+import (
+	"fmt"
+	"strings"
+
+	"logsynergy/internal/lei"
+)
+
+// Example interprets the paper's Table I Spirit message: the dialect-
+// specific syntax becomes a unified description of the anomalous event.
+func Example() {
+	m := lei.NewSimLLM(lei.Config{})
+	in := m.Interpret("an HPC system", "Connection refused (<*>) in open_demux, open_demux: connect <*>")
+	fmt.Println(in.ConceptKey)
+	fmt.Println(strings.SplitN(in.Text, " (", 2)[0])
+	// Output:
+	// anom.net.interrupt
+	// network connection interrupted due to loss of signal
+}
+
+func ExampleReviewer_Process() {
+	m := lei.NewSimLLM(lei.Config{})
+	r := lei.NewReviewer()
+	oc := r.Process(m, "a storage system", "machine check interrupt (bit=<*>): L2 dcache unit read return parity error")
+	fmt.Println(oc.Passed, oc.Attempts)
+	// Output:
+	// true 1
+}

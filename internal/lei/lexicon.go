@@ -1,0 +1,328 @@
+package lei
+
+// lexiconEntry associates surface keywords (lowercase substrings that may
+// appear in a masked template) with a concept and its canonical
+// interpretation. An entry matches when any keyword is a substring of the
+// lowercased template; the entry whose matched keywords have the largest
+// total length wins. This mirrors how an LLM maps dialect-specific failure
+// vocabulary onto a unified description.
+type lexiconEntry struct {
+	concept   string
+	canonical string
+	keywords  []string
+}
+
+// lexicon returns the built-in semantic knowledge base. It intentionally
+// covers anomaly vocabulary and *shared* operational vocabulary, but not
+// every system's idiosyncratic operational chatter — real LLM
+// interpretations of niche subsystem logs stay dialect-colored too, which
+// is precisely the residual system-specific signal SUFE disentangles.
+func lexicon() []lexiconEntry {
+	return []lexiconEntry{
+		// ---- Anomalies (shared concepts, multi-dialect keywords). ----
+		{
+			concept:   "anom.net.interrupt",
+			canonical: "network connection interrupted due to loss of signal",
+			keywords: []string{
+				"severed", "connection lost", "connection refused", "reset by peer",
+				"link went down", "carrier lost", "conn dropped", "signal_lost",
+				"unreachable marking fail", "signal lost", "interrupted",
+			},
+		},
+		{
+			concept:   "anom.parity",
+			canonical: "memory parity error detected in cache unit",
+			keywords:  []string{"parity"},
+		},
+		{
+			concept:   "anom.disk.fail",
+			canonical: "disk input output failure while accessing storage device",
+			keywords:  []string{"i/o error", "input/output error", "medium error", "unrecovered read", "dma_intr"},
+		},
+		{
+			concept:   "anom.oom",
+			canonical: "process terminated because system ran out of memory",
+			keywords:  []string{"out of memory", "oom-killer", "maxmemory reached", "allocation of"},
+		},
+		{
+			concept:   "anom.timeout",
+			canonical: "operation timed out waiting for remote response",
+			keywords:  []string{"timed out", "timeout", "deadline exceeded", "no ping reply"},
+		},
+		{
+			concept:   "anom.auth.fail",
+			canonical: "repeated authentication failures detected for user account",
+			keywords:  []string{"failed password", "login denied", "bad credentials", "invalid credential", "consecutive_failures"},
+		},
+		{
+			concept:   "anom.service.crash",
+			canonical: "service process crashed unexpectedly with fatal error",
+			keywords: []string{
+				"segfault", "panic: runtime error", "killed by signal", "core dumped",
+				"uncaught exception", "process exiting on unexpected signal", "daemon dead", "jvm exiting",
+			},
+		},
+		{
+			concept:   "anom.corrupt",
+			canonical: "data corruption detected during integrity verification",
+			keywords:  []string{"checksum mismatch", "bad inode checksum", "marking corrupt", "chip kill corrupt"},
+		},
+		{
+			concept:   "anom.overload",
+			canonical: "request queue overloaded causing severe performance degradation",
+			keywords:  []string{"backlog", "saturated", "congestion", "shedding load", "load average", "throttled"},
+		},
+		{
+			concept:   "anom.replica.lost",
+			canonical: "replica lost quorum and was removed from the cluster",
+			keywords: []string{
+				"quorum lost", "removing from replica", "replica ring", "is dead",
+				"demoted", "evicted from midplane", "lease lost", "stepping down", "vpd mismatch replica",
+			},
+		},
+		{
+			concept:   "anom.fs.readonly",
+			canonical: "filesystem remounted read only after unrecoverable write failure",
+			keywords:  []string{"read-only", "forced read-only", "remount ro", "journal abort", "aborting journal"},
+		},
+		{
+			concept:   "anom.hw.temp",
+			canonical: "hardware temperature exceeded critical safety threshold",
+			keywords:  []string{"temperature", "overheat", "thermal", "hot limit", "upper critical"},
+		},
+
+		// ---- Anomalies (system-specific concepts). ----
+		{
+			concept:   "anom.bgl.kernel",
+			canonical: "kernel panic detected in compute node firmware",
+			keywords:  []string{"kernel panic"},
+		},
+		{
+			concept:   "anom.bgl.torus",
+			canonical: "torus interconnect link error corrupted packet delivery",
+			keywords:  []string{"torus"},
+		},
+		{
+			concept:   "anom.spirit.lustre",
+			canonical: "parallel filesystem metadata server became unavailable",
+			keywords:  []string{"lustreerror", "mds service"},
+		},
+		{
+			concept:   "anom.spirit.mpi",
+			canonical: "message passing collective operation aborted across ranks",
+			keywords:  []string{"mpi_abort", "collective failed"},
+		},
+		{
+			concept:   "anom.tb.sched",
+			canonical: "batch scheduler lost contact with compute node",
+			keywords:  []string{"state changed to down", "no contact", "orphaned"},
+		},
+		{
+			concept:   "anom.sysa.billing",
+			canonical: "billing reconciliation mismatch detected between ledgers",
+			keywords:  []string{"ledger mismatch", "reconciliation"},
+		},
+		{
+			concept:   "anom.sysb.cache",
+			canonical: "distributed cache suffered mass eviction storm",
+			keywords:  []string{"eviction storm", "storm detected", "hit-rate collapsed"},
+		},
+		{
+			concept:   "anom.sysc.session",
+			canonical: "session state replication failed across availability zones",
+			keywords:  []string{"failed to replicate session", "broken pipe"},
+		},
+
+		// ---- Rare shared operational concepts (the long-tail vocabulary a
+		// real LLM also understands; recognizing these is what lets the
+		// transfer pipeline learn the tail from mature sources). ----
+		{
+			concept:   "op.maint",
+			canonical: "scheduled maintenance task executed on component",
+			keywords:  []string{"maintenance", "service action"},
+		},
+		{
+			concept:   "op.cert",
+			canonical: "security certificate rotated before expiry",
+			keywords:  []string{"cert rotated", "certificate", "host key regenerated", "credential rotated", "cert reloaded"},
+		},
+		{
+			concept:   "op.upgrade",
+			canonical: "software package upgraded to new version",
+			keywords:  []string{"upgraded", "rollout", "installed cleanly", "image updated", "updated firmware"},
+		},
+		{
+			concept:   "op.audit",
+			canonical: "periodic audit snapshot recorded configuration",
+			keywords:  []string{"audit", "config snapshot", "config dump", "snapshot stored"},
+		},
+		{
+			concept:   "op.clock",
+			canonical: "system clock synchronized with reference time server",
+			keywords:  []string{"clock", "time reset", "time base registers", "drift corrected", "offset corrected"},
+		},
+		{
+			concept:   "op.debugdump",
+			canonical: "diagnostic trace dump captured for offline analysis",
+			keywords:  []string{"trace buffer dumped", "debug dump", "pprof", "histogram dumped", "thread dump", "counters dumped"},
+		},
+		{
+			concept:   "op.quota",
+			canonical: "storage quota usage report generated",
+			keywords:  []string{"quota", "usage report"},
+		},
+		{
+			concept:   "op.retrywarn",
+			canonical: "transient warning retried and recovered automatically",
+			keywords:  []string{"retried ok", "transient", "recovered"},
+		},
+		{
+			concept:   "op.drill",
+			canonical: "planned failover drill completed without impact",
+			keywords:  []string{"drill", "takeover exercise", "failover exercise"},
+		},
+		{
+			concept:   "op.reindex",
+			canonical: "background index rebuild completed",
+			keywords:  []string{"rebuilt", "reindex"},
+		},
+
+		// ---- Shared operational concepts. ----
+		{
+			concept:   "op.job.submit",
+			canonical: "job submitted to the scheduling queue",
+			keywords:  []string{"queued", "submitted"},
+		},
+		{
+			concept:   "op.job.start",
+			canonical: "job started executing on allocated resources",
+			keywords:  []string{"launching", "loading", "started on"},
+		},
+		{
+			concept:   "op.job.finish",
+			canonical: "job finished successfully and released resources",
+			keywords:  []string{"completed successfully", "terminated normally", "exited status", "exit status", "walltime"},
+		},
+		{
+			concept:   "op.net.connect",
+			canonical: "network connection established with peer",
+			keywords:  []string{"conn accepted", "accepted client", "session opened", "channel active", "start: shell", "generated ciostream"},
+		},
+		{
+			concept:   "op.net.close",
+			canonical: "network connection closed normally",
+			keywords:  []string{"closed", "channel inactive", "session closed", "exit: shell"},
+		},
+		{
+			concept:   "op.disk.read",
+			canonical: "data block read from storage device",
+			keywords:  []string{"read <*> bytes", "bytes from"},
+		},
+		{
+			concept:   "op.disk.write",
+			canonical: "data block written to storage device",
+			keywords:  []string{"flushed", "committed", "wrote", "stable"},
+		},
+		{
+			concept:   "op.auth.ok",
+			canonical: "user authenticated successfully",
+			keywords:  []string{"accepted publickey", "token issued", "authenticated"},
+		},
+		{
+			concept:   "op.heartbeat",
+			canonical: "component heartbeat reported healthy status",
+			keywords:  []string{"heartbeat", "alive", "gossip", "liveness", "status ping ok"},
+		},
+		{
+			concept:   "op.config.reload",
+			canonical: "configuration reloaded without errors",
+			keywords:  []string{"reloaded", "restart (remote", "changed keys"},
+		},
+		{
+			concept:   "op.cache.hit",
+			canonical: "cache lookup served request from memory",
+			keywords:  []string{"hit"},
+		},
+		{
+			concept:   "op.cache.expire",
+			canonical: "cache entry expired and was refreshed",
+			keywords:  []string{"expired"},
+		},
+		{
+			concept:   "op.query.exec",
+			canonical: "query executed and returned result set",
+			keywords:  []string{"query ok", "rows", "statement ok", "poll cluster", "service check"},
+		},
+		{
+			concept:   "op.replica.sync",
+			canonical: "replica synchronized with primary copy",
+			keywords:  []string{"resync", "caught up", "matched index", "mirrored state", "follower matched"},
+		},
+		{
+			concept:   "op.gc",
+			canonical: "garbage collection completed reclaiming memory",
+			keywords:  []string{"gc pause", "gc cycle", "defrag", "compacted", "g1 pause"},
+		},
+		{
+			concept:   "op.scale.up",
+			canonical: "capacity scaled up to absorb load",
+			keywords:  []string{"scaled out", "split migrating", "additional nodes"},
+		},
+		{
+			concept:   "op.backup",
+			canonical: "backup snapshot completed successfully",
+			keywords:  []string{"backup", "snapshot"},
+		},
+		{
+			concept:   "op.monitor",
+			canonical: "monitoring probe recorded nominal metrics",
+			keywords:  []string{"scrape", "counters", "sample ok", "check_health", "gauges"},
+		},
+	}
+}
+
+// abbreviations expands the dialect shorthand an LLM would normalize
+// (the paper's running example expands "Los" to "loss of signal").
+func abbreviations() map[string]string {
+	return map[string]string{
+		"los":    "loss of signal",
+		"conn":   "connection",
+		"auth":   "authentication",
+		"repl":   "replication",
+		"recon":  "reconciliation",
+		"svc":    "service",
+		"msg":    "message",
+		"err":    "error",
+		"wrn":    "warning",
+		"inf":    "info",
+		"dbg":    "debug",
+		"cfg":    "configuration",
+		"fs":     "filesystem",
+		"mem":    "memory",
+		"dur":    "duration",
+		"p99":    "99th percentile latency",
+		"rtt":    "round trip time",
+		"ttl":    "time to live",
+		"lsn":    "log sequence number",
+		"uid":    "user id",
+		"pid":    "process id",
+		"mfa":    "multi factor authentication",
+		"ras":    "reliability availability serviceability",
+		"mds":    "metadata server",
+		"ost":    "object storage target",
+		"nfs":    "network filesystem",
+		"ib":     "infiniband",
+		"jvm":    "java virtual machine",
+		"cdn":    "content delivery network",
+		"qdepth": "queue depth",
+	}
+}
+
+// stopwords are tokens too generic to carry detail information.
+var stopwords = map[string]bool{
+	"the": true, "a": true, "an": true, "of": true, "to": true, "in": true,
+	"on": true, "for": true, "from": true, "with": true, "and": true,
+	"was": true, "is": true, "are": true, "has": true, "been": true,
+	"info": true, "warn": true, "error": true, "debug": true, "fatal": true,
+	"level": true, "true": true, "false": true, "after": true, "into": true,
+}

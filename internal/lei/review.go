@@ -1,0 +1,84 @@
+package lei
+
+import "strings"
+
+// WithSeed returns a copy of the model whose hallucination stream uses a
+// different seed, used to regenerate a rejected interpretation (the paper:
+// "interpretations can be regenerated when format errors are found").
+func (m *SimLLM) WithSeed(seed int64) *SimLLM {
+	cp := *m
+	cp.cfg.Seed = seed
+	return &cp
+}
+
+// Reviewer models the operator review step of §VI-B2: every LLM-generated
+// interpretation is checked for format and length errors (not semantic
+// correctness — the paper is explicit that reviewing semantics at scale is
+// infeasible, which is why hallucinated-but-well-formed text can slip
+// through) and regenerated until it passes or attempts run out.
+type Reviewer struct {
+	// MaxWords rejects over-long interpretations (default 24).
+	MaxWords int
+	// MaxAttempts bounds regeneration (default 3).
+	MaxAttempts int
+}
+
+// NewReviewer returns a reviewer with the default policy.
+func NewReviewer() *Reviewer { return &Reviewer{MaxWords: 24, MaxAttempts: 3} }
+
+// FormatOK reports whether an interpretation passes the format review.
+func (r *Reviewer) FormatOK(in Interpretation) bool {
+	max := r.MaxWords
+	if max <= 0 {
+		max = 24
+	}
+	words := strings.Fields(in.Text)
+	if len(words) == 0 || len(words) > max {
+		return false
+	}
+	// Repetitive ramble (a hallucination mode) fails format review.
+	if strings.Count(in.Text, "furthermore") >= 2 {
+		return false
+	}
+	return true
+}
+
+// ReviewOutcome records what the review process did for one template.
+type ReviewOutcome struct {
+	Final    Interpretation
+	Attempts int
+	Passed   bool
+}
+
+// Process interprets a template, reviews the result, and regenerates with a
+// fresh seed until the format check passes or MaxAttempts is exhausted.
+func (r *Reviewer) Process(m *SimLLM, systemHint, template string) ReviewOutcome {
+	maxAttempts := r.MaxAttempts
+	if maxAttempts <= 0 {
+		maxAttempts = 3
+	}
+	model := m
+	var out Interpretation
+	for attempt := 1; attempt <= maxAttempts; attempt++ {
+		out = model.Interpret(systemHint, template)
+		if r.FormatOK(out) {
+			return ReviewOutcome{Final: out, Attempts: attempt, Passed: true}
+		}
+		model = m.WithSeed(m.cfg.Seed + int64(attempt)*7919)
+	}
+	// Last resort: fall back to the cleaned template, which always passes.
+	out.Text = m.fallback(template)
+	out.Recognized = false
+	out.Hallucinated = false
+	out.ConceptKey = ""
+	return ReviewOutcome{Final: out, Attempts: maxAttempts, Passed: false}
+}
+
+// ProcessAll runs the review workflow over a batch of templates.
+func (r *Reviewer) ProcessAll(m *SimLLM, systemHint string, templates []string) []ReviewOutcome {
+	out := make([]ReviewOutcome, len(templates))
+	for i, t := range templates {
+		out[i] = r.Process(m, systemHint, t)
+	}
+	return out
+}

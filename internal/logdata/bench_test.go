@@ -1,0 +1,34 @@
+package logdata
+
+import (
+	"testing"
+
+	"logsynergy/internal/drain"
+	"logsynergy/internal/window"
+)
+
+// BenchmarkGenerate measures raw corpus generation throughput.
+func BenchmarkGenerate(b *testing.B) {
+	spec := BGL()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Generate(spec, int64(i), 5000)
+	}
+}
+
+// BenchmarkParseCorpus measures Drain over generator output (the offline
+// pre-processing cost per 5k lines).
+func BenchmarkParseCorpus(b *testing.B) {
+	corpus := Generate(Spirit(), 1, 5000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Parse(corpus, drain.NewDefault())
+	}
+}
+
+// BenchmarkBuildEndToEnd measures generation+parsing+windowing together.
+func BenchmarkBuildEndToEnd(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Build(SystemC(), int64(i), 0.01, window.Default())
+	}
+}

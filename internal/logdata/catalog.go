@@ -1,0 +1,162 @@
+// Package logdata synthesizes the six log corpora the LogSynergy paper
+// evaluates on: the public supercomputer sets BGL, Spirit and Thunderbird,
+// and the ISP production systems A, B and C (Table III). The real corpora
+// are not redistributable (and the ISP sets are proprietary), so this
+// package builds the closest synthetic equivalent that exercises the same
+// code paths: every system draws from a shared catalog of *semantic event
+// concepts* but renders each concept in its own surface dialect. That
+// preserves the property the paper's experiments hinge on — semantically
+// equivalent anomalies with substantial syntax differences across systems
+// (the paper's Table I motivation).
+package logdata
+
+// Concept is one semantic event kind. The same concept can be rendered very
+// differently by different systems; Canonical is the unified interpretation
+// an ideal LLM would produce for any of those renderings.
+type Concept struct {
+	// Key identifies the concept, e.g. "anom.net.interrupt".
+	Key string
+	// Canonical is the unified natural-language interpretation.
+	Canonical string
+	// Anomalous marks concepts that indicate a genuine system anomaly.
+	Anomalous bool
+}
+
+// Catalog holds every concept, keyed for lookup and ordered for iteration.
+type Catalog struct {
+	ordered []Concept
+	byKey   map[string]Concept
+}
+
+// NewCatalog builds the shared concept catalog.
+func NewCatalog() *Catalog {
+	c := &Catalog{byKey: make(map[string]Concept)}
+	for _, con := range catalogConcepts {
+		c.ordered = append(c.ordered, con)
+		c.byKey[con.Key] = con
+	}
+	return c
+}
+
+// Get returns the concept with the given key; ok is false if unknown.
+func (c *Catalog) Get(key string) (Concept, bool) {
+	con, ok := c.byKey[key]
+	return con, ok
+}
+
+// MustGet returns the concept with the given key or panics.
+func (c *Catalog) MustGet(key string) Concept {
+	con, ok := c.byKey[key]
+	if !ok {
+		panic("logdata: unknown concept " + key)
+	}
+	return con
+}
+
+// All returns every concept in declaration order.
+func (c *Catalog) All() []Concept { return c.ordered }
+
+// Anomalies returns every anomalous concept.
+func (c *Catalog) Anomalies() []Concept {
+	var out []Concept
+	for _, con := range c.ordered {
+		if con.Anomalous {
+			out = append(out, con)
+		}
+	}
+	return out
+}
+
+// catalogConcepts enumerates the semantic event space. Shared anomaly
+// concepts model the paper's observation that different systems log the
+// same failure in different words (network interruption and parity error
+// are lifted straight from the paper's Table I).
+var catalogConcepts = []Concept{
+	// ---- Shared anomalous concepts (rendered by multiple systems). ----
+	{Key: "anom.net.interrupt", Canonical: "network connection interrupted due to loss of signal", Anomalous: true},
+	{Key: "anom.parity", Canonical: "memory parity error detected in cache unit", Anomalous: true},
+	{Key: "anom.disk.fail", Canonical: "disk input output failure while accessing storage device", Anomalous: true},
+	{Key: "anom.oom", Canonical: "process terminated because system ran out of memory", Anomalous: true},
+	{Key: "anom.timeout", Canonical: "operation timed out waiting for remote response", Anomalous: true},
+	{Key: "anom.auth.fail", Canonical: "repeated authentication failures detected for user account", Anomalous: true},
+	{Key: "anom.service.crash", Canonical: "service process crashed unexpectedly with fatal error", Anomalous: true},
+	{Key: "anom.corrupt", Canonical: "data corruption detected during integrity verification", Anomalous: true},
+	{Key: "anom.overload", Canonical: "request queue overloaded causing severe performance degradation", Anomalous: true},
+	{Key: "anom.replica.lost", Canonical: "replica lost quorum and was removed from the cluster", Anomalous: true},
+	{Key: "anom.fs.readonly", Canonical: "filesystem remounted read only after unrecoverable write failure", Anomalous: true},
+	{Key: "anom.hw.temp", Canonical: "hardware temperature exceeded critical safety threshold", Anomalous: true},
+
+	// ---- System-specific anomalous concepts. ----
+	{Key: "anom.bgl.kernel", Canonical: "kernel panic detected in compute node firmware", Anomalous: true},
+	{Key: "anom.bgl.torus", Canonical: "torus interconnect link error corrupted packet delivery", Anomalous: true},
+	{Key: "anom.spirit.lustre", Canonical: "parallel filesystem metadata server became unavailable", Anomalous: true},
+	{Key: "anom.spirit.mpi", Canonical: "message passing collective operation aborted across ranks", Anomalous: true},
+	{Key: "anom.tb.sched", Canonical: "batch scheduler lost contact with compute node", Anomalous: true},
+	{Key: "anom.sysa.billing", Canonical: "billing reconciliation mismatch detected between ledgers", Anomalous: true},
+	{Key: "anom.sysb.cache", Canonical: "distributed cache suffered mass eviction storm", Anomalous: true},
+	{Key: "anom.sysc.session", Canonical: "session state replication failed across availability zones", Anomalous: true},
+
+	// ---- Shared normal operational concepts. ----
+	{Key: "op.job.submit", Canonical: "job submitted to the scheduling queue"},
+	{Key: "op.job.start", Canonical: "job started executing on allocated resources"},
+	{Key: "op.job.finish", Canonical: "job finished successfully and released resources"},
+	{Key: "op.net.connect", Canonical: "network connection established with peer"},
+	{Key: "op.net.close", Canonical: "network connection closed normally"},
+	{Key: "op.disk.read", Canonical: "data block read from storage device"},
+	{Key: "op.disk.write", Canonical: "data block written to storage device"},
+	{Key: "op.auth.ok", Canonical: "user authenticated successfully"},
+	{Key: "op.heartbeat", Canonical: "component heartbeat reported healthy status"},
+	{Key: "op.config.reload", Canonical: "configuration reloaded without errors"},
+	{Key: "op.cache.hit", Canonical: "cache lookup served request from memory"},
+	{Key: "op.cache.expire", Canonical: "cache entry expired and was refreshed"},
+	{Key: "op.query.exec", Canonical: "query executed and returned result set"},
+	{Key: "op.replica.sync", Canonical: "replica synchronized with primary copy"},
+	{Key: "op.gc", Canonical: "garbage collection completed reclaiming memory"},
+	{Key: "op.scale.up", Canonical: "capacity scaled up to absorb load"},
+	{Key: "op.backup", Canonical: "backup snapshot completed successfully"},
+	{Key: "op.monitor", Canonical: "monitoring probe recorded nominal metrics"},
+
+	// ---- Rare shared operational concepts: the long tail of normal
+	// behaviour (maintenance, rotations, drills). They are the reason
+	// target-only unsupervised methods false-positive heavily when trained
+	// on a small slice of a new system — the slice misses the tail — while
+	// transfer methods can learn the tail from mature sources. Note
+	// op.retrywarn: negative-sounding but operationally normal, the §V
+	// external-threat example ("frequent login failures are not considered
+	// anomalies in practice"). ----
+	{Key: "op.maint", Canonical: "scheduled maintenance task executed on component"},
+	{Key: "op.cert", Canonical: "security certificate rotated before expiry"},
+	{Key: "op.upgrade", Canonical: "software package upgraded to new version"},
+	{Key: "op.audit", Canonical: "periodic audit snapshot recorded configuration"},
+	{Key: "op.clock", Canonical: "system clock synchronized with reference time server"},
+	{Key: "op.debugdump", Canonical: "diagnostic trace dump captured for offline analysis"},
+	{Key: "op.quota", Canonical: "storage quota usage report generated"},
+	{Key: "op.retrywarn", Canonical: "transient warning retried and recovered automatically"},
+	{Key: "op.drill", Canonical: "planned failover drill completed without impact"},
+	{Key: "op.reindex", Canonical: "background index rebuild completed"},
+
+	// ---- Rare system-specific normal concepts (never unified by LEI —
+	// the small residual false-positive source even for LogSynergy). ----
+	{Key: "op.bgl.reseat", Canonical: "midplane service card reseated by operator"},
+	{Key: "op.spirit.purge", Canonical: "scratch filesystem purge cycle removed stale files"},
+	{Key: "op.tb.fwflash", Canonical: "firmware image flashed on management controller"},
+	{Key: "op.sysa.taxsync", Canonical: "tax rate table synchronized from authority feed"},
+	{Key: "op.sysb.warmup", Canonical: "cache snapshot exported for cluster warmup"},
+	{Key: "op.sysc.abtest", Canonical: "experiment assignment table refreshed"},
+
+	// ---- System-specific normal concepts (these keep a system-specific
+	// signal in the data even after interpretation, which is exactly the
+	// signal SUFE is designed to disentangle). ----
+	{Key: "op.bgl.ciod", Canonical: "compute node io daemon processed control message"},
+	{Key: "op.bgl.ras", Canonical: "reliability availability serviceability event recorded"},
+	{Key: "op.spirit.lnet", Canonical: "lustre network layer routed bulk transfer"},
+	{Key: "op.spirit.slurm", Canonical: "resource manager allocated partition for batch work"},
+	{Key: "op.tb.ib", Canonical: "infiniband fabric port counters sampled"},
+	{Key: "op.tb.nfs", Canonical: "network filesystem mount refreshed attributes"},
+	{Key: "op.sysa.invoice", Canonical: "invoice pipeline materialized customer statement"},
+	{Key: "op.sysa.api", Canonical: "public api gateway forwarded customer request"},
+	{Key: "op.sysb.shard", Canonical: "cache shard rebalanced key ranges"},
+	{Key: "op.sysb.ttl", Canonical: "time to live sweeper pruned expired keys"},
+	{Key: "op.sysc.login", Canonical: "customer session established through portal"},
+	{Key: "op.sysc.cdn", Canonical: "content delivery edge refreshed cached object"},
+}

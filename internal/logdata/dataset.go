@@ -1,0 +1,121 @@
+package logdata
+
+import (
+	"logsynergy/internal/drain"
+	"logsynergy/internal/window"
+)
+
+// Parsed is a corpus after Drain parsing: each line mapped to an event id,
+// with the discovered templates and ground-truth line labels retained.
+type Parsed struct {
+	// System is the originating system's name.
+	System string
+	// EventIDs holds one Drain event id per line.
+	EventIDs []int
+	// Labels holds the ground-truth per-line anomaly flags.
+	Labels []bool
+	// Concepts holds the hidden per-line concept keys (ground truth only).
+	Concepts []string
+	// Templates maps event id to template text (index = event id).
+	Templates []string
+}
+
+// Parse runs every corpus line through the Drain parser. Passing a fresh
+// parser per system mirrors the paper's per-dataset parsing; passing a
+// shared parser would merge template spaces, which the pipeline never does.
+func Parse(c *Corpus, p *drain.Parser) *Parsed {
+	out := &Parsed{
+		System:   c.System.Name,
+		EventIDs: make([]int, len(c.Lines)),
+		Labels:   make([]bool, len(c.Lines)),
+		Concepts: make([]string, len(c.Lines)),
+	}
+	for i, line := range c.Lines {
+		m := p.Parse(line.Message)
+		out.EventIDs[i] = m.EventID
+		out.Labels[i] = line.Anomalous
+		out.Concepts[i] = line.ConceptKey
+	}
+	for _, ev := range p.Events() {
+		out.Templates = append(out.Templates, ev.Template)
+	}
+	return out
+}
+
+// Sample is one model-ready log sequence.
+type Sample struct {
+	// EventIDs is the fixed-length window of event ids.
+	EventIDs []int
+	// Label is the sequence-level anomaly ground truth (true = anomalous).
+	Label bool
+}
+
+// Sequences is a windowed, labeled dataset for one system.
+type Sequences struct {
+	// System is the originating system's name.
+	System string
+	// Samples holds the windowed sequences in stream order.
+	Samples []Sample
+	// Templates maps event id to template text.
+	Templates []string
+}
+
+// Windows segments the parsed stream into fixed-length sequences using the
+// paper's sliding-window rule; a sequence is anomalous iff it contains at
+// least one anomalous line.
+func (p *Parsed) Windows(cfg window.Config) *Sequences {
+	spans := window.Slide(len(p.EventIDs), cfg)
+	out := &Sequences{System: p.System, Templates: p.Templates}
+	for _, sp := range spans {
+		ids := make([]int, sp.End-sp.Start)
+		copy(ids, p.EventIDs[sp.Start:sp.End])
+		out.Samples = append(out.Samples, Sample{
+			EventIDs: ids,
+			Label:    window.AnyTrue(p.Labels, sp),
+		})
+	}
+	return out
+}
+
+// NumAnomalous counts anomalous sequences.
+func (s *Sequences) NumAnomalous() int {
+	n := 0
+	for _, smp := range s.Samples {
+		if smp.Label {
+			n++
+		}
+	}
+	return n
+}
+
+// Head returns a view of the first n samples (fewer if the dataset is
+// smaller). The paper trains target systems on the *former* portion of the
+// stream and tests on the latter, to avoid temporal leakage (§IV-A1).
+func (s *Sequences) Head(n int) *Sequences {
+	if n > len(s.Samples) {
+		n = len(s.Samples)
+	}
+	return &Sequences{System: s.System, Samples: s.Samples[:n], Templates: s.Templates}
+}
+
+// Tail returns a view of the samples after the first n.
+func (s *Sequences) Tail(n int) *Sequences {
+	if n > len(s.Samples) {
+		n = len(s.Samples)
+	}
+	return &Sequences{System: s.System, Samples: s.Samples[n:], Templates: s.Templates}
+}
+
+// SplitTrainTest splits the stream continuously: the first trainN samples
+// train, everything after tests.
+func (s *Sequences) SplitTrainTest(trainN int) (train, test *Sequences) {
+	return s.Head(trainN), s.Tail(trainN)
+}
+
+// Build generates, parses and windows one system's corpus in a single call:
+// the full offline pre-processing phase (§III-B) for that system.
+func Build(spec *SystemSpec, seed int64, scale float64, cfg window.Config) *Sequences {
+	corpus := GenerateScaled(spec, seed, scale)
+	parsed := Parse(corpus, drain.NewDefault())
+	return parsed.Windows(cfg)
+}

@@ -1,0 +1,217 @@
+package logdata
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+)
+
+// Line is one generated raw log line with its ground truth.
+type Line struct {
+	// Timestamp is the synthetic emission time.
+	Timestamp time.Time
+	// Message is the raw log text a collector would see.
+	Message string
+	// ConceptKey is the hidden semantic concept (ground truth only; no
+	// component of the detection pipeline may read it).
+	ConceptKey string
+	// Anomalous is the ground-truth line label.
+	Anomalous bool
+}
+
+// Corpus is a generated dataset for one system.
+type Corpus struct {
+	System *SystemSpec
+	Lines  []Line
+}
+
+// NumAnomalousLines counts ground-truth anomalous lines.
+func (c *Corpus) NumAnomalousLines() int {
+	n := 0
+	for _, l := range c.Lines {
+		if l.Anomalous {
+			n++
+		}
+	}
+	return n
+}
+
+// Messages returns just the raw messages, in order.
+func (c *Corpus) Messages() []string {
+	out := make([]string, len(c.Lines))
+	for i, l := range c.Lines {
+		out[i] = l.Message
+	}
+	return out
+}
+
+// Generator produces a log line stream for one system. It is a small state
+// machine: normal traffic interleaves multi-line operational workflows with
+// background chatter; anomalies arrive as short bursts, mirroring how real
+// incidents produce clusters of related error lines.
+type Generator struct {
+	spec *SystemSpec
+	rng  *rand.Rand
+	now  time.Time
+
+	// workflow progress
+	workflow []string
+	wfPos    int
+	// remaining anomaly burst
+	burstLeft    int
+	burstConcept string
+}
+
+// NewGenerator creates a deterministic generator for the system seeded with
+// seed. The same (spec, seed) pair always yields the same corpus.
+func NewGenerator(spec *SystemSpec, seed int64) *Generator {
+	return &Generator{
+		spec: spec,
+		rng:  rand.New(rand.NewSource(seed)),
+		now:  time.Date(2023, 1, 1, 0, 0, 0, 0, time.UTC),
+	}
+}
+
+// Next produces the next log line.
+func (g *Generator) Next() Line {
+	g.now = g.now.Add(time.Duration(50+g.rng.Intn(900)) * time.Millisecond)
+
+	// Continue an ongoing anomaly burst first: incidents dominate a node's
+	// output while they last.
+	if g.burstLeft > 0 {
+		g.burstLeft--
+		return g.emit(g.burstConcept, true)
+	}
+	// Possibly start a new burst.
+	if g.rng.Float64() < g.spec.BurstRate {
+		g.burstConcept = g.spec.Anomalies[g.rng.Intn(len(g.spec.Anomalies))]
+		span := g.spec.BurstLenMax - g.spec.BurstLenMin + 1
+		g.burstLeft = g.spec.BurstLenMin + g.rng.Intn(span) - 1
+		return g.emit(g.burstConcept, true)
+	}
+	// Long-tail normal behaviour: rare operational events interleave with
+	// everything else (maintenance can happen mid-workflow in real systems).
+	if len(g.spec.Rare) > 0 && g.rng.Float64() < g.spec.RareRate {
+		return g.emit(g.spec.Rare[g.rng.Intn(len(g.spec.Rare))], false)
+	}
+	// Continue an in-progress workflow.
+	if g.workflow != nil {
+		key := g.workflow[g.wfPos]
+		g.wfPos++
+		if g.wfPos >= len(g.workflow) {
+			g.workflow = nil
+		}
+		return g.emit(key, false)
+	}
+	// Start a workflow or emit background chatter.
+	if g.rng.Float64() < 0.35 && len(g.spec.Workflows) > 0 {
+		g.workflow = g.spec.Workflows[g.rng.Intn(len(g.spec.Workflows))]
+		g.wfPos = 1
+		key := g.workflow[0]
+		if len(g.workflow) == 1 {
+			g.workflow = nil
+		}
+		return g.emit(key, false)
+	}
+	key := g.spec.Background[g.rng.Intn(len(g.spec.Background))]
+	return g.emit(key, false)
+}
+
+// emit renders one concept into a concrete line.
+func (g *Generator) emit(key string, anomalous bool) Line {
+	templates := g.spec.Renderings[key]
+	if len(templates) == 0 {
+		panic(fmt.Sprintf("logdata: system %s has no rendering for concept %s", g.spec.Name, key))
+	}
+	tpl := templates[g.rng.Intn(len(templates))]
+	return Line{
+		Timestamp:  g.now,
+		Message:    g.expand(tpl),
+		ConceptKey: key,
+		Anomalous:  anomalous,
+	}
+}
+
+// expand substitutes every placeholder with a random concrete value.
+func (g *Generator) expand(tpl string) string {
+	var b strings.Builder
+	for {
+		i := strings.IndexByte(tpl, '{')
+		if i < 0 {
+			b.WriteString(tpl)
+			return b.String()
+		}
+		j := strings.IndexByte(tpl[i:], '}')
+		if j < 0 {
+			b.WriteString(tpl)
+			return b.String()
+		}
+		b.WriteString(tpl[:i])
+		b.WriteString(g.value(tpl[i+1 : i+j]))
+		tpl = tpl[i+j+1:]
+	}
+}
+
+var sampleUsers = []string{"alice", "bob", "carol", "dave", "erin", "frank", "grace", "heidi"}
+
+var samplePaths = []string{
+	"/var/log/app.log", "/scratch/job/data.bin", "/home/proj/input.dat",
+	"/etc/service/conf.yaml", "/data/shard/segment.idx", "/tmp/stage/upload.tmp",
+}
+
+// value renders one placeholder kind.
+func (g *Generator) value(kind string) string {
+	switch kind {
+	case "ip":
+		return fmt.Sprintf("%d.%d.%d.%d", 10+g.rng.Intn(160), g.rng.Intn(256), g.rng.Intn(256), 1+g.rng.Intn(254))
+	case "port":
+		return fmt.Sprintf("%d", 1024+g.rng.Intn(64000))
+	case "n":
+		return fmt.Sprintf("%d", g.rng.Intn(1000))
+	case "big":
+		return fmt.Sprintf("%d", 10000+g.rng.Intn(99999999))
+	case "hex":
+		return fmt.Sprintf("0x%08x", g.rng.Uint32())
+	case "path":
+		return samplePaths[g.rng.Intn(len(samplePaths))]
+	case "user":
+		return sampleUsers[g.rng.Intn(len(sampleUsers))]
+	case "node":
+		return fmt.Sprintf("R%02d-M%d-N%d", g.rng.Intn(64), g.rng.Intn(2), g.rng.Intn(16))
+	case "ms":
+		return fmt.Sprintf("%d", 1+g.rng.Intn(5000))
+	case "list":
+		// Variable-length item lists split templates by token count under
+		// Drain, multiplying the long tail of distinct normal templates.
+		k := 1 + g.rng.Intn(5)
+		items := make([]string, k)
+		for i := range items {
+			items[i] = fmt.Sprintf("item%d", g.rng.Intn(10000))
+		}
+		return strings.Join(items, " ")
+	default:
+		return "{" + kind + "}"
+	}
+}
+
+// Generate produces a corpus of n lines.
+func Generate(spec *SystemSpec, seed int64, n int) *Corpus {
+	g := NewGenerator(spec, seed)
+	lines := make([]Line, n)
+	for i := range lines {
+		lines[i] = g.Next()
+	}
+	return &Corpus{System: spec, Lines: lines}
+}
+
+// GenerateScaled produces a corpus sized at scale times the system's paper
+// corpus (Table III). scale 1.0 reproduces the paper's line counts; the CPU
+// benchmarks use much smaller scales.
+func GenerateScaled(spec *SystemSpec, seed int64, scale float64) *Corpus {
+	n := int(float64(spec.Lines) * scale)
+	if n < 1 {
+		n = 1
+	}
+	return Generate(spec, seed, n)
+}

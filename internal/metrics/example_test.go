@@ -1,0 +1,18 @@
+package metrics_test
+
+import (
+	"fmt"
+
+	"logsynergy/internal/metrics"
+)
+
+// Example evaluates anomaly scores against ground truth at the paper's
+// fixed 0.5 threshold.
+func Example() {
+	scores := []float64{0.9, 0.2, 0.7, 0.1}
+	labels := []bool{true, false, false, false}
+	r := metrics.Evaluate(scores, labels, 0.5)
+	fmt.Println(r)
+	// Output:
+	// P=50.00% R=100.00% F1=66.67%
+}

@@ -1,0 +1,108 @@
+// Package metrics provides the evaluation metrics of the paper (§IV-A3):
+// precision, recall and F1-score over binary anomaly predictions, plus
+// confusion-matrix and threshold-sweep helpers.
+package metrics
+
+import "fmt"
+
+// Confusion is a binary confusion matrix.
+type Confusion struct {
+	TP, FP, TN, FN int
+}
+
+// Add records one prediction/label pair.
+func (c *Confusion) Add(predicted, actual bool) {
+	switch {
+	case predicted && actual:
+		c.TP++
+	case predicted && !actual:
+		c.FP++
+	case !predicted && actual:
+		c.FN++
+	default:
+		c.TN++
+	}
+}
+
+// Precision returns TP/(TP+FP), or 0 when undefined.
+func (c *Confusion) Precision() float64 {
+	if c.TP+c.FP == 0 {
+		return 0
+	}
+	return float64(c.TP) / float64(c.TP+c.FP)
+}
+
+// Recall returns TP/(TP+FN), or 0 when undefined.
+func (c *Confusion) Recall() float64 {
+	if c.TP+c.FN == 0 {
+		return 0
+	}
+	return float64(c.TP) / float64(c.TP+c.FN)
+}
+
+// F1 returns the harmonic mean of precision and recall, or 0 when undefined.
+func (c *Confusion) F1() float64 {
+	p, r := c.Precision(), c.Recall()
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+// Total returns the number of recorded pairs.
+func (c *Confusion) Total() int { return c.TP + c.FP + c.TN + c.FN }
+
+// String renders the matrix compactly.
+func (c *Confusion) String() string {
+	return fmt.Sprintf("TP=%d FP=%d TN=%d FN=%d P=%.2f%% R=%.2f%% F1=%.2f%%",
+		c.TP, c.FP, c.TN, c.FN, 100*c.Precision(), 100*c.Recall(), 100*c.F1())
+}
+
+// Result is the (P, R, F1) triple every paper table reports.
+type Result struct {
+	Precision, Recall, F1 float64
+}
+
+// Evaluate scores predictions against labels (same length) at the given
+// probability threshold (the paper fixes 0.5 for all classifiers).
+func Evaluate(scores []float64, labels []bool, threshold float64) Result {
+	if len(scores) != len(labels) {
+		panic(fmt.Sprintf("metrics: %d scores vs %d labels", len(scores), len(labels)))
+	}
+	var c Confusion
+	for i, s := range scores {
+		c.Add(s > threshold, labels[i])
+	}
+	return Result{Precision: c.Precision(), Recall: c.Recall(), F1: c.F1()}
+}
+
+// EvaluateBool scores hard binary predictions.
+func EvaluateBool(preds, labels []bool) Result {
+	if len(preds) != len(labels) {
+		panic(fmt.Sprintf("metrics: %d preds vs %d labels", len(preds), len(labels)))
+	}
+	var c Confusion
+	for i, p := range preds {
+		c.Add(p, labels[i])
+	}
+	return Result{Precision: c.Precision(), Recall: c.Recall(), F1: c.F1()}
+}
+
+// String renders a result as the percentage triple used in the tables.
+func (r Result) String() string {
+	return fmt.Sprintf("P=%.2f%% R=%.2f%% F1=%.2f%%", 100*r.Precision, 100*r.Recall, 100*r.F1)
+}
+
+// SweepBestF1 evaluates a grid of thresholds and returns the threshold
+// achieving the best F1 along with that result. The paper tunes baseline
+// hyper-parameters for best F1; the final comparison still uses 0.5.
+func SweepBestF1(scores []float64, labels []bool, thresholds []float64) (float64, Result) {
+	bestT, best := 0.5, Result{}
+	for _, th := range thresholds {
+		r := Evaluate(scores, labels, th)
+		if r.F1 > best.F1 {
+			best, bestT = r, th
+		}
+	}
+	return bestT, best
+}

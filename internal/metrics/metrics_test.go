@@ -1,0 +1,100 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestConfusionCounts(t *testing.T) {
+	var c Confusion
+	c.Add(true, true)   // TP
+	c.Add(true, false)  // FP
+	c.Add(false, true)  // FN
+	c.Add(false, false) // TN
+	if c.TP != 1 || c.FP != 1 || c.FN != 1 || c.TN != 1 || c.Total() != 4 {
+		t.Fatalf("confusion: %+v", c)
+	}
+	if c.Precision() != 0.5 || c.Recall() != 0.5 || c.F1() != 0.5 {
+		t.Fatalf("P=%v R=%v F1=%v", c.Precision(), c.Recall(), c.F1())
+	}
+}
+
+func TestUndefinedMetricsAreZero(t *testing.T) {
+	var c Confusion
+	c.Add(false, false)
+	if c.Precision() != 0 || c.Recall() != 0 || c.F1() != 0 {
+		t.Fatal("metrics with no positives must be zero, not NaN")
+	}
+}
+
+func TestEvaluateThreshold(t *testing.T) {
+	scores := []float64{0.9, 0.4, 0.8, 0.1}
+	labels := []bool{true, true, false, false}
+	r := Evaluate(scores, labels, 0.5)
+	// Predictions: T F T F -> TP=1 FP=1 FN=1 TN=1.
+	if r.Precision != 0.5 || r.Recall != 0.5 {
+		t.Fatalf("got %+v", r)
+	}
+}
+
+func TestPerfectAndWorstCases(t *testing.T) {
+	scores := []float64{0.99, 0.01}
+	labels := []bool{true, false}
+	if r := Evaluate(scores, labels, 0.5); r.F1 != 1 {
+		t.Fatalf("perfect classifier must score F1=1, got %+v", r)
+	}
+	inverted := Evaluate([]float64{0.01, 0.99}, labels, 0.5)
+	if inverted.F1 != 0 {
+		t.Fatalf("fully inverted classifier must score F1=0, got %+v", inverted)
+	}
+}
+
+func TestEvaluateBool(t *testing.T) {
+	r := EvaluateBool([]bool{true, true, false}, []bool{true, false, false})
+	if math.Abs(r.Precision-0.5) > 1e-12 || r.Recall != 1 {
+		t.Fatalf("got %+v", r)
+	}
+}
+
+func TestSweepBestF1(t *testing.T) {
+	scores := []float64{0.3, 0.35, 0.9, 0.95}
+	labels := []bool{false, false, true, true}
+	th, r := SweepBestF1(scores, labels, []float64{0.1, 0.5, 0.99})
+	if r.F1 != 1 {
+		t.Fatalf("best F1 should be 1, got %+v at %v", r, th)
+	}
+	if th != 0.5 {
+		t.Fatalf("expected threshold 0.5 to be optimal, got %v", th)
+	}
+}
+
+func TestMismatchedLengthsPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Evaluate([]float64{1}, []bool{true, false}, 0.5)
+}
+
+// Property: F1 is always between min(P,R) and max(P,R), and all metrics
+// stay in [0,1].
+func TestMetricBoundsProperty(t *testing.T) {
+	f := func(tp, fp, fn, tn uint8) bool {
+		c := Confusion{TP: int(tp), FP: int(fp), FN: int(fn), TN: int(tn)}
+		p, r, f1 := c.Precision(), c.Recall(), c.F1()
+		inRange := p >= 0 && p <= 1 && r >= 0 && r <= 1 && f1 >= 0 && f1 <= 1
+		if !inRange {
+			return false
+		}
+		if p > 0 && r > 0 {
+			lo, hi := math.Min(p, r), math.Max(p, r)
+			return f1 >= lo-1e-12 && f1 <= hi+1e-12
+		}
+		return f1 == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,180 @@
+// Package mmd implements Maximum Mean Discrepancy (Gretton et al., 2006),
+// the kernel two-sample statistic the paper cites as the classic
+// distribution-alignment alternative to adversarial domain adaptation
+// (§II-A). LogSynergy uses DAAN; this package provides the MMD option so
+// the choice can be ablated: minimizing MMD between the source and target
+// system-unified features aligns their distributions without a domain
+// classifier or gradient reversal.
+package mmd
+
+import (
+	"logsynergy/internal/nn"
+	"logsynergy/internal/tensor"
+)
+
+// Loss builds the squared MMD between source rows and target rows of a
+// feature batch on the graph, using a multi-scale RBF kernel:
+//
+//	MMD²(S,T) = E[k(s,s')] + E[k(t,t')] − 2·E[k(s,t)]
+//
+// features is [B,d]; domains[i] is 0 for source rows, 1 for target rows.
+// Bandwidths are set by the median heuristic times the given multipliers
+// (a standard multi-kernel choice). Returns a scalar node; minimizing it
+// pulls the two feature distributions together. If either side has fewer
+// than two rows the loss is a zero constant.
+func Loss(g *nn.Graph, features *nn.Node, domains []float64, bandwidthScales []float64) *nn.Node {
+	var srcIdx, tgtIdx []int
+	for i, d := range domains {
+		if d == 0 {
+			srcIdx = append(srcIdx, i)
+		} else {
+			tgtIdx = append(tgtIdx, i)
+		}
+	}
+	if len(srcIdx) < 2 || len(tgtIdx) < 2 {
+		return g.Const(tensor.Scalar(0))
+	}
+	if len(bandwidthScales) == 0 {
+		bandwidthScales = []float64{0.5, 1, 2}
+	}
+
+	s := g.GatherRows(features, srcIdx)
+	t := g.GatherRows(features, tgtIdx)
+
+	sigma2 := medianSquaredDistance(features.Value, srcIdx, tgtIdx)
+	if sigma2 <= 0 {
+		sigma2 = 1
+	}
+
+	var loss *nn.Node
+	for _, scale := range bandwidthScales {
+		bw := sigma2 * scale
+		term := g.Add(
+			g.Sub(meanKernel(g, s, s, bw), g.Scale(meanKernel(g, s, t, bw), 2)),
+			meanKernel(g, t, t, bw),
+		)
+		if loss == nil {
+			loss = term
+		} else {
+			loss = g.Add(loss, term)
+		}
+	}
+	return g.Scale(loss, 1/float64(len(bandwidthScales)))
+}
+
+// meanKernel is E[exp(−‖a_i − b_j‖² / (2·bw))] over all pairs.
+func meanKernel(g *nn.Graph, a, b *nn.Node, bw float64) *nn.Node {
+	// ‖a_i − b_j‖² = ‖a_i‖² + ‖b_j‖² − 2·a_i·b_j, assembled with
+	// broadcast-friendly ops.
+	m, n := a.Value.Rows(), b.Value.Rows()
+	cross := g.MatMul(a, g.Transpose(b)) // [m,n]
+
+	aNorm := rowSquaredNorms(g, a)                            // [m,1]-like [m] vector node as [m,1]
+	bNorm := rowSquaredNorms(g, b)                            // [n,1]
+	aBroadcast := g.MatMul(aNorm, onesRow(g, n))              // [m,n]
+	bBroadcast := g.MatMul(onesCol(g, m), g.Transpose(bNorm)) // [m,n]
+
+	dist := g.Sub(g.Add(aBroadcast, bBroadcast), g.Scale(cross, 2))
+	kernel := g.Exp(g.Scale(dist, -1/(2*bw)))
+	return g.Mean(kernel)
+}
+
+// rowSquaredNorms returns a [m,1] node of per-row squared norms.
+func rowSquaredNorms(g *nn.Graph, a *nn.Node) *nn.Node {
+	m, d := a.Value.Rows(), a.Value.Cols()
+	sq := g.Square(a)
+	ones := tensor.New(d, 1)
+	ones.Fill(1)
+	_ = m
+	return g.MatMul(sq, g.Const(ones)) // [m,1]
+}
+
+// onesRow returns a constant [1,n] of ones.
+func onesRow(g *nn.Graph, n int) *nn.Node {
+	t := tensor.New(1, n)
+	t.Fill(1)
+	return g.Const(t)
+}
+
+// onesCol returns a constant [m,1] of ones.
+func onesCol(g *nn.Graph, m int) *nn.Node {
+	t := tensor.New(m, 1)
+	t.Fill(1)
+	return g.Const(t)
+}
+
+// medianSquaredDistance estimates the median pairwise squared distance
+// between the source and target rows (the median heuristic bandwidth).
+func medianSquaredDistance(features *tensor.Tensor, srcIdx, tgtIdx []int) float64 {
+	d := features.Cols()
+	var dists []float64
+	// Cap the sample to keep the heuristic cheap on big batches.
+	maxPairs := 512
+	for _, i := range srcIdx {
+		for _, j := range tgtIdx {
+			sum := 0.0
+			for k := 0; k < d; k++ {
+				diff := features.Data[i*d+k] - features.Data[j*d+k]
+				sum += diff * diff
+			}
+			dists = append(dists, sum)
+			if len(dists) >= maxPairs {
+				break
+			}
+		}
+		if len(dists) >= maxPairs {
+			break
+		}
+	}
+	if len(dists) == 0 {
+		return 1
+	}
+	// Median via partial selection.
+	k := len(dists) / 2
+	return quickSelect(dists, k)
+}
+
+// quickSelect returns the k-th smallest element (0-based), average O(n).
+func quickSelect(xs []float64, k int) float64 {
+	lo, hi := 0, len(xs)-1
+	for lo < hi {
+		pivot := xs[(lo+hi)/2]
+		i, j := lo, hi
+		for i <= j {
+			for xs[i] < pivot {
+				i++
+			}
+			for xs[j] > pivot {
+				j--
+			}
+			if i <= j {
+				xs[i], xs[j] = xs[j], xs[i]
+				i++
+				j--
+			}
+		}
+		if k <= j {
+			hi = j
+		} else if k >= i {
+			lo = i
+		} else {
+			break
+		}
+	}
+	return xs[k]
+}
+
+// Estimate computes the detached MMD² value between two raw feature sets
+// (no gradients), handy for diagnostics and tests.
+func Estimate(src, tgt *tensor.Tensor, bandwidthScales []float64) float64 {
+	m, n := src.Rows(), tgt.Rows()
+	features := tensor.New(m+n, src.Cols())
+	copy(features.Data, src.Data)
+	copy(features.Data[m*src.Cols():], tgt.Data)
+	domains := make([]float64, m+n)
+	for i := m; i < m+n; i++ {
+		domains[i] = 1
+	}
+	g := nn.NewGraph()
+	return Loss(g, g.Const(features), domains, bandwidthScales).Value.Data[0]
+}

@@ -1,0 +1,105 @@
+package mmd
+
+import (
+	"math/rand"
+	"testing"
+
+	"logsynergy/internal/nn"
+	"logsynergy/internal/tensor"
+)
+
+func gaussianBatch(rng *rand.Rand, n, d int, mean float64) *tensor.Tensor {
+	t := tensor.Randn(rng, 1, n, d)
+	for i := range t.Data {
+		t.Data[i] += mean
+	}
+	return t
+}
+
+func TestShiftedDistributionsScoreHigher(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	same := Estimate(gaussianBatch(rng, 64, 4, 0), gaussianBatch(rng, 64, 4, 0), nil)
+	shifted := Estimate(gaussianBatch(rng, 64, 4, 0), gaussianBatch(rng, 64, 4, 2), nil)
+	if shifted <= same {
+		t.Fatalf("MMD must rank shifted (%.4f) above identical (%.4f)", shifted, same)
+	}
+	if same > 0.05 {
+		t.Fatalf("identical distributions should give near-zero MMD, got %.4f", same)
+	}
+}
+
+func TestMMDNonNegativeInExpectation(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 10; i++ {
+		v := Estimate(gaussianBatch(rng, 48, 3, 0), gaussianBatch(rng, 48, 3, 0), nil)
+		// The biased estimator fluctuates slightly; it must not be
+		// substantially negative.
+		if v < -0.02 {
+			t.Fatalf("MMD estimate %v too negative", v)
+		}
+	}
+}
+
+func TestLossGradientsAlignDistributions(t *testing.T) {
+	// Minimizing MMD through a learned shift must pull target onto source.
+	rng := rand.New(rand.NewSource(3))
+	ps := nn.NewParamSet()
+	shift := ps.New("shift", tensor.New(1, 3))
+	shift.Value.Fill(3) // target starts 3 away from source
+
+	src := gaussianBatch(rng, 48, 3, 0)
+	lr := 0.5
+	var first, last float64
+	for step := 0; step < 60; step++ {
+		tgtBase := gaussianBatch(rng, 48, 3, 0)
+		g := nn.NewGraph()
+		// target = base + shift (broadcast via matmul with ones column)
+		onesCol := tensor.New(48, 1)
+		onesCol.Fill(1)
+		shifted := g.Add(g.Const(tgtBase), g.MatMul(g.Const(onesCol), g.Param(shift)))
+		all := g.ConcatRows(g.Const(src), shifted)
+		domains := make([]float64, 96)
+		for i := 48; i < 96; i++ {
+			domains[i] = 1
+		}
+		loss := Loss(g, all, domains, nil)
+		if step == 0 {
+			first = loss.Value.Data[0]
+		}
+		last = loss.Value.Data[0]
+		g.Backward(loss)
+		for i := range shift.Value.Data {
+			shift.Value.Data[i] -= lr * shift.Grad.Data[i]
+		}
+		ps.ZeroGrad()
+	}
+	if last >= first/3 {
+		t.Fatalf("minimizing MMD should align distributions: %.4f -> %.4f", first, last)
+	}
+	if shift.Value.MaxAbs() > 1.5 {
+		t.Fatalf("shift should shrink toward zero, still %.3f", shift.Value.MaxAbs())
+	}
+}
+
+func TestDegenerateBatches(t *testing.T) {
+	g := nn.NewGraph()
+	features := tensor.New(3, 2)
+	// Only one target row: loss must be the zero constant.
+	loss := Loss(g, g.Const(features), []float64{0, 0, 1}, nil)
+	if loss.Value.Data[0] != 0 {
+		t.Fatalf("degenerate batch must give zero loss, got %v", loss.Value.Data[0])
+	}
+}
+
+func TestQuickSelect(t *testing.T) {
+	xs := []float64{5, 1, 4, 2, 3}
+	if got := quickSelect(append([]float64(nil), xs...), 2); got != 3 {
+		t.Fatalf("median of 1..5 is 3, got %v", got)
+	}
+	if got := quickSelect(append([]float64(nil), xs...), 0); got != 1 {
+		t.Fatalf("min is 1, got %v", got)
+	}
+	if got := quickSelect(append([]float64(nil), xs...), 4); got != 5 {
+		t.Fatalf("max is 5, got %v", got)
+	}
+}

@@ -1,0 +1,65 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+
+	"logsynergy/internal/tensor"
+)
+
+// BenchmarkTransformerForward measures one encoder forward pass at the
+// CPU-scale geometry used by the experiments (B=64, T=10, D=32).
+func BenchmarkTransformerForward(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	ps := NewParamSet()
+	enc := NewTransformerEncoder(ps, "enc", rng, 32, 32, 2, 64, 2, 0)
+	x := tensor.Randn(rng, 1, 64, 10, 32)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := NewGraph()
+		enc.EncodePooled(g, g.Const(x), rng, false)
+	}
+}
+
+// BenchmarkTransformerTrainStep measures forward+backward+grad at the same
+// geometry.
+func BenchmarkTransformerTrainStep(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	ps := NewParamSet()
+	enc := NewTransformerEncoder(ps, "enc", rng, 32, 32, 2, 64, 2, 0)
+	head := NewLinear(ps, "head", rng, 32, 1)
+	x := tensor.Randn(rng, 1, 64, 10, 32)
+	labels := make([]float64, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := NewGraph()
+		h := enc.EncodePooled(g, g.Const(x), rng, true)
+		loss := g.BCEWithLogits(head.Forward(g, h), labels)
+		g.Backward(loss)
+		ps.ZeroGrad()
+	}
+}
+
+// BenchmarkLSTMForward measures the recurrent baseline path.
+func BenchmarkLSTMForward(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	ps := NewParamSet()
+	lstm := NewLSTM(ps, "lstm", rng, 32, 32)
+	x := tensor.Randn(rng, 1, 64, 10, 32)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := NewGraph()
+		lstm.Forward(g, g.Const(x))
+	}
+}
+
+// BenchmarkMatMul measures the core kernel at a typical layer size.
+func BenchmarkMatMul(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := tensor.Randn(rng, 1, 640, 32)
+	w := tensor.Randn(rng, 1, 32, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tensor.MatMul(x, w)
+	}
+}

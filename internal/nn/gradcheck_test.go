@@ -1,0 +1,348 @@
+package nn
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+
+	"logsynergy/internal/tensor"
+)
+
+// numericalGrad estimates dLoss/dParam by central differences, where loss
+// is rebuilt from scratch by forward for each probe.
+func numericalGrad(p *Param, forward func() float64) *tensor.Tensor {
+	const h = 1e-6
+	grad := tensor.New(p.Value.Shape...)
+	for i := range p.Value.Data {
+		orig := p.Value.Data[i]
+		p.Value.Data[i] = orig + h
+		up := forward()
+		p.Value.Data[i] = orig - h
+		down := forward()
+		p.Value.Data[i] = orig
+		grad.Data[i] = (up - down) / (2 * h)
+	}
+	return grad
+}
+
+// checkGrads runs backward once and compares every parameter's analytic
+// gradient against the numerical estimate.
+func checkGrads(t *testing.T, ps *ParamSet, build func() (*Graph, *Node)) {
+	t.Helper()
+	ps.ZeroGrad()
+	g, loss := build()
+	g.Backward(loss)
+	forward := func() float64 {
+		_, l := build()
+		return l.Value.Data[0]
+	}
+	for _, p := range ps.All() {
+		num := numericalGrad(p, forward)
+		for i := range num.Data {
+			a, n := p.Grad.Data[i], num.Data[i]
+			diff := math.Abs(a - n)
+			scale := math.Max(1, math.Max(math.Abs(a), math.Abs(n)))
+			if diff/scale > 1e-4 {
+				t.Fatalf("param %s[%d]: analytic %v vs numerical %v", p.Name, i, a, n)
+			}
+		}
+	}
+}
+
+func TestGradLinearBCE(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	ps := NewParamSet()
+	lin := NewLinear(ps, "lin", rng, 4, 1)
+	x := tensor.Randn(rng, 1, 3, 4)
+	labels := []float64{1, 0, 1}
+	checkGrads(t, ps, func() (*Graph, *Node) {
+		g := NewGraph()
+		out := lin.Forward(g, g.Const(x))
+		return g, g.BCEWithLogits(out, labels)
+	})
+}
+
+func TestGradMLPCrossEntropy(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	ps := NewParamSet()
+	mlp := NewMLP(ps, "mlp", rng, 5, 7, 3)
+	x := tensor.Randn(rng, 1, 4, 5)
+	labels := []int{0, 2, 1, 2}
+	checkGrads(t, ps, func() (*Graph, *Node) {
+		g := NewGraph()
+		out := mlp.Forward(g, g.Const(x))
+		return g, g.CrossEntropyLogits(out, labels)
+	})
+}
+
+func TestGradElementwiseChain(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	ps := NewParamSet()
+	p := ps.New("p", tensor.Randn(rng, 0.5, 2, 3))
+	q := ps.New("q", tensor.Randn(rng, 0.5, 2, 3))
+	checkGrads(t, ps, func() (*Graph, *Node) {
+		g := NewGraph()
+		a, b := g.Param(p), g.Param(q)
+		y := g.Mul(g.Tanh(a), g.Sigmoid(b))
+		y = g.Add(y, g.Square(g.Sub(a, b)))
+		y = g.Sub(y, g.Scale(g.Exp(g.Scale(a, 0.1)), 0.5))
+		return g, g.Mean(y)
+	})
+}
+
+func TestGradDiv(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	ps := NewParamSet()
+	p := ps.New("p", tensor.Randn(rng, 0.5, 2, 2))
+	q := ps.New("q", tensor.RandUniform(rng, 1, 2, 2, 2))
+	checkGrads(t, ps, func() (*Graph, *Node) {
+		g := NewGraph()
+		return g, g.Mean(g.Div(g.Param(p), g.Param(q)))
+	})
+}
+
+func TestGradSoftmax(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	ps := NewParamSet()
+	p := ps.New("p", tensor.Randn(rng, 1, 3, 4))
+	w := tensor.Randn(rng, 1, 3, 4)
+	checkGrads(t, ps, func() (*Graph, *Node) {
+		g := NewGraph()
+		s := g.SoftmaxLastDim(g.Param(p))
+		return g, g.Mean(g.Mul(s, g.Const(w)))
+	})
+}
+
+func TestGradLayerNorm(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	ps := NewParamSet()
+	x := ps.New("x", tensor.Randn(rng, 1, 4, 6))
+	ln := NewLayerNorm(ps, "ln", 6)
+	w := tensor.Randn(rng, 1, 4, 6)
+	checkGrads(t, ps, func() (*Graph, *Node) {
+		g := NewGraph()
+		y := ln.Forward(g, g.Param(x))
+		return g, g.Mean(g.Mul(y, g.Const(w)))
+	})
+}
+
+func TestGradMatMulAndSlices(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	ps := NewParamSet()
+	a := ps.New("a", tensor.Randn(rng, 1, 3, 4))
+	b := ps.New("b", tensor.Randn(rng, 1, 4, 6))
+	checkGrads(t, ps, func() (*Graph, *Node) {
+		g := NewGraph()
+		prod := g.MatMul(g.Param(a), g.Param(b)) // [3,6]
+		left := g.SliceCols(prod, 0, 3)
+		right := g.SliceCols(prod, 3, 6)
+		top := g.SliceRows(prod, 0, 2)
+		cat := g.ConcatCols(left, right)
+		catR := g.ConcatRows(top, top)
+		return g, g.Add(g.Mean(g.Square(cat)), g.Mean(catR))
+	})
+}
+
+func TestGradBMMTranspose(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	ps := NewParamSet()
+	a := ps.New("a", tensor.Randn(rng, 1, 2, 3, 4))
+	b := ps.New("b", tensor.Randn(rng, 1, 2, 3, 4))
+	checkGrads(t, ps, func() (*Graph, *Node) {
+		g := NewGraph()
+		prod := g.BMM(g.Param(a), g.TransposeLast2(g.Param(b))) // [2,3,3]
+		return g, g.Mean(g.Square(prod))
+	})
+}
+
+func TestGradReshapeMeanTimeSelectStack(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	ps := NewParamSet()
+	a := ps.New("a", tensor.Randn(rng, 1, 2, 3, 4))
+	checkGrads(t, ps, func() (*Graph, *Node) {
+		g := NewGraph()
+		x := g.Param(a)
+		pooled := g.MeanTime(x) // [2,4]
+		t0 := g.SelectTime(x, 0)
+		t2 := g.SelectTime(x, 2)
+		restacked := g.StackTime([]*Node{t0, t2, pooled}) // [2,3,4]
+		flat := g.Reshape(restacked, 6, 4)
+		return g, g.Mean(g.Square(flat))
+	})
+}
+
+func TestGradSplitMergeHeads(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	ps := NewParamSet()
+	a := ps.New("a", tensor.Randn(rng, 1, 2, 3, 8))
+	w := tensor.Randn(rng, 1, 2, 3, 8)
+	checkGrads(t, ps, func() (*Graph, *Node) {
+		g := NewGraph()
+		x := g.SplitHeads(g.Param(a), 4)
+		y := g.MergeHeads(x, 4)
+		return g, g.Mean(g.Mul(y, g.Const(w)))
+	})
+}
+
+func TestSplitMergeHeadsRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	g := NewGraph()
+	x := tensor.Randn(rng, 1, 3, 5, 12)
+	y := g.MergeHeads(g.SplitHeads(g.Const(x), 3), 3)
+	for i := range x.Data {
+		if x.Data[i] != y.Value.Data[i] {
+			t.Fatal("SplitHeads then MergeHeads must be identity")
+		}
+	}
+}
+
+func TestGradTransformerEncoder(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	ps := NewParamSet()
+	enc := NewTransformerEncoder(ps, "enc", rng, 5, 8, 2, 12, 1, 0)
+	head := NewLinear(ps, "head", rng, 8, 1)
+	x := tensor.Randn(rng, 1, 2, 4, 5)
+	labels := []float64{1, 0}
+	checkGrads(t, ps, func() (*Graph, *Node) {
+		g := NewGraph()
+		h := enc.EncodePooled(g, g.Const(x), rng, false)
+		return g, g.BCEWithLogits(head.Forward(g, h), labels)
+	})
+}
+
+func TestGradLSTM(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	ps := NewParamSet()
+	lstm := NewLSTM(ps, "lstm", rng, 3, 4)
+	head := NewLinear(ps, "head", rng, 4, 1)
+	x := tensor.Randn(rng, 1, 2, 3, 3)
+	labels := []float64{0, 1}
+	checkGrads(t, ps, func() (*Graph, *Node) {
+		g := NewGraph()
+		_, last := lstm.Forward(g, g.Const(x))
+		return g, g.BCEWithLogits(head.Forward(g, last), labels)
+	})
+}
+
+func TestGradGRU(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	ps := NewParamSet()
+	gru := NewGRU(ps, "gru", rng, 3, 4)
+	head := NewLinear(ps, "head", rng, 4, 1)
+	x := tensor.Randn(rng, 1, 2, 3, 3)
+	labels := []float64{0, 1}
+	checkGrads(t, ps, func() (*Graph, *Node) {
+		g := NewGraph()
+		_, last := gru.Forward(g, g.Const(x))
+		return g, g.BCEWithLogits(head.Forward(g, last), labels)
+	})
+}
+
+func TestGradBiLSTM(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	ps := NewParamSet()
+	bi := NewBiLSTM(ps, "bi", rng, 3, 2)
+	head := NewLinear(ps, "head", rng, 4, 1)
+	x := tensor.Randn(rng, 1, 2, 3, 3)
+	labels := []float64{1, 1}
+	checkGrads(t, ps, func() (*Graph, *Node) {
+		g := NewGraph()
+		seq := bi.Forward(g, g.Const(x))
+		return g, g.BCEWithLogits(head.Forward(g, g.MeanTime(seq)), labels)
+	})
+}
+
+func TestGRLReversesGradient(t *testing.T) {
+	rng := rand.New(rand.NewSource(16))
+	ps := NewParamSet()
+	p := ps.New("p", tensor.Randn(rng, 1, 2, 2))
+
+	// Loss without GRL.
+	g1 := NewGraph()
+	l1 := g1.Mean(g1.Square(g1.Param(p)))
+	g1.Backward(l1)
+	plain := p.Grad.Clone()
+	ps.ZeroGrad()
+
+	// Same loss through GRL(lambda=2): gradient should be -2x the plain one.
+	g2 := NewGraph()
+	l2 := g2.Mean(g2.Square(g2.GRL(g2.Param(p), 2)))
+	g2.Backward(l2)
+	for i := range plain.Data {
+		want := -2 * plain.Data[i]
+		if math.Abs(p.Grad.Data[i]-want) > 1e-12 {
+			t.Fatalf("GRL grad[%d]=%v want %v", i, p.Grad.Data[i], want)
+		}
+	}
+}
+
+func TestGradGRLNumeric(t *testing.T) {
+	// GRL is intentionally NOT the gradient of its forward function, so
+	// verify composition behaviour analytically instead: loss built on a
+	// GRL output must push parameters in the ascent direction.
+	rng := rand.New(rand.NewSource(17))
+	ps := NewParamSet()
+	p := ps.New("p", tensor.RandUniform(rng, 0.5, 1.5, 3))
+	g := NewGraph()
+	loss := g.Mean(g.Square(g.GRL(g.Param(p), 1)))
+	g.Backward(loss)
+	for i, v := range p.Value.Data {
+		if p.Grad.Data[i]*v >= 0 {
+			t.Fatal("GRL gradient must point opposite the true gradient")
+		}
+	}
+}
+
+func TestDropoutTrainEval(t *testing.T) {
+	rng := rand.New(rand.NewSource(18))
+	g := NewGraph()
+	x := tensor.RandUniform(rng, 1, 2, 100)
+	eval := g.Dropout(g.Const(x), 0.5, rng, false)
+	for i := range x.Data {
+		if eval.Value.Data[i] != x.Data[i] {
+			t.Fatal("dropout must be identity in eval mode")
+		}
+	}
+	train := g.Dropout(g.Const(x), 0.5, rng, true)
+	zeros := 0
+	for _, v := range train.Value.Data {
+		if v == 0 {
+			zeros++
+		}
+	}
+	if zeros < 20 || zeros > 80 {
+		t.Fatalf("dropout rate 0.5 zeroed %d/100 elements", zeros)
+	}
+}
+
+func TestBackwardRequiresScalar(t *testing.T) {
+	g := NewGraph()
+	n := g.Const(tensor.New(2, 2))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on non-scalar Backward")
+		}
+	}()
+	g.Backward(n)
+}
+
+func TestParamSetSaveLoadRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	ps := NewParamSet()
+	NewLinear(ps, "l", rng, 3, 2)
+	var buf bytes.Buffer
+	if err := ps.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	orig := ps.Get("l.W").Value.Clone()
+	ps.Get("l.W").Value.Fill(0)
+	if err := ps.Load(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for i := range orig.Data {
+		if ps.Get("l.W").Value.Data[i] != orig.Data[i] {
+			t.Fatal("Load did not restore saved values")
+		}
+	}
+}

@@ -1,0 +1,109 @@
+// Package nn implements a small tape-based reverse-mode automatic
+// differentiation engine and the neural building blocks LogSynergy and its
+// baselines are made of: linear layers, layer normalization, multi-head
+// attention, transformer encoders, LSTM/GRU/BiLSTM cells, a gradient
+// reversal layer, and classification losses.
+//
+// Usage pattern: construct one Graph per training step, lift parameters and
+// inputs into Nodes, compose operations, call Backward on the scalar loss,
+// and hand the accumulated parameter gradients to an optimizer from
+// internal/nn/optim.
+package nn
+
+import (
+	"fmt"
+
+	"logsynergy/internal/tensor"
+)
+
+// Node is one value on the autodiff tape. Value is the forward result;
+// grad (allocated lazily) accumulates dLoss/dValue during Backward.
+type Node struct {
+	Value *tensor.Tensor
+
+	grad      *tensor.Tensor
+	needsGrad bool
+	backward  func(g *tensor.Tensor)
+}
+
+// Grad returns the accumulated gradient for this node, or nil if no
+// gradient flowed into it (or it does not require one).
+func (n *Node) Grad() *tensor.Tensor { return n.grad }
+
+// ensureGrad allocates the gradient buffer on first use.
+func (n *Node) ensureGrad() *tensor.Tensor {
+	if n.grad == nil {
+		n.grad = tensor.New(n.Value.Shape...)
+	}
+	return n.grad
+}
+
+// accumulate adds g into the node's gradient buffer if the node requires a
+// gradient. It is the only way upstream gradients reach a node.
+func (n *Node) accumulate(g *tensor.Tensor) {
+	if !n.needsGrad {
+		return
+	}
+	tensor.AddInPlace(n.ensureGrad(), g)
+}
+
+// Graph is a linear tape of nodes in creation order. Creation order is a
+// valid topological order because every operation's inputs already exist
+// when the operation node is appended.
+type Graph struct {
+	nodes []*Node
+}
+
+// NewGraph returns an empty tape.
+func NewGraph() *Graph { return &Graph{} }
+
+// NumNodes reports how many nodes are on the tape (useful in tests).
+func (g *Graph) NumNodes() int { return len(g.nodes) }
+
+// add registers a node produced by an operation whose inputs are parents.
+// The node requires a gradient iff any parent does.
+func (g *Graph) add(value *tensor.Tensor, backward func(gr *tensor.Tensor), parents ...*Node) *Node {
+	n := &Node{Value: value, backward: backward}
+	for _, p := range parents {
+		if p.needsGrad {
+			n.needsGrad = true
+			break
+		}
+	}
+	g.nodes = append(g.nodes, n)
+	return n
+}
+
+// Const lifts a tensor onto the tape as a constant input: gradients are
+// neither required nor propagated through it.
+func (g *Graph) Const(t *tensor.Tensor) *Node {
+	n := &Node{Value: t}
+	g.nodes = append(g.nodes, n)
+	return n
+}
+
+// Param lifts a trainable parameter onto the tape. Gradients accumulate
+// directly into p.Grad so the optimizer sees them without copying.
+func (g *Graph) Param(p *Param) *Node {
+	n := &Node{Value: p.Value, grad: p.Grad, needsGrad: true}
+	g.nodes = append(g.nodes, n)
+	return n
+}
+
+// Backward runs reverse-mode differentiation from the scalar loss node.
+func (g *Graph) Backward(loss *Node) {
+	if loss.Value.Size() != 1 {
+		panic(fmt.Sprintf("nn: Backward requires a scalar loss, got shape %v", loss.Value.Shape))
+	}
+	if !loss.needsGrad {
+		return // loss does not depend on any parameter
+	}
+	lg := loss.ensureGrad()
+	lg.Fill(1)
+	for i := len(g.nodes) - 1; i >= 0; i-- {
+		n := g.nodes[i]
+		if n.backward != nil && n.needsGrad && n.grad != nil {
+			n.backward(n.grad)
+		}
+	}
+}

@@ -1,0 +1,96 @@
+package nn
+
+import (
+	"math/rand"
+	"strconv"
+)
+
+// Linear is a fully connected layer y = xW + b.
+type Linear struct {
+	W, B *Param
+	In   int
+	Out  int
+}
+
+// NewLinear creates a Xavier-initialized linear layer and registers its
+// parameters under the given name prefix.
+func NewLinear(ps *ParamSet, prefix string, rng *rand.Rand, in, out int) *Linear {
+	return &Linear{
+		W:   ps.New(prefix+".W", XavierUniform(rng, in, out)),
+		B:   ps.New(prefix+".b", Ones(out).Reshape(out)).zeroed(),
+		In:  in,
+		Out: out,
+	}
+}
+
+// zeroed resets a parameter value to zero (bias initialization helper).
+func (p *Param) zeroed() *Param {
+	p.Value.Zero()
+	return p
+}
+
+// Forward applies the layer to a 2-D input [m,in], producing [m,out].
+func (l *Linear) Forward(g *Graph, x *Node) *Node {
+	return g.AddBias(g.MatMul(x, g.Param(l.W)), g.Param(l.B))
+}
+
+// Forward3D applies the layer independently to every timestep of a
+// [B,T,in] input, producing [B,T,out].
+func (l *Linear) Forward3D(g *Graph, x *Node) *Node {
+	b, t := x.Value.Dim(0), x.Value.Dim(1)
+	flat := g.Reshape(x, b*t, l.In)
+	out := l.Forward(g, flat)
+	return g.Reshape(out, b, t, l.Out)
+}
+
+// MLP is a stack of linear layers with ReLU activations between them
+// (no activation after the final layer).
+type MLP struct {
+	Layers []*Linear
+}
+
+// NewMLP builds an MLP with the given layer sizes, e.g. sizes=[64,32,1]
+// creates 64→32→1.
+func NewMLP(ps *ParamSet, prefix string, rng *rand.Rand, sizes ...int) *MLP {
+	if len(sizes) < 2 {
+		panic("nn: MLP requires at least an input and output size")
+	}
+	m := &MLP{}
+	for i := 0; i+1 < len(sizes); i++ {
+		m.Layers = append(m.Layers, NewLinear(ps, prefixIndex(prefix, i), rng, sizes[i], sizes[i+1]))
+	}
+	return m
+}
+
+// Forward applies the MLP to a 2-D input.
+func (m *MLP) Forward(g *Graph, x *Node) *Node {
+	for i, l := range m.Layers {
+		x = l.Forward(g, x)
+		if i+1 < len(m.Layers) {
+			x = g.ReLU(x)
+		}
+	}
+	return x
+}
+
+// LayerNormModule owns the gain/bias parameters of one layer norm.
+type LayerNormModule struct {
+	Gamma, Beta *Param
+}
+
+// NewLayerNorm creates a layer norm over a final dimension of size n.
+func NewLayerNorm(ps *ParamSet, prefix string, n int) *LayerNormModule {
+	return &LayerNormModule{
+		Gamma: ps.New(prefix+".gamma", Ones(n)),
+		Beta:  ps.New(prefix+".beta", Ones(n)).zeroed(),
+	}
+}
+
+// Forward normalizes the final dimension of x.
+func (l *LayerNormModule) Forward(g *Graph, x *Node) *Node {
+	return g.LayerNorm(x, g.Param(l.Gamma), g.Param(l.Beta))
+}
+
+func prefixIndex(prefix string, i int) string {
+	return prefix + "." + strconv.Itoa(i)
+}

@@ -1,0 +1,88 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"logsynergy/internal/tensor"
+)
+
+// BCEWithLogits computes the mean binary cross-entropy between logits
+// (shape [m] or [m,1]) and labels in {0,1} (or soft labels in [0,1]).
+// It fuses sigmoid and BCE for numerical stability:
+// loss = mean( max(x,0) - x*y + log(1+exp(-|x|)) ).
+func (g *Graph) BCEWithLogits(logits *Node, labels []float64) *Node {
+	m := logits.Value.Size()
+	if m != len(labels) {
+		panic(fmt.Sprintf("nn: BCEWithLogits %d logits vs %d labels", m, len(labels)))
+	}
+	total := 0.0
+	for i, x := range logits.Value.Data {
+		y := labels[i]
+		total += math.Max(x, 0) - x*y + math.Log1p(math.Exp(-math.Abs(x)))
+	}
+	out := tensor.Scalar(total / float64(m))
+	return g.add(out, func(gr *tensor.Tensor) {
+		ga := tensor.New(logits.Value.Shape...)
+		scale := gr.Data[0] / float64(m)
+		for i, x := range logits.Value.Data {
+			ga.Data[i] = scale * (sigmoid(x) - labels[i])
+		}
+		logits.accumulate(ga)
+	}, logits)
+}
+
+// CrossEntropyLogits computes the mean categorical cross-entropy between
+// logits [m,K] and integer class labels.
+func (g *Graph) CrossEntropyLogits(logits *Node, labels []int) *Node {
+	m, k := logits.Value.Rows(), logits.Value.Cols()
+	if m != len(labels) {
+		panic(fmt.Sprintf("nn: CrossEntropyLogits %d rows vs %d labels", m, len(labels)))
+	}
+	probs := tensor.SoftmaxLastDim(logits.Value)
+	total := 0.0
+	for i, y := range labels {
+		if y < 0 || y >= k {
+			panic(fmt.Sprintf("nn: class label %d out of range [0,%d)", y, k))
+		}
+		total -= math.Log(math.Max(probs.Data[i*k+y], 1e-12))
+	}
+	out := tensor.Scalar(total / float64(m))
+	return g.add(out, func(gr *tensor.Tensor) {
+		ga := tensor.New(m, k)
+		scale := gr.Data[0] / float64(m)
+		for i, y := range labels {
+			for j := 0; j < k; j++ {
+				p := probs.Data[i*k+j]
+				if j == y {
+					p -= 1
+				}
+				ga.Data[i*k+j] = scale * p
+			}
+		}
+		logits.accumulate(ga)
+	}, logits)
+}
+
+// MSE computes the mean squared error between pred and a constant target of
+// identical shape.
+func (g *Graph) MSE(pred *Node, target *tensor.Tensor) *Node {
+	if !pred.Value.SameShape(target) {
+		panic(fmt.Sprintf("nn: MSE shape mismatch %v vs %v", pred.Value.Shape, target.Shape))
+	}
+	n := float64(pred.Value.Size())
+	total := 0.0
+	for i, v := range pred.Value.Data {
+		d := v - target.Data[i]
+		total += d * d
+	}
+	out := tensor.Scalar(total / n)
+	return g.add(out, func(gr *tensor.Tensor) {
+		ga := tensor.New(pred.Value.Shape...)
+		scale := 2 * gr.Data[0] / n
+		for i, v := range pred.Value.Data {
+			ga.Data[i] = scale * (v - target.Data[i])
+		}
+		pred.accumulate(ga)
+	}, pred)
+}

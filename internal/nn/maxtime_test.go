@@ -1,0 +1,28 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+
+	"logsynergy/internal/tensor"
+)
+
+func TestGradMaxTime(t *testing.T) {
+	rng := rand.New(rand.NewSource(30))
+	ps := NewParamSet()
+	p := ps.New("p", tensor.Randn(rng, 1, 2, 4, 3))
+	w := tensor.Randn(rng, 1, 2, 3)
+	checkGrads(t, ps, func() (*Graph, *Node) {
+		g := NewGraph()
+		return g, g.Mean(g.Mul(g.MaxTime(g.Param(p)), g.Const(w)))
+	})
+}
+
+func TestMaxTimeValues(t *testing.T) {
+	g := NewGraph()
+	x := tensor.FromSlice([]float64{1, 5, 3, 2, 9, 0}, 1, 3, 2)
+	out := g.MaxTime(g.Const(x))
+	if out.Value.At(0, 0) != 9 || out.Value.At(0, 1) != 5 {
+		t.Fatalf("max values wrong: %v", out.Value.Data)
+	}
+}

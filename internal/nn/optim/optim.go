@@ -1,0 +1,141 @@
+// Package optim provides the gradient-descent optimizers used to train
+// LogSynergy and the baseline models: AdamW (the paper's optimizer) and
+// SGD with momentum.
+package optim
+
+import (
+	"math"
+
+	"logsynergy/internal/nn"
+	"logsynergy/internal/tensor"
+)
+
+// Optimizer updates a parameter set from its accumulated gradients.
+type Optimizer interface {
+	// Step applies one update and clears the gradients.
+	Step()
+	// LR returns the current learning rate.
+	LR() float64
+	// SetLR overrides the learning rate (used by schedules).
+	SetLR(lr float64)
+}
+
+// AdamW implements decoupled weight-decay Adam (Loshchilov & Hutter, 2019),
+// the optimizer the paper trains LogSynergy with.
+type AdamW struct {
+	Params      *nn.ParamSet
+	Beta1       float64
+	Beta2       float64
+	Eps         float64
+	WeightDecay float64
+
+	lr   float64
+	step int
+	m    []*tensor.Tensor
+	v    []*tensor.Tensor
+}
+
+// NewAdamW creates an AdamW optimizer with the conventional defaults
+// beta1=0.9, beta2=0.999, eps=1e-8, weight decay 0.01.
+func NewAdamW(ps *nn.ParamSet, lr float64) *AdamW {
+	a := &AdamW{
+		Params:      ps,
+		Beta1:       0.9,
+		Beta2:       0.999,
+		Eps:         1e-8,
+		WeightDecay: 0.01,
+		lr:          lr,
+	}
+	for _, p := range ps.All() {
+		a.m = append(a.m, tensor.New(p.Value.Shape...))
+		a.v = append(a.v, tensor.New(p.Value.Shape...))
+	}
+	return a
+}
+
+// LR returns the current learning rate.
+func (a *AdamW) LR() float64 { return a.lr }
+
+// SetLR overrides the learning rate.
+func (a *AdamW) SetLR(lr float64) { a.lr = lr }
+
+// Step applies one AdamW update and zeroes all gradients.
+func (a *AdamW) Step() {
+	a.step++
+	bc1 := 1 - math.Pow(a.Beta1, float64(a.step))
+	bc2 := 1 - math.Pow(a.Beta2, float64(a.step))
+	for i, p := range a.Params.All() {
+		m, v := a.m[i], a.v[i]
+		for j := range p.Value.Data {
+			gj := p.Grad.Data[j]
+			m.Data[j] = a.Beta1*m.Data[j] + (1-a.Beta1)*gj
+			v.Data[j] = a.Beta2*v.Data[j] + (1-a.Beta2)*gj*gj
+			mhat := m.Data[j] / bc1
+			vhat := v.Data[j] / bc2
+			p.Value.Data[j] -= a.lr * (mhat/(math.Sqrt(vhat)+a.Eps) + a.WeightDecay*p.Value.Data[j])
+		}
+	}
+	a.Params.ZeroGrad()
+}
+
+// SGD implements stochastic gradient descent with classical momentum.
+type SGD struct {
+	Params   *nn.ParamSet
+	Momentum float64
+
+	lr  float64
+	vel []*tensor.Tensor
+}
+
+// NewSGD creates an SGD optimizer.
+func NewSGD(ps *nn.ParamSet, lr, momentum float64) *SGD {
+	s := &SGD{Params: ps, Momentum: momentum, lr: lr}
+	for _, p := range ps.All() {
+		s.vel = append(s.vel, tensor.New(p.Value.Shape...))
+	}
+	return s
+}
+
+// LR returns the current learning rate.
+func (s *SGD) LR() float64 { return s.lr }
+
+// SetLR overrides the learning rate.
+func (s *SGD) SetLR(lr float64) { s.lr = lr }
+
+// Step applies one SGD update and zeroes all gradients.
+func (s *SGD) Step() {
+	for i, p := range s.Params.All() {
+		vel := s.vel[i]
+		for j := range p.Value.Data {
+			vel.Data[j] = s.Momentum*vel.Data[j] + p.Grad.Data[j]
+			p.Value.Data[j] -= s.lr * vel.Data[j]
+		}
+	}
+	s.Params.ZeroGrad()
+}
+
+// CosineSchedule anneals an optimizer's learning rate from its initial value
+// to floor over totalSteps using a half-cosine curve. Call Tick once per
+// optimizer step, before Step.
+type CosineSchedule struct {
+	opt        Optimizer
+	initial    float64
+	floor      float64
+	totalSteps int
+	step       int
+}
+
+// NewCosineSchedule wraps opt with cosine annealing.
+func NewCosineSchedule(opt Optimizer, floor float64, totalSteps int) *CosineSchedule {
+	return &CosineSchedule{opt: opt, initial: opt.LR(), floor: floor, totalSteps: totalSteps}
+}
+
+// Tick advances the schedule by one step and updates the learning rate.
+func (c *CosineSchedule) Tick() {
+	c.step++
+	t := float64(c.step) / float64(c.totalSteps)
+	if t > 1 {
+		t = 1
+	}
+	c.opt.SetLR(c.floor + (c.initial-c.floor)*0.5*(1+math.Cos(math.Pi*t)))
+}

@@ -1,0 +1,106 @@
+package optim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"logsynergy/internal/nn"
+	"logsynergy/internal/tensor"
+)
+
+// quadraticLoss returns f(p) = mean((p - target)^2) built on a fresh graph.
+func quadraticLoss(p *nn.Param, target *tensor.Tensor) float64 {
+	g := nn.NewGraph()
+	diff := g.Sub(g.Param(p), g.Const(target))
+	loss := g.Mean(g.Square(diff))
+	g.Backward(loss)
+	return loss.Value.Data[0]
+}
+
+func TestAdamWConvergesOnQuadratic(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	ps := nn.NewParamSet()
+	p := ps.New("p", tensor.Randn(rng, 1, 8))
+	target := tensor.RandUniform(rng, -1, 1, 8)
+	opt := NewAdamW(ps, 0.05)
+	opt.WeightDecay = 0 // pure optimization test
+	var last float64
+	for i := 0; i < 500; i++ {
+		last = quadraticLoss(p, target)
+		opt.Step()
+	}
+	if last > 1e-4 {
+		t.Fatalf("AdamW failed to converge, final loss %v", last)
+	}
+}
+
+func TestSGDMomentumConverges(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	ps := nn.NewParamSet()
+	p := ps.New("p", tensor.Randn(rng, 1, 8))
+	target := tensor.RandUniform(rng, -1, 1, 8)
+	opt := NewSGD(ps, 0.1, 0.9)
+	var last float64
+	for i := 0; i < 300; i++ {
+		last = quadraticLoss(p, target)
+		opt.Step()
+	}
+	if last > 1e-6 {
+		t.Fatalf("SGD failed to converge, final loss %v", last)
+	}
+}
+
+func TestAdamWWeightDecayShrinksParams(t *testing.T) {
+	ps := nn.NewParamSet()
+	v := tensor.New(4)
+	v.Fill(10)
+	p := ps.New("p", v)
+	opt := NewAdamW(ps, 0.01)
+	opt.WeightDecay = 0.1
+	// No gradient: only decay acts.
+	for i := 0; i < 100; i++ {
+		opt.Step()
+	}
+	for _, x := range p.Value.Data {
+		if x >= 10 {
+			t.Fatalf("weight decay did not shrink parameter: %v", x)
+		}
+	}
+}
+
+func TestStepZeroesGradients(t *testing.T) {
+	ps := nn.NewParamSet()
+	p := ps.New("p", tensor.New(2))
+	p.Grad.Fill(3)
+	NewAdamW(ps, 0.01).Step()
+	if p.Grad.MaxAbs() != 0 {
+		t.Fatal("Step must zero gradients")
+	}
+}
+
+func TestCosineScheduleEndpoints(t *testing.T) {
+	ps := nn.NewParamSet()
+	opt := NewAdamW(ps, 1.0)
+	sched := NewCosineSchedule(opt, 0.1, 100)
+	sched.Tick()
+	if opt.LR() > 1.0 || opt.LR() < 0.99 {
+		t.Fatalf("first tick LR=%v, want close to initial", opt.LR())
+	}
+	for i := 0; i < 200; i++ {
+		sched.Tick()
+	}
+	if math.Abs(opt.LR()-0.1) > 1e-9 {
+		t.Fatalf("final LR=%v want floor 0.1", opt.LR())
+	}
+}
+
+func TestClipGradNorm(t *testing.T) {
+	ps := nn.NewParamSet()
+	p := ps.New("p", tensor.New(4))
+	p.Grad.Fill(10)
+	ps.ClipGradNorm(1)
+	if n := ps.GradNorm(); math.Abs(n-1) > 1e-9 {
+		t.Fatalf("clipped norm %v want 1", n)
+	}
+}

@@ -1,0 +1,14 @@
+package pipeline
+
+import "testing"
+
+// BenchmarkPatternLibrary measures the online fast path: lookup + store.
+func BenchmarkPatternLibrary(b *testing.B) {
+	lib := NewPatternLibrary(0)
+	seq := []int{3, 1, 4, 1, 5, 9, 2, 6, 5, 3}
+	lib.Store(seq, 0.2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lib.Lookup(seq)
+	}
+}

@@ -1,0 +1,324 @@
+// Package pipeline implements LogSynergy's production deployment workflow
+// (paper §VI, Fig. 7) as an in-process streaming system:
+//
+//	Collection: a collector (Filebeat analogue) ships raw lines into a
+//	bounded buffer (Kafka analogue); a parser stage (Logstash analogue)
+//	structures them with Drain and segments the stream with the sliding
+//	window (10 logs, 5-step shift).
+//
+//	Detection: each completed sequence is first matched against a pattern
+//	library of previously scored sequences; only new patterns reach the
+//	offline-trained LogSynergy model, minimizing redundant inference.
+//
+//	Report: detected anomalies become reports carrying the original
+//	sequence, LEI interpretations and metadata, fanned out to sinks (the
+//	SMS/email analogues).
+package pipeline
+
+import (
+	"context"
+	"strconv"
+	"strings"
+	"sync"
+
+	"logsynergy/internal/core"
+	"logsynergy/internal/drain"
+	"logsynergy/internal/embed"
+	"logsynergy/internal/lei"
+	"logsynergy/internal/window"
+)
+
+// Source supplies raw log lines. Next returns false when the stream ends.
+type Source interface {
+	Next() (string, bool)
+}
+
+// SliceSource replays a fixed slice of lines.
+type SliceSource struct {
+	lines []string
+	pos   int
+}
+
+// NewSliceSource wraps lines as a Source.
+func NewSliceSource(lines []string) *SliceSource { return &SliceSource{lines: lines} }
+
+// Next implements Source.
+func (s *SliceSource) Next() (string, bool) {
+	if s.pos >= len(s.lines) {
+		return "", false
+	}
+	l := s.lines[s.pos]
+	s.pos++
+	return l, true
+}
+
+// Sink receives anomaly reports (the SMS/email channel analogue).
+type Sink interface {
+	Notify(r *core.Report)
+}
+
+// MemorySink collects reports in memory (test and example sink).
+type MemorySink struct {
+	mu      sync.Mutex
+	reports []*core.Report
+}
+
+// Notify implements Sink.
+func (m *MemorySink) Notify(r *core.Report) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.reports = append(m.reports, r)
+}
+
+// Reports returns a snapshot of received reports.
+func (m *MemorySink) Reports() []*core.Report {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]*core.Report(nil), m.reports...)
+}
+
+// Stats aggregates pipeline counters.
+type Stats struct {
+	// LinesCollected counts raw lines shipped by the collector.
+	LinesCollected int
+	// LinesDropped counts lines dropped on buffer overflow.
+	LinesDropped int
+	// SequencesFormed counts completed sliding windows.
+	SequencesFormed int
+	// PatternHits counts sequences answered from the pattern library.
+	PatternHits int
+	// PatternMisses counts sequences that required model inference.
+	PatternMisses int
+	// Anomalies counts reported anomalous sequences.
+	Anomalies int
+	// NewEvents counts templates first seen online.
+	NewEvents int
+}
+
+// PatternLibrary caches per-pattern verdicts: a pattern is the exact event
+// id sequence. Real deployments key historical anomaly patterns the same
+// way; the cache also suppresses redundant inference on the dominant
+// repeating patterns (paper §VI-A "Detection").
+type PatternLibrary struct {
+	mu    sync.Mutex
+	cache map[string]float64
+	// Cap bounds the library size; 0 = unbounded.
+	Cap int
+}
+
+// NewPatternLibrary creates a library with the given capacity (0 = unbounded).
+func NewPatternLibrary(capacity int) *PatternLibrary {
+	return &PatternLibrary{cache: make(map[string]float64), Cap: capacity}
+}
+
+// key renders an event id sequence as a map key.
+func (p *PatternLibrary) key(eventIDs []int) string {
+	var b strings.Builder
+	for i, id := range eventIDs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Itoa(id))
+	}
+	return b.String()
+}
+
+// Lookup returns the cached score for the pattern.
+func (p *PatternLibrary) Lookup(eventIDs []int) (float64, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s, ok := p.cache[p.key(eventIDs)]
+	return s, ok
+}
+
+// Store records a verdict (evicting nothing unless over Cap, in which case
+// the insert is skipped — a simple bound suited to the dominant-pattern
+// workload the library exists for).
+func (p *PatternLibrary) Store(eventIDs []int, score float64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.Cap > 0 && len(p.cache) >= p.Cap {
+		return
+	}
+	p.cache[p.key(eventIDs)] = score
+}
+
+// Size returns the number of cached patterns.
+func (p *PatternLibrary) Size() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.cache)
+}
+
+// Config assembles a pipeline.
+type Config struct {
+	// BufferSize is the bounded buffer capacity (Kafka analogue).
+	BufferSize int
+	// Window is the segmentation config (paper: length 10, step 5).
+	Window window.Config
+	// SystemHint feeds LEI prompts for events first seen online.
+	SystemHint string
+	// PatternCap bounds the pattern library (0 = unbounded).
+	PatternCap int
+	// DisablePatternLibrary forces model inference on every sequence
+	// (ablation for the deployment benchmark).
+	DisablePatternLibrary bool
+}
+
+// DefaultConfig returns production defaults.
+func DefaultConfig(systemHint string) Config {
+	return Config{BufferSize: 1024, Window: window.Default(), SystemHint: systemHint}
+}
+
+// Pipeline wires collection, detection and reporting for one target system.
+type Pipeline struct {
+	cfg      Config
+	parser   *drain.Parser
+	detector *core.Detector
+	interp   lei.Interpreter
+	embedder *embed.Embedder
+	library  *PatternLibrary
+	sinks    []Sink
+
+	mu    sync.Mutex
+	stats Stats
+}
+
+// New creates a pipeline around a trained model. parser must be the same
+// parser used to build the event table offline (its event-id space extends
+// seamlessly online); interp and embedder must match the offline stages.
+func New(cfg Config, parser *drain.Parser, det *core.Detector, interp lei.Interpreter, e *embed.Embedder, sinks ...Sink) *Pipeline {
+	if cfg.BufferSize <= 0 {
+		cfg.BufferSize = 1024
+	}
+	if cfg.Window.Length == 0 {
+		cfg.Window = window.Default()
+	}
+	return &Pipeline{
+		cfg:      cfg,
+		parser:   parser,
+		detector: det,
+		interp:   interp,
+		embedder: e,
+		library:  NewPatternLibrary(cfg.PatternCap),
+		sinks:    sinks,
+	}
+}
+
+// Stats returns a snapshot of the counters.
+func (p *Pipeline) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+// Library exposes the pattern library (diagnostics).
+func (p *Pipeline) Library() *PatternLibrary { return p.library }
+
+// Run consumes the source to exhaustion (or ctx cancellation), streaming
+// lines through collection → detection → report. It returns the final
+// stats. Collection and detection run concurrently, connected by the
+// bounded buffer.
+func (p *Pipeline) Run(ctx context.Context, src Source) Stats {
+	buffer := make(chan string, p.cfg.BufferSize)
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // collector
+		defer wg.Done()
+		defer close(buffer)
+		for {
+			line, ok := src.Next()
+			if !ok {
+				return
+			}
+			select {
+			case buffer <- line:
+				p.mu.Lock()
+				p.stats.LinesCollected++
+				p.mu.Unlock()
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+
+	// Parser + windower + detector (single consumer keeps ordering).
+	var windowBuf []int
+	sincePrev := 0
+	for line := range buffer {
+		eventID := p.parseLine(line)
+		windowBuf = append(windowBuf, eventID)
+		sincePrev++
+		if len(windowBuf) > p.cfg.Window.Length {
+			windowBuf = windowBuf[1:]
+		}
+		if len(windowBuf) == p.cfg.Window.Length && sincePrev >= p.cfg.Window.Step {
+			seq := append([]int(nil), windowBuf...)
+			p.detect(seq)
+			sincePrev = 0
+		}
+		if ctx.Err() != nil {
+			break
+		}
+	}
+	wg.Wait()
+	return p.Stats()
+}
+
+// parseLine structures one raw line, extending the event table when a new
+// template appears online.
+func (p *Pipeline) parseLine(line string) int {
+	m := p.parser.Parse(line)
+	table := p.detector.Table
+	for table.Len() <= m.EventID {
+		in := p.interp.Interpret(p.cfg.SystemHint, m.Template)
+		table.Extend(in, p.embedder)
+		p.mu.Lock()
+		p.stats.NewEvents++
+		p.mu.Unlock()
+	}
+	return m.EventID
+}
+
+// detect scores one sequence through the pattern library + model.
+func (p *Pipeline) detect(eventIDs []int) {
+	p.mu.Lock()
+	p.stats.SequencesFormed++
+	p.mu.Unlock()
+
+	var score float64
+	if !p.cfg.DisablePatternLibrary {
+		if cached, ok := p.library.Lookup(eventIDs); ok {
+			p.mu.Lock()
+			p.stats.PatternHits++
+			p.mu.Unlock()
+			score = cached
+			if score > core.Threshold {
+				// Cached anomalous pattern: rebuild the report without
+				// re-running the model.
+				p.deliver(p.detector.BuildReport(eventIDs, score))
+			}
+			return
+		}
+	}
+	p.mu.Lock()
+	p.stats.PatternMisses++
+	p.mu.Unlock()
+	score, rep := p.detector.Detect(eventIDs)
+	if !p.cfg.DisablePatternLibrary {
+		p.library.Store(eventIDs, score)
+	}
+	if rep != nil {
+		p.deliver(rep)
+	}
+}
+
+func (p *Pipeline) deliver(rep *core.Report) {
+	p.mu.Lock()
+	p.stats.Anomalies++
+	p.mu.Unlock()
+	for _, s := range p.sinks {
+		s.Notify(rep)
+	}
+}

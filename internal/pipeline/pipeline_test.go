@@ -1,0 +1,149 @@
+package pipeline
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"logsynergy/internal/core"
+	"logsynergy/internal/drain"
+	"logsynergy/internal/embed"
+	"logsynergy/internal/lei"
+	"logsynergy/internal/logdata"
+	"logsynergy/internal/repr"
+	"logsynergy/internal/window"
+)
+
+// deployment builds a trained detector plus a live parser for SystemB-like
+// production traffic, small enough for unit tests.
+func deployment(t *testing.T) (*core.Detector, *drain.Parser, lei.Interpreter, *embed.Embedder, *logdata.Corpus) {
+	t.Helper()
+	interp := lei.NewSimLLM(lei.Config{})
+	e := embed.New(32)
+
+	spec := logdata.SystemB()
+	offline := logdata.Generate(spec, 1, 6000)
+	parser := drain.NewDefault()
+	parsed := logdata.Parse(offline, parser)
+	seqs := parsed.Windows(window.Default())
+
+	// A deliberately quick model: the pipeline tests exercise the
+	// workflow, not detection quality.
+	cfg := core.DefaultConfig()
+	cfg.Epochs = 2
+	srcSeqs := logdata.Build(logdata.SystemA(), 2, 0.002, window.Default())
+	src := repr.Build(srcSeqs, interp, e)
+	table := repr.BuildEventTable(seqs, interp, e)
+	train := repr.BuildDataset(seqs, table)
+	model := core.TrainModel(cfg, []*repr.Dataset{src}, train)
+
+	det := core.NewDetector(model, table)
+	det.Now = func() time.Time { return time.Date(2023, 9, 1, 0, 0, 0, 0, time.UTC) }
+
+	online := logdata.Generate(spec, 99, 3000)
+	return det, parser, interp, e, online
+}
+
+func TestPipelineEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training test")
+	}
+	det, parser, interp, e, online := deployment(t)
+	sink := &MemorySink{}
+	p := New(DefaultConfig("a cloud data management system (SystemB)"), parser, det, interp, e, sink)
+	stats := p.Run(context.Background(), NewSliceSource(online.Messages()))
+
+	if stats.LinesCollected != 3000 {
+		t.Fatalf("collected %d lines, want 3000", stats.LinesCollected)
+	}
+	wantSeqs := window.Count(3000, window.Default())
+	if stats.SequencesFormed != wantSeqs {
+		t.Fatalf("formed %d sequences, want %d", stats.SequencesFormed, wantSeqs)
+	}
+	if stats.PatternHits+stats.PatternMisses != stats.SequencesFormed {
+		t.Fatal("hits+misses must equal sequences")
+	}
+	if stats.PatternHits == 0 {
+		t.Fatal("production traffic repeats patterns; expected pattern-library hits")
+	}
+	if stats.Anomalies != len(sink.Reports()) {
+		t.Fatalf("stats anomalies %d vs %d delivered reports", stats.Anomalies, len(sink.Reports()))
+	}
+	for _, r := range sink.Reports() {
+		if r.System != "SystemB" || r.Score <= core.Threshold {
+			t.Fatalf("malformed report: %+v", r)
+		}
+		if len(r.Interpretations) != 10 {
+			t.Fatalf("report must carry 10 interpretations, got %d", len(r.Interpretations))
+		}
+	}
+}
+
+func TestPipelineHandlesNewTemplatesOnline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training test")
+	}
+	det, parser, interp, e, _ := deployment(t)
+	before := det.Table.Len()
+	// Feed lines whose template the offline phase never saw.
+	lines := make([]string, 0, 30)
+	for i := 0; i < 30; i++ {
+		lines = append(lines, "[INF] brandnew: subsystem wobble calibrated ok pass 7")
+	}
+	p := New(DefaultConfig("a cloud data management system (SystemB)"), parser, det, interp, e)
+	stats := p.Run(context.Background(), NewSliceSource(lines))
+	if stats.NewEvents == 0 {
+		t.Fatal("new template must extend the event table")
+	}
+	if det.Table.Len() <= before {
+		t.Fatal("event table did not grow")
+	}
+}
+
+func TestPipelineContextCancel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training test")
+	}
+	det, parser, interp, e, online := deployment(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	p := New(DefaultConfig("x"), parser, det, interp, e)
+	stats := p.Run(ctx, NewSliceSource(online.Messages()))
+	if stats.LinesCollected == 3000 {
+		t.Fatal("cancelled pipeline should not consume the whole stream")
+	}
+}
+
+func TestPatternLibrary(t *testing.T) {
+	lib := NewPatternLibrary(2)
+	seq := []int{1, 2, 3}
+	if _, ok := lib.Lookup(seq); ok {
+		t.Fatal("empty library must miss")
+	}
+	lib.Store(seq, 0.9)
+	if s, ok := lib.Lookup(seq); !ok || s != 0.9 {
+		t.Fatalf("lookup got %v %v", s, ok)
+	}
+	// Distinct sequences must not collide ([1,2,3] vs [12,3]).
+	if _, ok := lib.Lookup([]int{12, 3}); ok {
+		t.Fatal("pattern keys must be collision-free")
+	}
+	lib.Store([]int{4}, 0.1)
+	lib.Store([]int{5}, 0.2) // over cap: skipped
+	if lib.Size() != 2 {
+		t.Fatalf("cap violated: size %d", lib.Size())
+	}
+}
+
+func TestSliceSource(t *testing.T) {
+	s := NewSliceSource([]string{"a", "b"})
+	if l, ok := s.Next(); !ok || l != "a" {
+		t.Fatal("first line")
+	}
+	if l, ok := s.Next(); !ok || l != "b" {
+		t.Fatal("second line")
+	}
+	if _, ok := s.Next(); ok {
+		t.Fatal("exhausted source must return false")
+	}
+}

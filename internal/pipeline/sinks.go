@@ -1,0 +1,146 @@
+package pipeline
+
+import (
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"logsynergy/internal/core"
+)
+
+// DedupSink suppresses repeated alerts for the same event-id pattern
+// within a cooldown window, forwarding the rest to the wrapped sink. Real
+// incidents produce bursts of identical windows; operators want one page
+// per pattern, not fifty (§VI-A "Report").
+type DedupSink struct {
+	// Next receives the deduplicated reports.
+	Next Sink
+	// Cooldown is the per-pattern suppression window.
+	Cooldown time.Duration
+	// Now is the clock (overridable in tests).
+	Now func() time.Time
+
+	mu   sync.Mutex
+	seen map[string]time.Time
+	// suppressed counts dropped duplicates.
+	suppressed int
+}
+
+// NewDedupSink wraps next with per-pattern deduplication.
+func NewDedupSink(next Sink, cooldown time.Duration) *DedupSink {
+	return &DedupSink{Next: next, Cooldown: cooldown, Now: time.Now, seen: make(map[string]time.Time)}
+}
+
+// Notify implements Sink.
+func (d *DedupSink) Notify(r *core.Report) {
+	key := patternKey(r.EventIDs)
+	now := d.Now()
+	d.mu.Lock()
+	last, ok := d.seen[key]
+	if ok && now.Sub(last) < d.Cooldown {
+		d.suppressed++
+		d.mu.Unlock()
+		return
+	}
+	d.seen[key] = now
+	d.mu.Unlock()
+	d.Next.Notify(r)
+}
+
+// Suppressed returns the duplicate count.
+func (d *DedupSink) Suppressed() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.suppressed
+}
+
+// patternKey renders an event-id sequence as a stable key.
+func patternKey(ids []int) string {
+	var b strings.Builder
+	for i, id := range ids {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Itoa(id))
+	}
+	return b.String()
+}
+
+// RateLimitSink caps alert delivery at burst per window, dropping the
+// excess (paging channels like SMS have hard provider limits).
+type RateLimitSink struct {
+	// Next receives the rate-limited reports.
+	Next Sink
+	// Burst is the max deliveries per Window.
+	Burst int
+	// Window is the accounting period.
+	Window time.Duration
+	// Now is the clock (overridable in tests).
+	Now func() time.Time
+
+	mu          sync.Mutex
+	windowStart time.Time
+	count       int
+	dropped     int
+}
+
+// NewRateLimitSink wraps next with a delivery cap.
+func NewRateLimitSink(next Sink, burst int, window time.Duration) *RateLimitSink {
+	return &RateLimitSink{Next: next, Burst: burst, Window: window, Now: time.Now}
+}
+
+// Notify implements Sink.
+func (s *RateLimitSink) Notify(r *core.Report) {
+	now := s.Now()
+	s.mu.Lock()
+	if s.windowStart.IsZero() || now.Sub(s.windowStart) >= s.Window {
+		s.windowStart = now
+		s.count = 0
+	}
+	if s.count >= s.Burst {
+		s.dropped++
+		s.mu.Unlock()
+		return
+	}
+	s.count++
+	s.mu.Unlock()
+	s.Next.Notify(r)
+}
+
+// Dropped returns the count of rate-limited reports.
+func (s *RateLimitSink) Dropped() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dropped
+}
+
+// MultiSource interleaves several per-node sources round-robin, modelling
+// the distributed collectors of Fig. 7 (one Filebeat per node shipping
+// into a shared stream). Exhausted sources drop out of the rotation.
+type MultiSource struct {
+	sources []Source
+	next    int
+}
+
+// NewMultiSource combines sources into one stream.
+func NewMultiSource(sources ...Source) *MultiSource {
+	return &MultiSource{sources: append([]Source(nil), sources...)}
+}
+
+// Next implements Source.
+func (m *MultiSource) Next() (string, bool) {
+	for len(m.sources) > 0 {
+		i := m.next % len(m.sources)
+		line, ok := m.sources[i].Next()
+		if ok {
+			m.next = i + 1
+			return line, true
+		}
+		m.sources = append(m.sources[:i], m.sources[i+1:]...)
+		if len(m.sources) > 0 {
+			m.next = i % len(m.sources)
+		}
+	}
+	return "", false
+}

@@ -1,0 +1,91 @@
+package pipeline
+
+import (
+	"testing"
+	"time"
+
+	"logsynergy/internal/core"
+)
+
+func testReport(ids ...int) *core.Report {
+	return &core.Report{System: "X", Score: 0.9, EventIDs: ids}
+}
+
+func TestDedupSinkSuppressesRepeats(t *testing.T) {
+	inner := &MemorySink{}
+	clock := time.Date(2023, 1, 1, 0, 0, 0, 0, time.UTC)
+	d := NewDedupSink(inner, time.Minute)
+	d.Now = func() time.Time { return clock }
+
+	d.Notify(testReport(1, 2, 3))
+	d.Notify(testReport(1, 2, 3)) // duplicate inside cooldown
+	d.Notify(testReport(4, 5, 6)) // different pattern
+	if len(inner.Reports()) != 2 || d.Suppressed() != 1 {
+		t.Fatalf("delivered %d suppressed %d", len(inner.Reports()), d.Suppressed())
+	}
+
+	clock = clock.Add(2 * time.Minute) // cooldown expired
+	d.Notify(testReport(1, 2, 3))
+	if len(inner.Reports()) != 3 {
+		t.Fatal("expired cooldown must deliver again")
+	}
+}
+
+func TestDedupKeyCollisionFree(t *testing.T) {
+	inner := &MemorySink{}
+	d := NewDedupSink(inner, time.Hour)
+	d.Notify(testReport(1, 23))
+	d.Notify(testReport(12, 3))
+	if len(inner.Reports()) != 2 {
+		t.Fatal("[1,23] and [12,3] are distinct patterns")
+	}
+}
+
+func TestRateLimitSink(t *testing.T) {
+	inner := &MemorySink{}
+	clock := time.Date(2023, 1, 1, 0, 0, 0, 0, time.UTC)
+	s := NewRateLimitSink(inner, 2, time.Minute)
+	s.Now = func() time.Time { return clock }
+
+	for i := 0; i < 5; i++ {
+		s.Notify(testReport(i))
+	}
+	if len(inner.Reports()) != 2 || s.Dropped() != 3 {
+		t.Fatalf("delivered %d dropped %d", len(inner.Reports()), s.Dropped())
+	}
+	clock = clock.Add(2 * time.Minute)
+	s.Notify(testReport(9))
+	if len(inner.Reports()) != 3 {
+		t.Fatal("new window must reset the budget")
+	}
+}
+
+func TestMultiSourceRoundRobin(t *testing.T) {
+	m := NewMultiSource(
+		NewSliceSource([]string{"a1", "a2"}),
+		NewSliceSource([]string{"b1"}),
+		NewSliceSource([]string{"c1", "c2", "c3"}),
+	)
+	var got []string
+	for {
+		line, ok := m.Next()
+		if !ok {
+			break
+		}
+		got = append(got, line)
+	}
+	if len(got) != 6 {
+		t.Fatalf("want 6 lines, got %v", got)
+	}
+	// Round-robin: first cycle a1 b1 c1.
+	if got[0] != "a1" || got[1] != "b1" || got[2] != "c1" {
+		t.Fatalf("not round-robin: %v", got)
+	}
+}
+
+func TestMultiSourceEmpty(t *testing.T) {
+	m := NewMultiSource()
+	if _, ok := m.Next(); ok {
+		t.Fatal("empty multisource must be exhausted")
+	}
+}

@@ -1,0 +1,232 @@
+// Package repr builds model-ready representations from windowed log
+// sequences: it interprets each discovered event template (LEI or raw),
+// embeds the interpretations into the shared feature space, and assembles
+// [N, T, D] tensors plus label vectors for training and evaluation.
+package repr
+
+import (
+	"fmt"
+	"math/rand"
+
+	"logsynergy/internal/embed"
+	"logsynergy/internal/lei"
+	"logsynergy/internal/logdata"
+	"logsynergy/internal/tensor"
+)
+
+// SystemHint renders the prompt context sentence for a dataset, as the
+// paper's Fig. 2 prompts do ("the logs come from an HPC system").
+func SystemHint(system string) string {
+	switch system {
+	case "BGL", "Spirit", "Thunderbird":
+		return "an HPC supercomputer system (" + system + ")"
+	default:
+		return "a cloud data management system (" + system + ")"
+	}
+}
+
+// EventTable maps every event id of one system to its embedding.
+type EventTable struct {
+	// System is the originating system's name.
+	System string
+	// Dim is the embedding dimension.
+	Dim int
+	// Vectors is [numEvents, Dim]; row i embeds event id i.
+	Vectors *tensor.Tensor
+	// Interps records the interpretation used for each event (audit).
+	Interps []lei.Interpretation
+}
+
+// BuildEventTable interprets and embeds every template of a windowed
+// dataset. Pass lei.Identity{} to skip interpretation (the "w/o LEI"
+// ablation); pass a *lei.SimLLM for the full pipeline.
+func BuildEventTable(seqs *logdata.Sequences, it lei.Interpreter, e *embed.Embedder) *EventTable {
+	hint := SystemHint(seqs.System)
+	interps := lei.InterpretAll(it, hint, seqs.Templates)
+	texts := make([]string, len(interps))
+	for i, in := range interps {
+		texts[i] = in.Text
+	}
+	return &EventTable{
+		System:  seqs.System,
+		Dim:     e.Dim,
+		Vectors: e.EmbedAll(texts),
+		Interps: interps,
+	}
+}
+
+// Len returns the number of events in the table.
+func (t *EventTable) Len() int { return t.Vectors.Rows() }
+
+// Extend appends one new event (paper §III-E: "when a new log event
+// appears, LogSynergy maps the new log event into an event embedding").
+// The event receives the next id; the caller must keep its own id space in
+// sync with the parser's.
+func (t *EventTable) Extend(in lei.Interpretation, e *embed.Embedder) {
+	v := e.Embed(in.Text)
+	old := t.Vectors
+	grown := tensor.New(old.Rows()+1, t.Dim)
+	copy(grown.Data, old.Data)
+	copy(grown.Data[old.Rows()*t.Dim:], v)
+	t.Vectors = grown
+	t.Interps = append(t.Interps, in)
+}
+
+// Dataset is a fully materialized tensor dataset for one system.
+type Dataset struct {
+	// System is the originating system's name.
+	System string
+	// X is the [N, T, Dim] input tensor.
+	X *tensor.Tensor
+	// Labels holds the N sequence labels.
+	Labels []bool
+	// Table is the event table X was built from.
+	Table *EventTable
+	// SeqLen is T.
+	SeqLen int
+}
+
+// BuildDataset embeds every sequence of seqs using the event table.
+func BuildDataset(seqs *logdata.Sequences, table *EventTable) *Dataset {
+	if len(seqs.Samples) == 0 {
+		return &Dataset{System: seqs.System, X: tensor.New(0, 0, table.Dim), Table: table}
+	}
+	t := len(seqs.Samples[0].EventIDs)
+	d := table.Dim
+	x := tensor.New(len(seqs.Samples), t, d)
+	labels := make([]bool, len(seqs.Samples))
+	for i, s := range seqs.Samples {
+		if len(s.EventIDs) != t {
+			panic(fmt.Sprintf("repr: ragged sequence lengths %d vs %d", len(s.EventIDs), t))
+		}
+		labels[i] = s.Label
+		for j, id := range s.EventIDs {
+			if id < 0 || id >= table.Vectors.Rows() {
+				panic(fmt.Sprintf("repr: event id %d outside table of %d events", id, table.Vectors.Rows()))
+			}
+			copy(x.Data[(i*t+j)*d:(i*t+j+1)*d], table.Vectors.Data[id*d:(id+1)*d])
+		}
+	}
+	return &Dataset{System: seqs.System, X: x, Labels: labels, Table: table, SeqLen: t}
+}
+
+// Build runs the whole representation stage for one system.
+func Build(seqs *logdata.Sequences, it lei.Interpreter, e *embed.Embedder) *Dataset {
+	return BuildDataset(seqs, BuildEventTable(seqs, it, e))
+}
+
+// Len returns the number of sequences.
+func (d *Dataset) Len() int { return len(d.Labels) }
+
+// Dim returns the per-event embedding dimension.
+func (d *Dataset) Dim() int { return d.Table.Dim }
+
+// Gather materializes the [len(idx), T, Dim] tensor and labels for the
+// given sample indices.
+func (d *Dataset) Gather(idx []int) (*tensor.Tensor, []float64) {
+	t, dim := d.SeqLen, d.Dim()
+	x := tensor.New(len(idx), t, dim)
+	labels := make([]float64, len(idx))
+	stride := t * dim
+	for i, j := range idx {
+		copy(x.Data[i*stride:(i+1)*stride], d.X.Data[j*stride:(j+1)*stride])
+		if d.Labels[j] {
+			labels[i] = 1
+		}
+	}
+	return x, labels
+}
+
+// LabelFloats converts labels to a float vector (1 = anomalous).
+func (d *Dataset) LabelFloats() []float64 {
+	out := make([]float64, len(d.Labels))
+	for i, l := range d.Labels {
+		if l {
+			out[i] = 1
+		}
+	}
+	return out
+}
+
+// PositiveRate returns the fraction of anomalous sequences.
+func (d *Dataset) PositiveRate() float64 {
+	if len(d.Labels) == 0 {
+		return 0
+	}
+	n := 0
+	for _, l := range d.Labels {
+		if l {
+			n++
+		}
+	}
+	return float64(n) / float64(len(d.Labels))
+}
+
+// Concat joins datasets with identical sequence length and dimension into
+// one (labels concatenated in order). The result's Table is nil: a merged
+// dataset spans multiple template spaces.
+func Concat(parts ...*Dataset) *Dataset {
+	if len(parts) == 0 {
+		panic("repr: Concat needs at least one dataset")
+	}
+	t, dim := parts[0].SeqLen, parts[0].Dim()
+	total := 0
+	for _, p := range parts {
+		if p.SeqLen != t || p.Dim() != dim {
+			panic(fmt.Sprintf("repr: Concat shape mismatch [%d,%d] vs [%d,%d]", p.SeqLen, p.Dim(), t, dim))
+		}
+		total += p.Len()
+	}
+	x := tensor.New(total, t, dim)
+	labels := make([]bool, 0, total)
+	off := 0
+	for _, p := range parts {
+		copy(x.Data[off:], p.X.Data)
+		off += len(p.X.Data)
+		labels = append(labels, p.Labels...)
+	}
+	// Keep the first part's table only for Dim bookkeeping.
+	return &Dataset{System: "merged", X: x, Labels: labels, Table: &EventTable{Dim: dim}, SeqLen: t}
+}
+
+// BalancedSampler draws minibatch indices with anomaly oversampling: rare
+// anomalous sequences appear in roughly posFraction of each batch. With
+// per-dataset anomaly rates as low as 0.17% (Table III), plain uniform
+// sampling would starve the classifier of positive examples at the small
+// batch sizes CPU training uses.
+type BalancedSampler struct {
+	pos, neg    []int
+	posFraction float64
+	rng         *rand.Rand
+}
+
+// NewBalancedSampler builds a sampler over the dataset's label vector.
+func NewBalancedSampler(labels []bool, posFraction float64, rng *rand.Rand) *BalancedSampler {
+	s := &BalancedSampler{posFraction: posFraction, rng: rng}
+	for i, l := range labels {
+		if l {
+			s.pos = append(s.pos, i)
+		} else {
+			s.neg = append(s.neg, i)
+		}
+	}
+	return s
+}
+
+// HasPositives reports whether any anomalous sample exists.
+func (s *BalancedSampler) HasPositives() bool { return len(s.pos) > 0 }
+
+// Sample returns n indices. If either class is empty the sampler falls
+// back to uniform sampling over the other.
+func (s *BalancedSampler) Sample(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		usePos := len(s.pos) > 0 && (len(s.neg) == 0 || s.rng.Float64() < s.posFraction)
+		if usePos {
+			out[i] = s.pos[s.rng.Intn(len(s.pos))]
+		} else {
+			out[i] = s.neg[s.rng.Intn(len(s.neg))]
+		}
+	}
+	return out
+}

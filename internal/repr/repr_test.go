@@ -1,0 +1,150 @@
+package repr
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"logsynergy/internal/embed"
+	"logsynergy/internal/lei"
+	"logsynergy/internal/logdata"
+	"logsynergy/internal/window"
+)
+
+func buildSeqs(t *testing.T) *logdata.Sequences {
+	t.Helper()
+	return logdata.Build(logdata.SystemB(), 5, 0.005, window.Default())
+}
+
+func TestBuildEventTable(t *testing.T) {
+	seqs := buildSeqs(t)
+	e := embed.New(16)
+	table := BuildEventTable(seqs, lei.NewSimLLM(lei.Config{}), e)
+	if table.Vectors.Rows() != len(seqs.Templates) {
+		t.Fatalf("table rows %d vs %d templates", table.Vectors.Rows(), len(seqs.Templates))
+	}
+	if table.Dim != 16 || table.System != "SystemB" {
+		t.Fatalf("table metadata wrong: %+v", table)
+	}
+	if len(table.Interps) != len(seqs.Templates) {
+		t.Fatal("missing interpretations")
+	}
+}
+
+func TestSystemHint(t *testing.T) {
+	if !strings.Contains(SystemHint("BGL"), "HPC") {
+		t.Fatal("BGL must hint HPC")
+	}
+	if !strings.Contains(SystemHint("SystemA"), "cloud") {
+		t.Fatal("SystemA must hint cloud")
+	}
+}
+
+func TestBuildDatasetShapesAndRows(t *testing.T) {
+	seqs := buildSeqs(t)
+	e := embed.New(16)
+	d := Build(seqs, lei.Identity{}, e)
+	if d.Len() != len(seqs.Samples) || d.SeqLen != 10 || d.Dim() != 16 {
+		t.Fatalf("dataset dims: len=%d seqlen=%d dim=%d", d.Len(), d.SeqLen, d.Dim())
+	}
+	// Row 0, step 0 must equal the event-table row for that event id.
+	id := seqs.Samples[0].EventIDs[0]
+	for k := 0; k < 16; k++ {
+		if d.X.Data[k] != d.Table.Vectors.Data[id*16+k] {
+			t.Fatal("dataset row does not match event table")
+		}
+	}
+}
+
+func TestGatherMatchesDataset(t *testing.T) {
+	seqs := buildSeqs(t)
+	d := Build(seqs, lei.Identity{}, embed.New(8))
+	x, labels := d.Gather([]int{2, 0})
+	if x.Dim(0) != 2 {
+		t.Fatalf("gather batch dim %d", x.Dim(0))
+	}
+	stride := d.SeqLen * d.Dim()
+	for k := 0; k < stride; k++ {
+		if x.Data[k] != d.X.Data[2*stride+k] {
+			t.Fatal("gather row 0 should be dataset row 2")
+		}
+	}
+	if (labels[0] == 1) != d.Labels[2] || (labels[1] == 1) != d.Labels[0] {
+		t.Fatal("gather labels mismatch")
+	}
+}
+
+func TestLabelFloatsAndPositiveRate(t *testing.T) {
+	d := &Dataset{Labels: []bool{true, false, true, false}}
+	f := d.LabelFloats()
+	if f[0] != 1 || f[1] != 0 {
+		t.Fatalf("label floats: %v", f)
+	}
+	if d.PositiveRate() != 0.5 {
+		t.Fatalf("positive rate %v", d.PositiveRate())
+	}
+}
+
+func TestConcat(t *testing.T) {
+	seqs := buildSeqs(t)
+	e := embed.New(8)
+	d := Build(seqs, lei.Identity{}, e)
+	joined := Concat(d, d)
+	if joined.Len() != 2*d.Len() {
+		t.Fatalf("concat len %d want %d", joined.Len(), 2*d.Len())
+	}
+	stride := d.SeqLen * d.Dim()
+	if joined.X.Data[d.Len()*stride] != d.X.Data[0] {
+		t.Fatal("second half must replicate first dataset")
+	}
+}
+
+func TestBalancedSamplerOversamples(t *testing.T) {
+	labels := make([]bool, 1000)
+	labels[7] = true // single positive
+	rng := rand.New(rand.NewSource(1))
+	s := NewBalancedSampler(labels, 0.3, rng)
+	if !s.HasPositives() {
+		t.Fatal("sampler must see the positive")
+	}
+	idx := s.Sample(10000)
+	pos := 0
+	for _, i := range idx {
+		if labels[i] {
+			pos++
+		}
+	}
+	rate := float64(pos) / float64(len(idx))
+	if rate < 0.25 || rate > 0.35 {
+		t.Fatalf("oversampling rate %.3f, want ≈0.3", rate)
+	}
+}
+
+func TestBalancedSamplerNoPositives(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	s := NewBalancedSampler(make([]bool, 50), 0.3, rng)
+	if s.HasPositives() {
+		t.Fatal("no positives expected")
+	}
+	for _, i := range s.Sample(100) {
+		if i < 0 || i >= 50 {
+			t.Fatalf("index %d out of range", i)
+		}
+	}
+}
+
+func TestIdentityVsLEIRepresentationsDiffer(t *testing.T) {
+	seqs := buildSeqs(t)
+	e := embed.New(32)
+	raw := BuildEventTable(seqs, lei.Identity{}, e)
+	interpreted := BuildEventTable(seqs, lei.NewSimLLM(lei.Config{}), e)
+	same := 0
+	for i := 0; i < raw.Vectors.Size(); i++ {
+		if raw.Vectors.Data[i] == interpreted.Vectors.Data[i] {
+			same++
+		}
+	}
+	if same == raw.Vectors.Size() {
+		t.Fatal("LEI must change the representation")
+	}
+}

@@ -1,0 +1,236 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Add returns a + b element-wise. Shapes must match exactly.
+func Add(a, b *Tensor) *Tensor {
+	mustSameShape("Add", a, b)
+	out := New(a.Shape...)
+	for i := range a.Data {
+		out.Data[i] = a.Data[i] + b.Data[i]
+	}
+	return out
+}
+
+// Sub returns a - b element-wise.
+func Sub(a, b *Tensor) *Tensor {
+	mustSameShape("Sub", a, b)
+	out := New(a.Shape...)
+	for i := range a.Data {
+		out.Data[i] = a.Data[i] - b.Data[i]
+	}
+	return out
+}
+
+// Mul returns the element-wise (Hadamard) product.
+func Mul(a, b *Tensor) *Tensor {
+	mustSameShape("Mul", a, b)
+	out := New(a.Shape...)
+	for i := range a.Data {
+		out.Data[i] = a.Data[i] * b.Data[i]
+	}
+	return out
+}
+
+// Scale returns a*s.
+func Scale(a *Tensor, s float64) *Tensor {
+	out := New(a.Shape...)
+	for i := range a.Data {
+		out.Data[i] = a.Data[i] * s
+	}
+	return out
+}
+
+// AddInPlace accumulates src into dst (dst += src).
+func AddInPlace(dst, src *Tensor) {
+	mustSameShape("AddInPlace", dst, src)
+	for i := range dst.Data {
+		dst.Data[i] += src.Data[i]
+	}
+}
+
+// AddScaledInPlace accumulates s*src into dst.
+func AddScaledInPlace(dst *Tensor, src *Tensor, s float64) {
+	mustSameShape("AddScaledInPlace", dst, src)
+	for i := range dst.Data {
+		dst.Data[i] += s * src.Data[i]
+	}
+}
+
+// MatMul returns the matrix product of 2-D tensors a [m,k] and b [k,n].
+func MatMul(a, b *Tensor) *Tensor {
+	a.mustDims(2)
+	b.mustDims(2)
+	m, k := a.Shape[0], a.Shape[1]
+	k2, n := b.Shape[0], b.Shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMul shape mismatch %v x %v", a.Shape, b.Shape))
+	}
+	out := New(m, n)
+	// Fresh buffers are already zero; accumulate into them directly.
+	matMulInto(out.Data, a.Data, b.Data, m, k, n, true)
+	return out
+}
+
+// MatMulInto computes out += a@b when accumulate, else out = a@b, reusing
+// out's storage. All operands are 2-D with compatible shapes.
+func MatMulInto(out, a, b *Tensor, accumulate bool) {
+	a.mustDims(2)
+	b.mustDims(2)
+	out.mustDims(2)
+	m, k := a.Shape[0], a.Shape[1]
+	if b.Shape[0] != k || out.Shape[0] != m || out.Shape[1] != b.Shape[1] {
+		panic(fmt.Sprintf("tensor: MatMulInto shape mismatch out=%v a=%v b=%v", out.Shape, a.Shape, b.Shape))
+	}
+	matMulInto(out.Data, a.Data, b.Data, m, k, b.Shape[1], accumulate)
+}
+
+// matMulInto is the ikj-ordered kernel shared by the public entry points,
+// with a 4-way unrolled inner loop.
+func matMulInto(out, a, b []float64, m, k, n int, accumulate bool) {
+	if !accumulate {
+		clear(out[:m*n])
+	}
+	for i := 0; i < m; i++ {
+		arow := a[i*k : (i+1)*k]
+		orow := out[i*n : i*n+n]
+		for p, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b[p*n : p*n+n]
+			j := 0
+			for ; j+4 <= n; j += 4 {
+				orow[j] += av * brow[j]
+				orow[j+1] += av * brow[j+1]
+				orow[j+2] += av * brow[j+2]
+				orow[j+3] += av * brow[j+3]
+			}
+			for ; j < n; j++ {
+				orow[j] += av * brow[j]
+			}
+		}
+	}
+}
+
+// Transpose returns the transpose of a 2-D tensor.
+func Transpose(a *Tensor) *Tensor {
+	a.mustDims(2)
+	m, n := a.Shape[0], a.Shape[1]
+	out := New(n, m)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			out.Data[j*m+i] = a.Data[i*n+j]
+		}
+	}
+	return out
+}
+
+// BMM returns the batched matrix product of 3-D tensors a [b,m,k] and
+// b [b,k,n], producing [b,m,n].
+func BMM(a, b *Tensor) *Tensor {
+	a.mustDims(3)
+	b.mustDims(3)
+	bs, m, k := a.Shape[0], a.Shape[1], a.Shape[2]
+	if b.Shape[0] != bs || b.Shape[1] != k {
+		panic(fmt.Sprintf("tensor: BMM shape mismatch %v x %v", a.Shape, b.Shape))
+	}
+	n := b.Shape[2]
+	out := New(bs, m, n)
+	for i := 0; i < bs; i++ {
+		// Fresh buffer: accumulate to skip redundant zeroing.
+		matMulInto(out.Data[i*m*n:(i+1)*m*n], a.Data[i*m*k:(i+1)*m*k], b.Data[i*k*n:(i+1)*k*n], m, k, n, true)
+	}
+	return out
+}
+
+// TransposeLast2 swaps the last two dimensions of a 3-D tensor.
+func TransposeLast2(a *Tensor) *Tensor {
+	a.mustDims(3)
+	bs, m, n := a.Shape[0], a.Shape[1], a.Shape[2]
+	out := New(bs, n, m)
+	for b := 0; b < bs; b++ {
+		src := a.Data[b*m*n:]
+		dst := out.Data[b*m*n:]
+		for i := 0; i < m; i++ {
+			for j := 0; j < n; j++ {
+				dst[j*m+i] = src[i*n+j]
+			}
+		}
+	}
+	return out
+}
+
+// SoftmaxLastDim applies a numerically stable softmax along the final
+// dimension, treating all leading dimensions as independent rows.
+func SoftmaxLastDim(a *Tensor) *Tensor {
+	if len(a.Shape) == 0 {
+		return Scalar(1)
+	}
+	n := a.Shape[len(a.Shape)-1]
+	out := New(a.Shape...)
+	rows := a.Size() / n
+	for r := 0; r < rows; r++ {
+		softmaxRow(out.Data[r*n:(r+1)*n], a.Data[r*n:(r+1)*n])
+	}
+	return out
+}
+
+func softmaxRow(dst, src []float64) {
+	maxv := math.Inf(-1)
+	for _, v := range src {
+		if v > maxv {
+			maxv = v
+		}
+	}
+	sum := 0.0
+	for i, v := range src {
+		e := math.Exp(v - maxv)
+		dst[i] = e
+		sum += e
+	}
+	for i := range dst {
+		dst[i] /= sum
+	}
+}
+
+// Sum returns the sum of all elements.
+func Sum(a *Tensor) float64 {
+	s := 0.0
+	for _, v := range a.Data {
+		s += v
+	}
+	return s
+}
+
+// Mean returns the arithmetic mean of all elements (0 for empty tensors).
+func Mean(a *Tensor) float64 {
+	if a.Size() == 0 {
+		return 0
+	}
+	return Sum(a) / float64(a.Size())
+}
+
+// Dot returns the inner product of two tensors of identical shape.
+func Dot(a, b *Tensor) float64 {
+	mustSameShape("Dot", a, b)
+	s := 0.0
+	for i := range a.Data {
+		s += a.Data[i] * b.Data[i]
+	}
+	return s
+}
+
+// Norm returns the Euclidean norm of all elements.
+func Norm(a *Tensor) float64 {
+	return math.Sqrt(Dot(a, a))
+}
+
+func mustSameShape(op string, a, b *Tensor) {
+	if !a.SameShape(b) {
+		panic(fmt.Sprintf("tensor: %s shape mismatch %v vs %v", op, a.Shape, b.Shape))
+	}
+}

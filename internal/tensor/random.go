@@ -1,0 +1,23 @@
+package tensor
+
+import "math/rand"
+
+// Randn fills a new tensor of the given shape with samples from
+// N(0, std^2) drawn from rng. Passing the rng explicitly keeps every
+// model initialization in the project deterministic and reproducible.
+func Randn(rng *rand.Rand, std float64, shape ...int) *Tensor {
+	t := New(shape...)
+	for i := range t.Data {
+		t.Data[i] = rng.NormFloat64() * std
+	}
+	return t
+}
+
+// RandUniform fills a new tensor with samples from U(lo, hi).
+func RandUniform(rng *rand.Rand, lo, hi float64, shape ...int) *Tensor {
+	t := New(shape...)
+	for i := range t.Data {
+		t.Data[i] = lo + rng.Float64()*(hi-lo)
+	}
+	return t
+}

@@ -1,0 +1,74 @@
+// Package window implements the sliding-window sequencer LogSynergy's
+// pre-processing uses to split a continuous event stream into fixed-length
+// log sequences. The paper segments every dataset with a window length of
+// 10 events and a step of 5 (§IV-A1, §VI-A).
+package window
+
+import "fmt"
+
+// Config controls sequence segmentation.
+type Config struct {
+	// Length is the number of events per sequence (paper: 10).
+	Length int
+	// Step is the slide distance between consecutive windows (paper: 5).
+	Step int
+}
+
+// Default returns the paper's segmentation parameters.
+func Default() Config { return Config{Length: 10, Step: 5} }
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.Length <= 0 {
+		return fmt.Errorf("window: length must be positive, got %d", c.Length)
+	}
+	if c.Step <= 0 {
+		return fmt.Errorf("window: step must be positive, got %d", c.Step)
+	}
+	return nil
+}
+
+// Span is one window over the underlying stream: the half-open index range
+// [Start, End).
+type Span struct {
+	Start, End int
+}
+
+// Slide returns every full window over a stream of n items. Windows that
+// would extend past the end of the stream are dropped (keeping every
+// sequence exactly Length long, as the models require fixed-size inputs).
+func Slide(n int, cfg Config) []Span {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	if n < cfg.Length {
+		return nil
+	}
+	count := (n-cfg.Length)/cfg.Step + 1
+	spans := make([]Span, 0, count)
+	for s := 0; s+cfg.Length <= n; s += cfg.Step {
+		spans = append(spans, Span{Start: s, End: s + cfg.Length})
+	}
+	return spans
+}
+
+// Count returns how many windows Slide would produce without materializing
+// them.
+func Count(n int, cfg Config) int {
+	if n < cfg.Length {
+		return 0
+	}
+	return (n-cfg.Length)/cfg.Step + 1
+}
+
+// AnyTrue reports whether any element of labels in [span.Start, span.End)
+// is true. It implements the paper's sequence-labeling rule: a log sequence
+// is anomalous iff it contains at least one anomalous line.
+func AnyTrue(labels []bool, span Span) bool {
+	for i := span.Start; i < span.End; i++ {
+		if labels[i] {
+			return true
+		}
+	}
+	return false
+}

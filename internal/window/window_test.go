@@ -1,0 +1,82 @@
+package window
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSlidePaperParameters(t *testing.T) {
+	spans := Slide(25, Default())
+	// Windows: [0,10) [5,15) [10,20) [15,25) — 4 full windows.
+	if len(spans) != 4 {
+		t.Fatalf("want 4 windows over 25 lines, got %d", len(spans))
+	}
+	if spans[0] != (Span{0, 10}) || spans[3] != (Span{15, 25}) {
+		t.Fatalf("unexpected spans: %v", spans)
+	}
+}
+
+func TestSlideTooShort(t *testing.T) {
+	if got := Slide(9, Default()); got != nil {
+		t.Fatalf("want no windows for a 9-line stream, got %v", got)
+	}
+}
+
+func TestSlideExactLength(t *testing.T) {
+	spans := Slide(10, Default())
+	if len(spans) != 1 || spans[0] != (Span{0, 10}) {
+		t.Fatalf("want exactly one full window, got %v", spans)
+	}
+}
+
+func TestCountMatchesSlide(t *testing.T) {
+	f := func(n uint16, length, step uint8) bool {
+		cfg := Config{Length: int(length%40) + 1, Step: int(step%10) + 1}
+		return Count(int(n%5000), cfg) == len(Slide(int(n%5000), cfg))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: every span is exactly Length long and in bounds.
+func TestSpansWellFormed(t *testing.T) {
+	f := func(n uint16, step uint8) bool {
+		cfg := Config{Length: 10, Step: int(step%10) + 1}
+		total := int(n % 2000)
+		for _, sp := range Slide(total, cfg) {
+			if sp.End-sp.Start != cfg.Length || sp.Start < 0 || sp.End > total {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAnyTrue(t *testing.T) {
+	labels := []bool{false, false, true, false}
+	if !AnyTrue(labels, Span{0, 3}) {
+		t.Fatal("span covering a true label must be true")
+	}
+	if AnyTrue(labels, Span{0, 2}) {
+		t.Fatal("span with no true labels must be false")
+	}
+	if AnyTrue(labels, Span{3, 4}) {
+		t.Fatal("span [3,4) must be false")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := (Config{Length: 0, Step: 5}).Validate(); err == nil {
+		t.Fatal("zero length must be invalid")
+	}
+	if err := (Config{Length: 10, Step: 0}).Validate(); err == nil {
+		t.Fatal("zero step must be invalid")
+	}
+	if err := Default().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+}
