@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: build test race bench verify
+
+build:
+	$(GO) build ./...
+
+# Tier-1: the fast correctness gate (ROADMAP.md).
+test: build
+	$(GO) test ./...
+
+# Race tier: vet + full suite under the race detector. Slower, catches
+# data races in the parallel tensor runtime and batched detection paths.
+# Race instrumentation is ~10x; the training-heavy packages exceed go
+# test's default 10m per-package budget on small machines.
+race:
+	$(GO) vet ./...
+	$(GO) test -race -timeout 45m ./...
+
+# Bench tier: serial-vs-parallel compute benchmarks (bench_test.go).
+bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkBatchScore|BenchmarkTrainEpoch' -benchmem .
+
+verify: test race

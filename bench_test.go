@@ -12,13 +12,20 @@ package bench
 
 import (
 	"fmt"
+	"math/rand"
 	"os"
 	"sync"
 	"testing"
 
 	"logsynergy/internal/baselines"
 	"logsynergy/internal/core"
+	"logsynergy/internal/embed"
 	"logsynergy/internal/experiments"
+	"logsynergy/internal/lei"
+	"logsynergy/internal/logdata"
+	"logsynergy/internal/repr"
+	"logsynergy/internal/tensor"
+	"logsynergy/internal/window"
 )
 
 // benchScale picks the experiment scale for benchmarks: the bench scale
@@ -281,3 +288,85 @@ func evalLogSynergy(l *experiments.Lab, sc *baselines.Scenario, cfg core.Config)
 	m := experiments.NewLogSynergy(cfg, l.Interp)
 	return baselines.Evaluate(m, sc).F1
 }
+
+// ---- serial-vs-parallel compute runtime benchmarks ----
+//
+// These pin the parallel tensor runtime's speedup so BENCH_*.json can track
+// it: run the *Serial and *Parallel4 variants of each pair and compare
+// ns/op. On a multi-core host the Parallel4 variant should be ≥2× faster;
+// the results are bit-identical (see internal/tensor's equivalence suite).
+
+// scoreFixture caches an inference model and a batch of sequences for the
+// batch-scoring benchmarks.
+var (
+	scoreOnce  sync.Once
+	scoreModel *core.Model
+	scoreX     *tensor.Tensor
+)
+
+func scoreFixture() (*core.Model, *tensor.Tensor) {
+	scoreOnce.Do(func() {
+		cfg := core.DefaultConfig()
+		scoreModel = core.NewModel(cfg, 3)
+		rng := rand.New(rand.NewSource(71))
+		scoreX = tensor.Randn(rng, 1, 512, 10, cfg.EmbedDim)
+	})
+	return scoreModel, scoreX
+}
+
+func benchmarkBatchScore(b *testing.B, workers int) {
+	m, x := scoreFixture()
+	prev := tensor.SetParallelism(workers)
+	defer tensor.SetParallelism(prev)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Score(x, 128)
+	}
+}
+
+// BenchmarkBatchScoreSerial scores 512 windows with parallel kernels off.
+func BenchmarkBatchScoreSerial(b *testing.B) { benchmarkBatchScore(b, 1) }
+
+// BenchmarkBatchScoreParallel4 scores the same 512 windows on 4 workers.
+func BenchmarkBatchScoreParallel4(b *testing.B) { benchmarkBatchScore(b, 4) }
+
+// trainFixture caches small source/target datasets for the training-step
+// benchmarks.
+var (
+	trainOnce    sync.Once
+	trainSources []*repr.Dataset
+	trainTarget  *repr.Dataset
+)
+
+func trainFixture() ([]*repr.Dataset, *repr.Dataset) {
+	trainOnce.Do(func() {
+		interp := lei.NewSimLLM(lei.Config{})
+		e := embed.New(32)
+		mk := func(spec *logdata.SystemSpec, lines int, seed int64) *logdata.Sequences {
+			return logdata.Build(spec, seed, float64(lines)/float64(spec.Lines), window.Default())
+		}
+		trainSources = []*repr.Dataset{repr.Build(mk(logdata.BGL(), 6000, 1), interp, e)}
+		tgt := mk(logdata.Thunderbird(), 4000, 3)
+		table := repr.BuildEventTable(tgt, interp, e)
+		trainTarget = repr.BuildDataset(tgt, table)
+	})
+	return trainSources, trainTarget
+}
+
+func benchmarkTrainEpoch(b *testing.B, workers int) {
+	sources, target := trainFixture()
+	prev := tensor.SetParallelism(workers)
+	defer tensor.SetParallelism(prev)
+	cfg := core.DefaultConfig()
+	cfg.Epochs = 1
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.TrainModel(cfg, sources, target)
+	}
+}
+
+// BenchmarkTrainEpochSerial runs one training epoch with parallel kernels off.
+func BenchmarkTrainEpochSerial(b *testing.B) { benchmarkTrainEpoch(b, 1) }
+
+// BenchmarkTrainEpochParallel4 runs the same epoch on 4 workers.
+func BenchmarkTrainEpochParallel4(b *testing.B) { benchmarkTrainEpoch(b, 4) }

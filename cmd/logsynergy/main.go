@@ -24,6 +24,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
 	"logsynergy/internal/core"
@@ -34,10 +35,15 @@ import (
 	"logsynergy/internal/metrics"
 	"logsynergy/internal/pipeline"
 	"logsynergy/internal/repr"
+	"logsynergy/internal/tensor"
 	"logsynergy/internal/window"
 )
 
 func main() {
+	if err := applyThreadsEnv(os.Getenv("LOGSYNERGY_THREADS")); err != nil {
+		fmt.Fprintf(os.Stderr, "logsynergy: %v\n", err)
+		os.Exit(2)
+	}
 	if len(os.Args) < 2 {
 		usage()
 		os.Exit(2)
@@ -64,6 +70,23 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, "usage: logsynergy <train|detect|eval|interpret> [flags]")
+}
+
+// applyThreadsEnv configures the tensor worker pool from the
+// LOGSYNERGY_THREADS environment variable ("" = leave the GOMAXPROCS
+// default; any positive integer pins the worker count; 1 disables
+// parallel kernels entirely).
+func applyThreadsEnv(val string) error {
+	val = strings.TrimSpace(val)
+	if val == "" {
+		return nil
+	}
+	n, err := strconv.Atoi(val)
+	if err != nil || n < 1 {
+		return fmt.Errorf("LOGSYNERGY_THREADS=%q: want a positive integer", val)
+	}
+	tensor.SetParallelism(n)
+	return nil
 }
 
 // runEval scores a labeled log file with a trained bundle and reports the

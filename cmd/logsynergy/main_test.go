@@ -4,7 +4,29 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+
+	"logsynergy/internal/tensor"
 )
+
+func TestApplyThreadsEnv(t *testing.T) {
+	orig := tensor.Parallelism()
+	defer tensor.SetParallelism(orig)
+
+	if err := applyThreadsEnv(""); err != nil {
+		t.Fatalf("empty value must be a no-op, got %v", err)
+	}
+	if err := applyThreadsEnv(" 3 "); err != nil {
+		t.Fatalf("valid value rejected: %v", err)
+	}
+	if got := tensor.Parallelism(); got != 3 {
+		t.Fatalf("parallelism %d after LOGSYNERGY_THREADS=3", got)
+	}
+	for _, bad := range []string{"0", "-2", "four", "1.5"} {
+		if err := applyThreadsEnv(bad); err == nil {
+			t.Fatalf("%q must be rejected", bad)
+		}
+	}
+}
 
 func writeFile(t *testing.T, dir, name, content string) string {
 	t.Helper()

@@ -63,6 +63,47 @@ func (d *Detector) ScoreSequence(eventIDs []int) float64 {
 	return d.Model.Score(x, 1)[0]
 }
 
+// ScoreSequences scores a batch of event-id sequences, sharding the batch
+// across the tensor worker pool (online scoring is embarrassingly parallel:
+// the model and event table are read-only during inference). Scores are
+// returned in input order; sequences may have differing lengths. With
+// parallelism 1 this degrades to a serial loop over ScoreSequence.
+func (d *Detector) ScoreSequences(seqs [][]int) []float64 {
+	scores := make([]float64, len(seqs))
+	// Each forward pass is O(T·D·model) — far past any serial-fallback
+	// threshold, so size the work estimate to always shard when workers > 1.
+	work := len(seqs) * tensor.MinParallelWork()
+	tensor.ParallelRange(len(seqs), work, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			scores[i] = d.ScoreSequence(seqs[i])
+		}
+	})
+	return scores
+}
+
+// BatchResult pairs one sequence's score with its report (nil when the
+// score does not cross the detection threshold).
+type BatchResult struct {
+	Score  float64
+	Report *Report
+}
+
+// DetectBatch scores sequences concurrently and materializes reports for
+// the anomalous ones, preserving input order. Report construction stays on
+// the calling goroutine: it is cheap, and keeping it serial means report
+// timestamps from d.Now are drawn in input order.
+func (d *Detector) DetectBatch(seqs [][]int) []BatchResult {
+	scores := d.ScoreSequences(seqs)
+	out := make([]BatchResult, len(seqs))
+	for i, score := range scores {
+		out[i].Score = score
+		if score > Threshold {
+			out[i].Report = d.BuildReport(seqs[i], score)
+		}
+	}
+	return out
+}
+
 // Detect scores a sequence and, if it crosses the threshold, produces the
 // anomaly report.
 func (d *Detector) Detect(eventIDs []int) (float64, *Report) {

@@ -1,0 +1,57 @@
+package core
+
+import (
+	"testing"
+
+	"logsynergy/internal/lei"
+	"logsynergy/internal/tensor"
+)
+
+// TestTrainingDeterministicUnderParallelism guards the runtime's central
+// reproducibility contract: with parallel kernels enabled, two full Trainer
+// runs from the same cfg.Seed must produce bit-identical losses and scores.
+// The parallel matmuls are row-sharded (bit-identical to serial) and the
+// blocked reductions combine partials in a fixed order, so nothing in the
+// training loop may depend on goroutine scheduling; if nondeterministic
+// reduction order ever leaks into a kernel, this test catches it.
+func TestTrainingDeterministicUnderParallelism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training test")
+	}
+	prevW := tensor.SetParallelism(4)
+	prevT := tensor.SetMinParallelWork(1) // force every kernel through the parallel path
+	defer func() {
+		tensor.SetParallelism(prevW)
+		tensor.SetMinParallelWork(prevT)
+	}()
+
+	sources, train, test := buildScenario(t, lei.NewSimLLM(lei.Config{}))
+	cfg := fastConfig()
+	cfg.Epochs = 2
+
+	type runOut struct {
+		stats  []EpochStats
+		scores []float64
+	}
+	run := func() runOut {
+		trainer := NewTrainer(cfg, sources, train)
+		stats := trainer.Train()
+		return runOut{stats: stats, scores: trainer.Model.Score(test.X, 64)}
+	}
+
+	a, b := run(), run()
+	if len(a.stats) != len(b.stats) {
+		t.Fatalf("epoch counts differ: %d vs %d", len(a.stats), len(b.stats))
+	}
+	for e := range a.stats {
+		if a.stats[e] != b.stats[e] {
+			t.Fatalf("epoch %d stats differ under parallelism:\n  run1: %+v\n  run2: %+v",
+				e, a.stats[e], b.stats[e])
+		}
+	}
+	for i := range a.scores {
+		if a.scores[i] != b.scores[i] {
+			t.Fatalf("score %d differs under parallelism: %v vs %v", i, a.scores[i], b.scores[i])
+		}
+	}
+}

@@ -127,7 +127,7 @@ func TestGradLayerNorm(t *testing.T) {
 	})
 }
 
-func TestGradMatMulAndSlices(t *testing.T) {
+func gradCheckMatMulAndSlices(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
 	ps := NewParamSet()
 	a := ps.New("a", tensor.Randn(rng, 1, 3, 4))
@@ -144,7 +144,9 @@ func TestGradMatMulAndSlices(t *testing.T) {
 	})
 }
 
-func TestGradBMMTranspose(t *testing.T) {
+func TestGradMatMulAndSlices(t *testing.T) { gradCheckMatMulAndSlices(t) }
+
+func gradCheckBMMTranspose(t *testing.T) {
 	rng := rand.New(rand.NewSource(8))
 	ps := NewParamSet()
 	a := ps.New("a", tensor.Randn(rng, 1, 2, 3, 4))
@@ -155,6 +157,8 @@ func TestGradBMMTranspose(t *testing.T) {
 		return g, g.Mean(g.Square(prod))
 	})
 }
+
+func TestGradBMMTranspose(t *testing.T) { gradCheckBMMTranspose(t) }
 
 func TestGradReshapeMeanTimeSelectStack(t *testing.T) {
 	rng := rand.New(rand.NewSource(9))
@@ -197,7 +201,7 @@ func TestSplitMergeHeadsRoundTrip(t *testing.T) {
 	}
 }
 
-func TestGradTransformerEncoder(t *testing.T) {
+func gradCheckTransformerEncoder(t *testing.T) {
 	rng := rand.New(rand.NewSource(12))
 	ps := NewParamSet()
 	enc := NewTransformerEncoder(ps, "enc", rng, 5, 8, 2, 12, 1, 0)
@@ -211,7 +215,9 @@ func TestGradTransformerEncoder(t *testing.T) {
 	})
 }
 
-func TestGradLSTM(t *testing.T) {
+func TestGradTransformerEncoder(t *testing.T) { gradCheckTransformerEncoder(t) }
+
+func gradCheckLSTM(t *testing.T) {
 	rng := rand.New(rand.NewSource(13))
 	ps := NewParamSet()
 	lstm := NewLSTM(ps, "lstm", rng, 3, 4)
@@ -223,6 +229,26 @@ func TestGradLSTM(t *testing.T) {
 		_, last := lstm.Forward(g, g.Const(x))
 		return g, g.BCEWithLogits(head.Forward(g, last), labels)
 	})
+}
+
+func TestGradLSTM(t *testing.T) { gradCheckLSTM(t) }
+
+// TestGradParallelKernels re-runs the finite-difference gradient checks
+// with the parallel runtime forced on (4 workers, zero serial-fallback
+// threshold), so the backward passes through the row-sharded MatMul/BMM
+// kernels and the parallel elementwise/pooling paths stay verified against
+// numerical gradients, not just the serial kernels.
+func TestGradParallelKernels(t *testing.T) {
+	prevW := tensor.SetParallelism(4)
+	prevT := tensor.SetMinParallelWork(1)
+	defer func() {
+		tensor.SetParallelism(prevW)
+		tensor.SetMinParallelWork(prevT)
+	}()
+	t.Run("MatMulAndSlices", gradCheckMatMulAndSlices)
+	t.Run("BMMTranspose", gradCheckBMMTranspose)
+	t.Run("TransformerEncoder", gradCheckTransformerEncoder)
+	t.Run("LSTM", gradCheckLSTM)
 }
 
 func TestGradGRU(t *testing.T) {

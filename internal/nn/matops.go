@@ -52,12 +52,16 @@ func (g *Graph) TransposeLast2(a *Node) *Node {
 	}, a)
 }
 
-// Reshape returns a node viewing the same elements with a new shape.
+// Reshape returns a node viewing the same elements with a new shape. The
+// output aliases the input's backing array (no copy): graph operations
+// never mutate their inputs' values, so the view is safe on the forward
+// path, and the backward pass likewise reshapes the upstream gradient as a
+// view (accumulate only reads it).
 func (g *Graph) Reshape(a *Node, shape ...int) *Node {
-	out := a.Value.Clone().Reshape(shape...)
+	out := a.Value.Reshape(shape...)
 	inShape := a.Value.Shape
 	return g.add(out, func(gr *tensor.Tensor) {
-		a.accumulate(gr.Clone().Reshape(inShape...))
+		a.accumulate(gr.Reshape(inShape...))
 	}, a)
 }
 
@@ -70,12 +74,14 @@ func (g *Graph) AddBias(x, b *Node) *Node {
 	}
 	out := x.Value.Clone()
 	rows := out.Size() / n
-	for r := 0; r < rows; r++ {
-		row := out.Data[r*n : (r+1)*n]
-		for j := range row {
-			row[j] += b.Value.Data[j]
+	tensor.ParallelRange(rows, rows*n, func(lo, hi int) {
+		for r := lo; r < hi; r++ {
+			row := out.Data[r*n : (r+1)*n]
+			for j := range row {
+				row[j] += b.Value.Data[j]
+			}
 		}
-	}
+	})
 	return g.add(out, func(gr *tensor.Tensor) {
 		x.accumulate(gr)
 		if b.needsGrad {
@@ -270,19 +276,21 @@ func (g *Graph) MaxTime(a *Node) *Node {
 	b, t, d := a.Value.Shape[0], a.Value.Shape[1], a.Value.Shape[2]
 	out := tensor.New(b, d)
 	argmax := make([]int, b*d)
-	for i := 0; i < b; i++ {
-		for j := 0; j < d; j++ {
-			best := a.Value.Data[(i*t)*d+j]
-			bestS := 0
-			for s := 1; s < t; s++ {
-				if v := a.Value.Data[(i*t+s)*d+j]; v > best {
-					best, bestS = v, s
+	tensor.ParallelRange(b, b*t*d, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			for j := 0; j < d; j++ {
+				best := a.Value.Data[(i*t)*d+j]
+				bestS := 0
+				for s := 1; s < t; s++ {
+					if v := a.Value.Data[(i*t+s)*d+j]; v > best {
+						best, bestS = v, s
+					}
 				}
+				out.Data[i*d+j] = best
+				argmax[i*d+j] = bestS
 			}
-			out.Data[i*d+j] = best
-			argmax[i*d+j] = bestS
 		}
-	}
+	})
 	return g.add(out, func(gr *tensor.Tensor) {
 		ga := tensor.New(b, t, d)
 		for i := 0; i < b; i++ {
@@ -302,30 +310,34 @@ func (g *Graph) MeanTime(a *Node) *Node {
 	}
 	b, t, d := a.Value.Shape[0], a.Value.Shape[1], a.Value.Shape[2]
 	out := tensor.New(b, d)
-	for i := 0; i < b; i++ {
-		for s := 0; s < t; s++ {
-			row := a.Value.Data[(i*t+s)*d : (i*t+s+1)*d]
-			orow := out.Data[i*d : (i+1)*d]
-			for j := range row {
-				orow[j] += row[j]
-			}
-		}
-	}
 	ft := float64(t)
-	for i := range out.Data {
-		out.Data[i] /= ft
-	}
-	return g.add(out, func(gr *tensor.Tensor) {
-		ga := tensor.New(b, t, d)
-		for i := 0; i < b; i++ {
-			grow := gr.Data[i*d : (i+1)*d]
+	tensor.ParallelRange(b, b*t*d, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			orow := out.Data[i*d : (i+1)*d]
 			for s := 0; s < t; s++ {
-				arow := ga.Data[(i*t+s)*d : (i*t+s+1)*d]
-				for j := range arow {
-					arow[j] = grow[j] / ft
+				row := a.Value.Data[(i*t+s)*d : (i*t+s+1)*d]
+				for j := range row {
+					orow[j] += row[j]
 				}
 			}
+			for j := range orow {
+				orow[j] /= ft
+			}
 		}
+	})
+	return g.add(out, func(gr *tensor.Tensor) {
+		ga := tensor.New(b, t, d)
+		tensor.ParallelRange(b, b*t*d, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				grow := gr.Data[i*d : (i+1)*d]
+				for s := 0; s < t; s++ {
+					arow := ga.Data[(i*t+s)*d : (i*t+s+1)*d]
+					for j := range arow {
+						arow[j] = grow[j] / ft
+					}
+				}
+			}
+		})
 		a.accumulate(ga)
 	}, a)
 }

@@ -1,0 +1,66 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+
+	"logsynergy/internal/tensor"
+)
+
+// TestReshapeAliasesInput pins Reshape's aliasing contract: the output node
+// views the input's backing array instead of copying it. Every activation
+// the model reshapes (twice per forward step, on [B*T, D]-sized tensors)
+// used to be cloned; the view keeps the forward path allocation-free.
+func TestReshapeAliasesInput(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	g := NewGraph()
+	x := tensor.Randn(rng, 1, 2, 3, 4)
+	n := g.Reshape(g.Const(x), 6, 4)
+
+	if len(n.Value.Shape) != 2 || n.Value.Shape[0] != 6 || n.Value.Shape[1] != 4 {
+		t.Fatalf("reshaped to %v, want [6 4]", n.Value.Shape)
+	}
+	if &n.Value.Data[0] != &x.Data[0] {
+		t.Fatal("Reshape must view the input's backing array, not copy it")
+	}
+	// Writes through the source are visible through the view (and vice
+	// versa) — the definition of aliasing.
+	x.Data[5] = 42
+	if n.Value.Data[5] != 42 {
+		t.Fatal("view did not observe a write to the source")
+	}
+}
+
+// TestReshapeGradientViewsUpstream pins the same contract on the backward
+// pass: the gradient reaching the input is accumulated from a reshaped view
+// of the upstream gradient, and lands correctly despite the aliasing.
+func TestReshapeGradientViewsUpstream(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	ps := NewParamSet()
+	p := ps.New("p", tensor.Randn(rng, 1, 2, 6))
+	g := NewGraph()
+	flat := g.Reshape(g.Param(p), 12)
+	loss := g.Mean(g.Square(flat))
+	g.Backward(loss)
+	for i, v := range p.Value.Data {
+		want := 2 * v / 12
+		if diff := p.Grad.Data[i] - want; diff > 1e-12 || diff < -1e-12 {
+			t.Fatalf("grad[%d]=%v want %v", i, p.Grad.Data[i], want)
+		}
+	}
+}
+
+// TestReshapeChainStaysAliased checks that stacked reshapes (the model does
+// Reshape(Reshape(x)) patterns via MaxTime/MeanTime plumbing) still share
+// one backing array end to end.
+func TestReshapeChainStaysAliased(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	g := NewGraph()
+	x := tensor.Randn(rng, 1, 4, 6)
+	a := g.Reshape(g.Const(x), 2, 12)
+	b := g.Reshape(a, 24)
+	c := g.Reshape(b, 3, 8)
+	if &c.Value.Data[0] != &x.Data[0] {
+		t.Fatal("reshape chain must stay aliased to the original array")
+	}
+}

@@ -25,6 +25,7 @@ import (
 	"logsynergy/internal/drain"
 	"logsynergy/internal/embed"
 	"logsynergy/internal/lei"
+	"logsynergy/internal/tensor"
 	"logsynergy/internal/window"
 )
 
@@ -163,6 +164,12 @@ type Config struct {
 	// DisablePatternLibrary forces model inference on every sequence
 	// (ablation for the deployment benchmark).
 	DisablePatternLibrary bool
+	// DetectBatch caps how many completed windows are scored together in
+	// one parallel flush (0 = 2× the tensor worker count). Batches flush
+	// early whenever the collection buffer runs dry, so batching adds no
+	// latency on a trickling stream; reports are always delivered in input
+	// order. 1 forces the serial one-window-at-a-time path.
+	DetectBatch int
 }
 
 // DefaultConfig returns production defaults.
@@ -218,7 +225,8 @@ func (p *Pipeline) Library() *PatternLibrary { return p.library }
 // Run consumes the source to exhaustion (or ctx cancellation), streaming
 // lines through collection → detection → report. It returns the final
 // stats. Collection and detection run concurrently, connected by the
-// bounded buffer.
+// bounded buffer; completed windows are scored in parallel batches (up to
+// cfg.DetectBatch at a time) with reports delivered in input order.
 func (p *Pipeline) Run(ctx context.Context, src Source) Stats {
 	buffer := make(chan string, p.cfg.BufferSize)
 
@@ -243,10 +251,32 @@ func (p *Pipeline) Run(ctx context.Context, src Source) Stats {
 		}
 	}()
 
-	// Parser + windower + detector (single consumer keeps ordering).
+	batchCap := p.cfg.DetectBatch
+	if batchCap <= 0 {
+		batchCap = 2 * tensor.Parallelism()
+	}
+
+	// Parser + windower (single consumer keeps window ordering); completed
+	// windows accumulate in pending and flush to the batch detector.
 	var windowBuf []int
+	var pending [][]int
 	sincePrev := 0
-	for line := range buffer {
+	for {
+		var line string
+		var ok bool
+		select {
+		case line, ok = <-buffer:
+		default:
+			// Collection can't keep up with detection right now: score what
+			// we have instead of waiting for a full batch, so batching never
+			// delays a report on a slow stream.
+			p.detectBatch(pending)
+			pending = pending[:0]
+			line, ok = <-buffer
+		}
+		if !ok {
+			break
+		}
 		eventID := p.parseLine(line)
 		windowBuf = append(windowBuf, eventID)
 		sincePrev++
@@ -254,14 +284,18 @@ func (p *Pipeline) Run(ctx context.Context, src Source) Stats {
 			windowBuf = windowBuf[1:]
 		}
 		if len(windowBuf) == p.cfg.Window.Length && sincePrev >= p.cfg.Window.Step {
-			seq := append([]int(nil), windowBuf...)
-			p.detect(seq)
+			pending = append(pending, append([]int(nil), windowBuf...))
 			sincePrev = 0
+			if len(pending) >= batchCap {
+				p.detectBatch(pending)
+				pending = pending[:0]
+			}
 		}
 		if ctx.Err() != nil {
 			break
 		}
 	}
+	p.detectBatch(pending)
 	wg.Wait()
 	return p.Stats()
 }
@@ -281,36 +315,74 @@ func (p *Pipeline) parseLine(line string) int {
 	return m.EventID
 }
 
-// detect scores one sequence through the pattern library + model.
-func (p *Pipeline) detect(eventIDs []int) {
+// detectBatch scores a batch of sequences through the pattern library +
+// model, preserving the serial one-at-a-time semantics: library hits (and
+// duplicates of an earlier window in the same batch, which the serial path
+// would have stored before reaching them) skip the model; the remaining
+// unique patterns are scored in one parallel pass; then scores, library
+// inserts, stats, and report delivery are applied in input order.
+func (p *Pipeline) detectBatch(seqs [][]int) {
+	if len(seqs) == 0 {
+		return
+	}
 	p.mu.Lock()
-	p.stats.SequencesFormed++
+	p.stats.SequencesFormed += len(seqs)
 	p.mu.Unlock()
 
-	var score float64
-	if !p.cfg.DisablePatternLibrary {
-		if cached, ok := p.library.Lookup(eventIDs); ok {
-			p.mu.Lock()
-			p.stats.PatternHits++
-			p.mu.Unlock()
-			score = cached
-			if score > core.Threshold {
-				// Cached anomalous pattern: rebuild the report without
-				// re-running the model.
-				p.deliver(p.detector.BuildReport(eventIDs, score))
+	n := len(seqs)
+	scores := make([]float64, n)
+	hit := make([]bool, n)
+	dupOf := make([]int, n) // index of this pattern's first in-batch occurrence, or -1
+	var missIdx []int       // batch indices that need the model
+	firstSeen := make(map[string]int)
+	for i, seq := range seqs {
+		dupOf[i] = -1
+		if !p.cfg.DisablePatternLibrary {
+			if cached, ok := p.library.Lookup(seq); ok {
+				scores[i], hit[i] = cached, true
+				continue
 			}
-			return
+			k := p.library.key(seq)
+			if j, ok := firstSeen[k]; ok {
+				dupOf[i], hit[i] = j, true
+				continue
+			}
+			firstSeen[k] = i
+		}
+		missIdx = append(missIdx, i)
+	}
+
+	if len(missIdx) > 0 {
+		missSeqs := make([][]int, len(missIdx))
+		for pos, i := range missIdx {
+			missSeqs[pos] = seqs[i]
+		}
+		for pos, s := range p.detector.ScoreSequences(missSeqs) {
+			scores[missIdx[pos]] = s
 		}
 	}
-	p.mu.Lock()
-	p.stats.PatternMisses++
-	p.mu.Unlock()
-	score, rep := p.detector.Detect(eventIDs)
-	if !p.cfg.DisablePatternLibrary {
-		p.library.Store(eventIDs, score)
+	for i, j := range dupOf {
+		if j >= 0 {
+			scores[i] = scores[j]
+		}
 	}
-	if rep != nil {
-		p.deliver(rep)
+
+	for i, seq := range seqs {
+		p.mu.Lock()
+		if hit[i] {
+			p.stats.PatternHits++
+		} else {
+			p.stats.PatternMisses++
+		}
+		p.mu.Unlock()
+		if !hit[i] && !p.cfg.DisablePatternLibrary {
+			p.library.Store(seq, scores[i])
+		}
+		if scores[i] > core.Threshold {
+			// For cached anomalous patterns this rebuilds the report without
+			// re-running the model, exactly like the serial path.
+			p.deliver(p.detector.BuildReport(seq, scores[i]))
+		}
 	}
 }
 

@@ -11,6 +11,7 @@ import (
 	"logsynergy/internal/lei"
 	"logsynergy/internal/logdata"
 	"logsynergy/internal/repr"
+	"logsynergy/internal/tensor"
 	"logsynergy/internal/window"
 )
 
@@ -97,6 +98,54 @@ func TestPipelineHandlesNewTemplatesOnline(t *testing.T) {
 	}
 	if det.Table.Len() <= before {
 		t.Fatal("event table did not grow")
+	}
+}
+
+// TestPipelineParallelMatchesSerial runs the same traffic through the
+// serial one-window-at-a-time path and the parallel batched path and
+// requires identical detection behavior: same counters, same reports, in
+// the same order. (The matrix kernels are bit-identical serial vs parallel,
+// so even the scores must match exactly.)
+func TestPipelineParallelMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training test")
+	}
+	det, parser, interp, e, online := deployment(t)
+
+	run := func(workers, detectBatch int) (Stats, []*core.Report) {
+		prev := tensor.SetParallelism(workers)
+		defer tensor.SetParallelism(prev)
+		sink := &MemorySink{}
+		cfg := DefaultConfig("a cloud data management system (SystemB)")
+		cfg.DetectBatch = detectBatch
+		p := New(cfg, parser, det, interp, e, sink)
+		return p.Run(context.Background(), NewSliceSource(online.Messages())), sink.Reports()
+	}
+
+	serialStats, serialReports := run(1, 1)
+	parallelStats, parallelReports := run(4, 8)
+
+	// NewEvents is excluded: the first run extends the shared event table
+	// with templates first seen online, so the second sees none.
+	if parallelStats.SequencesFormed != serialStats.SequencesFormed ||
+		parallelStats.Anomalies != serialStats.Anomalies ||
+		parallelStats.PatternHits != serialStats.PatternHits ||
+		parallelStats.PatternMisses != serialStats.PatternMisses {
+		t.Fatalf("parallel stats %+v != serial stats %+v", parallelStats, serialStats)
+	}
+	if len(parallelReports) != len(serialReports) {
+		t.Fatalf("%d parallel reports vs %d serial", len(parallelReports), len(serialReports))
+	}
+	for i := range serialReports {
+		s, p := serialReports[i], parallelReports[i]
+		if s.Score != p.Score || s.System != p.System {
+			t.Fatalf("report %d differs: serial score=%v parallel score=%v", i, s.Score, p.Score)
+		}
+		for j := range s.EventIDs {
+			if s.EventIDs[j] != p.EventIDs[j] {
+				t.Fatalf("report %d event ids differ at %d", i, j)
+			}
+		}
 	}
 }
 

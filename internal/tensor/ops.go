@@ -9,9 +9,11 @@ import (
 func Add(a, b *Tensor) *Tensor {
 	mustSameShape("Add", a, b)
 	out := New(a.Shape...)
-	for i := range a.Data {
-		out.Data[i] = a.Data[i] + b.Data[i]
-	}
+	ParallelRange(len(a.Data), len(a.Data), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out.Data[i] = a.Data[i] + b.Data[i]
+		}
+	})
 	return out
 }
 
@@ -19,9 +21,11 @@ func Add(a, b *Tensor) *Tensor {
 func Sub(a, b *Tensor) *Tensor {
 	mustSameShape("Sub", a, b)
 	out := New(a.Shape...)
-	for i := range a.Data {
-		out.Data[i] = a.Data[i] - b.Data[i]
-	}
+	ParallelRange(len(a.Data), len(a.Data), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out.Data[i] = a.Data[i] - b.Data[i]
+		}
+	})
 	return out
 }
 
@@ -29,35 +33,43 @@ func Sub(a, b *Tensor) *Tensor {
 func Mul(a, b *Tensor) *Tensor {
 	mustSameShape("Mul", a, b)
 	out := New(a.Shape...)
-	for i := range a.Data {
-		out.Data[i] = a.Data[i] * b.Data[i]
-	}
+	ParallelRange(len(a.Data), len(a.Data), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out.Data[i] = a.Data[i] * b.Data[i]
+		}
+	})
 	return out
 }
 
 // Scale returns a*s.
 func Scale(a *Tensor, s float64) *Tensor {
 	out := New(a.Shape...)
-	for i := range a.Data {
-		out.Data[i] = a.Data[i] * s
-	}
+	ParallelRange(len(a.Data), len(a.Data), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out.Data[i] = a.Data[i] * s
+		}
+	})
 	return out
 }
 
 // AddInPlace accumulates src into dst (dst += src).
 func AddInPlace(dst, src *Tensor) {
 	mustSameShape("AddInPlace", dst, src)
-	for i := range dst.Data {
-		dst.Data[i] += src.Data[i]
-	}
+	ParallelRange(len(dst.Data), len(dst.Data), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			dst.Data[i] += src.Data[i]
+		}
+	})
 }
 
 // AddScaledInPlace accumulates s*src into dst.
 func AddScaledInPlace(dst *Tensor, src *Tensor, s float64) {
 	mustSameShape("AddScaledInPlace", dst, src)
-	for i := range dst.Data {
-		dst.Data[i] += s * src.Data[i]
-	}
+	ParallelRange(len(dst.Data), len(dst.Data), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			dst.Data[i] += s * src.Data[i]
+		}
+	})
 }
 
 // MatMul returns the matrix product of 2-D tensors a [m,k] and b [k,n].
@@ -88,13 +100,24 @@ func MatMulInto(out, a, b *Tensor, accumulate bool) {
 	matMulInto(out.Data, a.Data, b.Data, m, k, b.Shape[1], accumulate)
 }
 
-// matMulInto is the ikj-ordered kernel shared by the public entry points,
-// with a 4-way unrolled inner loop.
+// matMulInto dispatches between the serial kernel and the row-sharded
+// parallel path. Both produce bit-identical results: each output row is
+// always computed by matMulRows in the same per-row order, the parallel
+// path merely assigns disjoint row spans to different workers.
 func matMulInto(out, a, b []float64, m, k, n int, accumulate bool) {
 	if !accumulate {
 		clear(out[:m*n])
 	}
-	for i := 0; i < m; i++ {
+	ParallelRange(m, 2*m*k*n, func(lo, hi int) {
+		matMulRows(out, a, b, lo, hi, k, n)
+	})
+}
+
+// matMulRows is the ikj-ordered kernel computing output rows [i0,i1), with
+// a 4-way unrolled inner loop. It is the single source of truth for matrix
+// multiplication: serial and parallel entry points both land here.
+func matMulRows(out, a, b []float64, i0, i1, k, n int) {
+	for i := i0; i < i1; i++ {
 		arow := a[i*k : (i+1)*k]
 		orow := out[i*n : i*n+n]
 		for p, av := range arow {
@@ -121,16 +144,20 @@ func Transpose(a *Tensor) *Tensor {
 	a.mustDims(2)
 	m, n := a.Shape[0], a.Shape[1]
 	out := New(n, m)
-	for i := 0; i < m; i++ {
-		for j := 0; j < n; j++ {
-			out.Data[j*m+i] = a.Data[i*n+j]
+	ParallelRange(m, m*n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			for j := 0; j < n; j++ {
+				out.Data[j*m+i] = a.Data[i*n+j]
+			}
 		}
-	}
+	})
 	return out
 }
 
 // BMM returns the batched matrix product of 3-D tensors a [b,m,k] and
-// b [b,k,n], producing [b,m,n].
+// b [b,k,n], producing [b,m,n]. The parallel path shards the flattened
+// batch×row space, so small batches of tall matrices and large batches of
+// small matrices both spread across all workers.
 func BMM(a, b *Tensor) *Tensor {
 	a.mustDims(3)
 	b.mustDims(3)
@@ -140,10 +167,16 @@ func BMM(a, b *Tensor) *Tensor {
 	}
 	n := b.Shape[2]
 	out := New(bs, m, n)
-	for i := 0; i < bs; i++ {
-		// Fresh buffer: accumulate to skip redundant zeroing.
-		matMulInto(out.Data[i*m*n:(i+1)*m*n], a.Data[i*m*k:(i+1)*m*k], b.Data[i*k*n:(i+1)*k*n], m, k, n, true)
+	if m == 0 || n == 0 {
+		return out
 	}
+	// Fresh buffer: accumulate to skip redundant zeroing.
+	ParallelRange(bs*m, 2*bs*m*k*n, func(lo, hi int) {
+		for r := lo; r < hi; r++ {
+			q, i := r/m, r%m
+			matMulRows(out.Data[q*m*n:(q+1)*m*n], a.Data[q*m*k:(q+1)*m*k], b.Data[q*k*n:(q+1)*k*n], i, i+1, k, n)
+		}
+	})
 	return out
 }
 
@@ -152,15 +185,17 @@ func TransposeLast2(a *Tensor) *Tensor {
 	a.mustDims(3)
 	bs, m, n := a.Shape[0], a.Shape[1], a.Shape[2]
 	out := New(bs, n, m)
-	for b := 0; b < bs; b++ {
-		src := a.Data[b*m*n:]
-		dst := out.Data[b*m*n:]
-		for i := 0; i < m; i++ {
-			for j := 0; j < n; j++ {
-				dst[j*m+i] = src[i*n+j]
+	ParallelRange(bs, bs*m*n, func(lo, hi int) {
+		for b := lo; b < hi; b++ {
+			src := a.Data[b*m*n:]
+			dst := out.Data[b*m*n:]
+			for i := 0; i < m; i++ {
+				for j := 0; j < n; j++ {
+					dst[j*m+i] = src[i*n+j]
+				}
 			}
 		}
-	}
+	})
 	return out
 }
 
@@ -172,10 +207,16 @@ func SoftmaxLastDim(a *Tensor) *Tensor {
 	}
 	n := a.Shape[len(a.Shape)-1]
 	out := New(a.Shape...)
-	rows := a.Size() / n
-	for r := 0; r < rows; r++ {
-		softmaxRow(out.Data[r*n:(r+1)*n], a.Data[r*n:(r+1)*n])
+	if n == 0 {
+		return out
 	}
+	rows := a.Size() / n
+	// ~4 scalar ops per element (max, exp, sum, divide); exp dominates.
+	ParallelRange(rows, 4*rows*n, func(lo, hi int) {
+		for r := lo; r < hi; r++ {
+			softmaxRow(out.Data[r*n:(r+1)*n], a.Data[r*n:(r+1)*n])
+		}
+	})
 	return out
 }
 
@@ -197,13 +238,18 @@ func softmaxRow(dst, src []float64) {
 	}
 }
 
-// Sum returns the sum of all elements.
+// Sum returns the sum of all elements. Above the parallel threshold the sum
+// is computed over fixed 4096-element blocks whose partials combine in
+// block order — deterministic for a given length, within reassociation
+// error of the serial left-to-right sum.
 func Sum(a *Tensor) float64 {
-	s := 0.0
-	for _, v := range a.Data {
-		s += v
-	}
-	return s
+	return parallelReduce(len(a.Data), 1, func(lo, hi int) float64 {
+		s := 0.0
+		for _, v := range a.Data[lo:hi] {
+			s += v
+		}
+		return s
+	})
 }
 
 // Mean returns the arithmetic mean of all elements (0 for empty tensors).
@@ -214,14 +260,17 @@ func Mean(a *Tensor) float64 {
 	return Sum(a) / float64(a.Size())
 }
 
-// Dot returns the inner product of two tensors of identical shape.
+// Dot returns the inner product of two tensors of identical shape, using
+// the same deterministic blocked reduction as Sum.
 func Dot(a, b *Tensor) float64 {
 	mustSameShape("Dot", a, b)
-	s := 0.0
-	for i := range a.Data {
-		s += a.Data[i] * b.Data[i]
-	}
-	return s
+	return parallelReduce(len(a.Data), 2, func(lo, hi int) float64 {
+		s := 0.0
+		for i := lo; i < hi; i++ {
+			s += a.Data[i] * b.Data[i]
+		}
+		return s
+	})
 }
 
 // Norm returns the Euclidean norm of all elements.

@@ -1,0 +1,264 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// forceParallel routes every kernel through the parallel path with the
+// given worker count for the duration of one test, restoring the previous
+// runtime configuration afterwards.
+func forceParallel(t *testing.T, workers int) {
+	t.Helper()
+	prevW := SetParallelism(workers)
+	prevT := SetMinParallelWork(1)
+	t.Cleanup(func() {
+		SetParallelism(prevW)
+		SetMinParallelWork(prevT)
+	})
+}
+
+// serially evaluates fn with the serial kernels regardless of the ambient
+// configuration.
+func serially(fn func()) {
+	prev := SetParallelism(1)
+	defer SetParallelism(prev)
+	fn()
+}
+
+// matMulShapes are the equivalence-suite shapes, chosen to hit the sharding
+// edge cases: degenerate 1×1, fewer rows than workers, rows not divisible
+// by the worker count, empty contraction (k=0), empty output dimensions,
+// and a shape large enough to clear the default serial-fallback threshold.
+var matMulShapes = []struct {
+	name    string
+	m, k, n int
+}{
+	{"1x1x1", 1, 1, 1},
+	{"m_lt_workers", 3, 5, 2},
+	{"m_mod_workers", 7, 4, 5},
+	{"k0", 5, 0, 3},
+	{"m0", 0, 4, 3},
+	{"n0", 4, 3, 0},
+	{"odd_large", 33, 17, 29},
+	{"tall", 129, 8, 3},
+}
+
+func TestMatMulParallelMatchesSerial(t *testing.T) {
+	forceParallel(t, 4)
+	rng := rand.New(rand.NewSource(41))
+	for _, tc := range matMulShapes {
+		t.Run(tc.name, func(t *testing.T) {
+			a := Randn(rng, 1, tc.m, tc.k)
+			b := Randn(rng, 1, tc.k, tc.n)
+			var want *Tensor
+			serially(func() { want = MatMul(a, b) })
+			got := MatMul(a, b)
+			// Row sharding preserves the serial per-row reduction order, so
+			// the results must be bit-identical, not merely close.
+			for i := range want.Data {
+				if got.Data[i] != want.Data[i] {
+					t.Fatalf("[%d] parallel %v != serial %v", i, got.Data[i], want.Data[i])
+				}
+			}
+		})
+	}
+}
+
+func TestMatMulIntoParallelMatchesSerial(t *testing.T) {
+	forceParallel(t, 4)
+	rng := rand.New(rand.NewSource(42))
+	for _, tc := range matMulShapes {
+		t.Run(tc.name, func(t *testing.T) {
+			a := Randn(rng, 1, tc.m, tc.k)
+			b := Randn(rng, 1, tc.k, tc.n)
+			for _, accumulate := range []bool{false, true} {
+				seed := Randn(rng, 1, tc.m, tc.n)
+				want, got := seed.Clone(), seed.Clone()
+				serially(func() { MatMulInto(want, a, b, accumulate) })
+				MatMulInto(got, a, b, accumulate)
+				for i := range want.Data {
+					if got.Data[i] != want.Data[i] {
+						t.Fatalf("accumulate=%v [%d] parallel %v != serial %v", accumulate, i, got.Data[i], want.Data[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestBMMParallelMatchesSerial(t *testing.T) {
+	forceParallel(t, 4)
+	rng := rand.New(rand.NewSource(43))
+	shapes := []struct {
+		name        string
+		bs, m, k, n int
+	}{
+		{"1x1x1x1", 1, 1, 1, 1},
+		{"batch_lt_workers", 2, 3, 4, 5},
+		{"rows_mod_workers", 3, 5, 2, 3},
+		{"batch0", 0, 3, 4, 5},
+		{"k0", 4, 2, 0, 3},
+		{"odd_large", 5, 13, 7, 11},
+	}
+	for _, tc := range shapes {
+		t.Run(tc.name, func(t *testing.T) {
+			a := Randn(rng, 1, tc.bs, tc.m, tc.k)
+			b := Randn(rng, 1, tc.bs, tc.k, tc.n)
+			var want *Tensor
+			serially(func() { want = BMM(a, b) })
+			got := BMM(a, b)
+			if !got.SameShape(want) {
+				t.Fatalf("shape %v != %v", got.Shape, want.Shape)
+			}
+			for i := range want.Data {
+				if got.Data[i] != want.Data[i] {
+					t.Fatalf("[%d] parallel %v != serial %v", i, got.Data[i], want.Data[i])
+				}
+			}
+		})
+	}
+}
+
+func TestElementwiseParallelMatchesSerial(t *testing.T) {
+	forceParallel(t, 4)
+	rng := rand.New(rand.NewSource(44))
+	for _, n := range []int{1, 3, 7, 1025} {
+		a := Randn(rng, 1, n)
+		b := Randn(rng, 1, n)
+		var wAdd, wSub, wMul, wScale *Tensor
+		serially(func() {
+			wAdd, wSub, wMul, wScale = Add(a, b), Sub(a, b), Mul(a, b), Scale(a, 1.7)
+		})
+		for name, pair := range map[string][2]*Tensor{
+			"Add":   {Add(a, b), wAdd},
+			"Sub":   {Sub(a, b), wSub},
+			"Mul":   {Mul(a, b), wMul},
+			"Scale": {Scale(a, 1.7), wScale},
+		} {
+			got, want := pair[0], pair[1]
+			for i := range want.Data {
+				if got.Data[i] != want.Data[i] {
+					t.Fatalf("%s n=%d [%d]: parallel %v != serial %v", name, n, i, got.Data[i], want.Data[i])
+				}
+			}
+		}
+
+		wantIP := a.Clone()
+		serially(func() { AddScaledInPlace(wantIP, b, 0.3) })
+		gotIP := a.Clone()
+		AddScaledInPlace(gotIP, b, 0.3)
+		for i := range wantIP.Data {
+			if gotIP.Data[i] != wantIP.Data[i] {
+				t.Fatalf("AddScaledInPlace n=%d [%d]: parallel %v != serial %v", n, i, gotIP.Data[i], wantIP.Data[i])
+			}
+		}
+	}
+}
+
+func TestSoftmaxParallelMatchesSerial(t *testing.T) {
+	forceParallel(t, 4)
+	rng := rand.New(rand.NewSource(45))
+	for _, shape := range [][]int{{1, 1}, {3, 5}, {7, 2, 9}, {130, 6}} {
+		a := Randn(rng, 1, shape...)
+		var want *Tensor
+		serially(func() { want = SoftmaxLastDim(a) })
+		got := SoftmaxLastDim(a)
+		for i := range want.Data {
+			if got.Data[i] != want.Data[i] {
+				t.Fatalf("shape %v [%d]: parallel %v != serial %v", shape, i, got.Data[i], want.Data[i])
+			}
+		}
+	}
+}
+
+func TestReductionsParallelNearSerial(t *testing.T) {
+	forceParallel(t, 4)
+	rng := rand.New(rand.NewSource(46))
+	for _, n := range []int{1, 100, 4096, 4097, 20000} {
+		a := Randn(rng, 1, n)
+		b := Randn(rng, 1, n)
+		var wantSum, wantDot float64
+		serially(func() { wantSum, wantDot = Sum(a), Dot(a, b) })
+		gotSum, gotDot := Sum(a), Dot(a, b)
+		// Blocked reduction reassociates the sum, so the parallel value may
+		// drift from serial by accumulated rounding — but only within the
+		// usual n·eps reassociation envelope, never materially.
+		tol := 1e-10 * float64(n) * math.Max(1, math.Abs(wantSum))
+		if d := math.Abs(gotSum - wantSum); d > tol {
+			t.Fatalf("Sum n=%d: parallel %v vs serial %v (diff %v)", n, gotSum, wantSum, d)
+		}
+		tol = 1e-10 * float64(n) * math.Max(1, math.Abs(wantDot))
+		if d := math.Abs(gotDot - wantDot); d > tol {
+			t.Fatalf("Dot n=%d: parallel %v vs serial %v (diff %v)", n, gotDot, wantDot, d)
+		}
+	}
+}
+
+// TestReductionsWorkerCountInvariant pins the determinism contract: because
+// reductions split on a fixed block size and combine partials in block
+// order, the floating-point result is a function of the input alone, not of
+// the worker count.
+func TestReductionsWorkerCountInvariant(t *testing.T) {
+	prevT := SetMinParallelWork(1)
+	defer SetMinParallelWork(prevT)
+	rng := rand.New(rand.NewSource(47))
+	a := Randn(rng, 1, 30000)
+	results := make([]float64, 0, 4)
+	for _, workers := range []int{2, 3, 4, 8} {
+		prevW := SetParallelism(workers)
+		results = append(results, Sum(a))
+		SetParallelism(prevW)
+	}
+	for i := 1; i < len(results); i++ {
+		if results[i] != results[0] {
+			t.Fatalf("Sum varies with worker count: %v vs %v", results[i], results[0])
+		}
+	}
+}
+
+func TestParallelRangeCoversRangeExactlyOnce(t *testing.T) {
+	forceParallel(t, 4)
+	for _, n := range []int{1, 2, 3, 4, 5, 7, 64, 1001} {
+		var mu sync.Mutex
+		seen := make([]int, n)
+		ParallelRange(n, 1<<30, func(lo, hi int) {
+			if lo < 0 || hi > n || lo >= hi {
+				t.Errorf("n=%d: bad span [%d,%d)", n, lo, hi)
+				return
+			}
+			mu.Lock()
+			for i := lo; i < hi; i++ {
+				seen[i]++
+			}
+			mu.Unlock()
+		})
+		for i, c := range seen {
+			if c != 1 {
+				t.Fatalf("n=%d: index %d covered %d times", n, i, c)
+			}
+		}
+	}
+}
+
+func TestSetParallelismRoundTrip(t *testing.T) {
+	orig := Parallelism()
+	prev := SetParallelism(3)
+	if Parallelism() != 3 {
+		t.Fatalf("Parallelism()=%d after SetParallelism(3)", Parallelism())
+	}
+	if got := SetParallelism(prev); got != 3 {
+		t.Fatalf("SetParallelism returned %d, want 3", got)
+	}
+	if Parallelism() != orig {
+		t.Fatalf("Parallelism()=%d, want restored %d", Parallelism(), orig)
+	}
+	// n <= 0 resets to GOMAXPROCS.
+	SetParallelism(-1)
+	if Parallelism() < 1 {
+		t.Fatal("reset parallelism must be at least 1")
+	}
+	SetParallelism(prev)
+}
