@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench verify
+.PHONY: build test vet race bench verify
 
 build:
 	$(GO) build ./...
@@ -8,6 +8,10 @@ build:
 # Tier-1: the fast correctness gate (ROADMAP.md).
 test: build
 	$(GO) test ./...
+
+# Vet tier: static checks, fast enough to run on every verify.
+vet:
+	$(GO) vet ./...
 
 # Race tier: vet + full suite under the race detector. Slower, catches
 # data races in the parallel tensor runtime and batched detection paths.
@@ -21,4 +25,4 @@ race:
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkBatchScore|BenchmarkTrainEpoch' -benchmem .
 
-verify: test race
+verify: vet test race

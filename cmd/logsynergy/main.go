@@ -54,6 +54,8 @@ func main() {
 		err = runTrain(os.Args[2:])
 	case "detect":
 		err = runDetect(os.Args[2:])
+	case "serve":
+		err = runServe(os.Args[2:])
 	case "interpret":
 		err = runInterpret(os.Args[2:])
 	case "eval":
@@ -69,7 +71,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: logsynergy <train|detect|eval|interpret> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: logsynergy <train|detect|serve|eval|interpret> [flags]")
 }
 
 // applyThreadsEnv configures the tensor worker pool from the
@@ -166,6 +168,16 @@ func loadLabeledFile(logPath, labelPath, name string) (*logdata.Sequences, error
 		parsed.Templates = append(parsed.Templates, ev.Template)
 	}
 	return parsed.Windows(window.Default()), nil
+}
+
+func readAllStdin() ([]string, error) {
+	var out []string
+	s := bufio.NewScanner(os.Stdin)
+	s.Buffer(make([]byte, 1<<20), 1<<20)
+	for s.Scan() {
+		out = append(out, s.Text())
+	}
+	return out, s.Err()
 }
 
 func readLines(path string) ([]string, error) {
@@ -302,10 +314,9 @@ func runDetect(args []string) error {
 			return err
 		}
 	} else {
-		s := bufio.NewScanner(os.Stdin)
-		s.Buffer(make([]byte, 1<<20), 1<<20)
-		for s.Scan() {
-			lines = append(lines, s.Text())
+		lines, err = readAllStdin()
+		if err != nil {
+			return err
 		}
 	}
 

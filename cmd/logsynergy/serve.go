@@ -1,0 +1,187 @@
+package main
+
+import (
+	"context"
+	"expvar"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"os/signal"
+	"sync"
+	"time"
+
+	"logsynergy/internal/core"
+	"logsynergy/internal/drain"
+	"logsynergy/internal/embed"
+	"logsynergy/internal/lei"
+	"logsynergy/internal/obs"
+	"logsynergy/internal/pipeline"
+)
+
+// runServe is the observable deployment mode: it streams a log through
+// the §VI pipeline exactly like `detect`, while exposing the obs metrics
+// registry over HTTP for the lifetime of the run:
+//
+//	/metrics      plain-text counters, gauges and latency histograms
+//	/debug/vars   the same registry as expvar JSON (plus Go runtime vars)
+//	/debug/pprof  CPU/heap/goroutine profiling of the live pipeline
+//
+// With -repeat 0 the log replays forever (a soak target for profiling);
+// interrupt with SIGINT for a clean shutdown and final stats.
+func runServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	modelPath := fs.String("model", "model.json", "trained model bundle")
+	logPath := fs.String("log", "", "log file to stream (default stdin)")
+	hint := fs.String("hint", "a software system", "LEI system hint for new templates")
+	addr := fs.String("addr", "localhost:9090", "HTTP listen address for /metrics, /debug/vars, /debug/pprof")
+	repeat := fs.Int("repeat", 1, "replay the log this many times (0 = loop forever)")
+	bufSize := fs.Int("buffer", 1024, "collection buffer capacity")
+	dropPolicy := fs.String("drop-policy", "block", "full-buffer policy: block | drop-newest")
+	patternCap := fs.Int("pattern-cap", 0, "pattern library capacity, LRU-evicted (0 = unbounded)")
+	linger := fs.Duration("linger", 0, "keep serving metrics this long after the stream ends")
+	quiet := fs.Bool("quiet", false, "suppress per-anomaly report output")
+	fs.Parse(args)
+
+	policy, err := parseDropPolicy(*dropPolicy)
+	if err != nil {
+		return err
+	}
+
+	f, err := os.Open(*modelPath)
+	if err != nil {
+		return err
+	}
+	det, err := core.LoadBundle(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+
+	var lines []string
+	if *logPath != "" {
+		lines, err = readLines(*logPath)
+		if err != nil {
+			return err
+		}
+	} else {
+		lines, err = readAllStdin()
+		if err != nil {
+			return err
+		}
+	}
+	if len(lines) == 0 {
+		return fmt.Errorf("serve: no log lines to stream")
+	}
+
+	interp := lei.NewSimLLM(lei.Config{})
+	embedder := embed.New(det.Table.Dim)
+	parser := drain.NewDefault()
+	for _, in := range det.Table.Interps {
+		parser.Parse(in.Template)
+	}
+
+	reg := obs.Default()
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: newObsMux(reg)}
+	go srv.Serve(ln)
+	defer srv.Close()
+	fmt.Printf("serving metrics on http://%s/metrics (pprof on /debug/pprof/)\n", ln.Addr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	cfg := pipeline.DefaultConfig(*hint)
+	cfg.BufferSize = *bufSize
+	cfg.DropPolicy = policy
+	cfg.PatternCap = *patternCap
+	cfg.Metrics = reg
+	p := pipeline.New(cfg, parser, det, interp, embedder, &printingSink{quiet: *quiet})
+
+	stats := p.Run(ctx, newRepeatSource(lines, *repeat))
+	fmt.Printf("lines=%d dropped=%d sequences=%d anomalies=%d pattern-hits=%d evictions=%d new-events=%d\n",
+		stats.LinesCollected, stats.LinesDropped, stats.SequencesFormed,
+		stats.Anomalies, stats.PatternHits, stats.PatternEvictions, stats.NewEvents)
+
+	if *linger > 0 {
+		fmt.Printf("stream ended; serving metrics for %s more\n", *linger)
+		select {
+		case <-ctx.Done():
+		case <-time.After(*linger):
+		}
+	}
+	return nil
+}
+
+// parseDropPolicy maps the -drop-policy flag to a pipeline.DropPolicy.
+func parseDropPolicy(s string) (pipeline.DropPolicy, error) {
+	switch s {
+	case "block", "":
+		return pipeline.DropBlock, nil
+	case "drop-newest":
+		return pipeline.DropNewest, nil
+	default:
+		return 0, fmt.Errorf("unknown drop policy %q (want block or drop-newest)", s)
+	}
+}
+
+// publishExpvarOnce guards the process-global expvar name registration
+// (expvar panics on duplicate Publish).
+var publishExpvarOnce sync.Once
+
+// newObsMux mounts the observability surface: the registry's text
+// /metrics page, expvar JSON, and the pprof profiling handlers.
+func newObsMux(reg *obs.Registry) *http.ServeMux {
+	publishExpvarOnce.Do(func() {
+		expvar.Publish("logsynergy", expvar.Func(func() any { return reg.Snapshot() }))
+	})
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", reg.Handler())
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// repeatSource replays a fixed slice of lines a number of times.
+type repeatSource struct {
+	lines     []string
+	pos       int
+	remaining int // passes left after the current one; -1 = forever
+}
+
+// newRepeatSource builds a source that replays lines `times` times
+// (times <= 0 means loop forever).
+func newRepeatSource(lines []string, times int) *repeatSource {
+	if times <= 0 {
+		return &repeatSource{lines: lines, remaining: -1}
+	}
+	return &repeatSource{lines: lines, remaining: times - 1}
+}
+
+// Next implements pipeline.Source.
+func (r *repeatSource) Next() (string, bool) {
+	if len(r.lines) == 0 {
+		return "", false
+	}
+	if r.pos >= len(r.lines) {
+		if r.remaining == 0 {
+			return "", false
+		}
+		if r.remaining > 0 {
+			r.remaining--
+		}
+		r.pos = 0
+	}
+	l := r.lines[r.pos]
+	r.pos++
+	return l, true
+}

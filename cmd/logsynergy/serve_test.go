@@ -1,0 +1,88 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"logsynergy/internal/obs"
+	"logsynergy/internal/pipeline"
+)
+
+func TestObsMuxEndpoints(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("serve.test_total").Add(3)
+	srv := httptest.NewServer(newObsMux(reg))
+	defer srv.Close()
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+
+	code, body := get("/metrics")
+	if code != http.StatusOK || !strings.Contains(body, "counter serve.test_total 3") {
+		t.Fatalf("/metrics code=%d body=%q", code, body)
+	}
+
+	code, body = get("/debug/vars")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/vars code=%d", code)
+	}
+	var vars map[string]json.RawMessage
+	if err := json.Unmarshal([]byte(body), &vars); err != nil {
+		t.Fatalf("/debug/vars is not JSON: %v", err)
+	}
+
+	code, body = get("/debug/pprof/")
+	if code != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Fatalf("/debug/pprof/ code=%d", code)
+	}
+}
+
+func TestParseDropPolicy(t *testing.T) {
+	if p, err := parseDropPolicy("block"); err != nil || p != pipeline.DropBlock {
+		t.Fatalf("block: %v %v", p, err)
+	}
+	if p, err := parseDropPolicy("drop-newest"); err != nil || p != pipeline.DropNewest {
+		t.Fatalf("drop-newest: %v %v", p, err)
+	}
+	if _, err := parseDropPolicy("nonsense"); err == nil {
+		t.Fatal("invalid policy must be rejected")
+	}
+}
+
+func TestRepeatSource(t *testing.T) {
+	src := newRepeatSource([]string{"a", "b"}, 3)
+	var got []string
+	for {
+		l, ok := src.Next()
+		if !ok {
+			break
+		}
+		got = append(got, l)
+	}
+	if len(got) != 6 || got[0] != "a" || got[5] != "b" {
+		t.Fatalf("3x replay of 2 lines gave %v", got)
+	}
+
+	if _, ok := newRepeatSource(nil, 0).Next(); ok {
+		t.Fatal("empty source must be exhausted even when looping forever")
+	}
+
+	forever := newRepeatSource([]string{"x"}, 0)
+	for i := 0; i < 100; i++ {
+		if l, ok := forever.Next(); !ok || l != "x" {
+			t.Fatalf("forever source ended at %d", i)
+		}
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"logsynergy/internal/embed"
 	"logsynergy/internal/lei"
 	"logsynergy/internal/logdata"
+	"logsynergy/internal/obs"
 	"logsynergy/internal/pipeline"
 	"logsynergy/internal/repr"
 	"logsynergy/internal/window"
@@ -66,6 +67,8 @@ func main() {
 	}
 	defer store.Close()
 	cfg := pipeline.DefaultConfig(repr.SystemHint("SystemB"))
+	reg := obs.NewRegistry()
+	cfg.Metrics = reg
 	p := pipeline.New(cfg, parser, det, interp, embedder, sms, alertstore.NewSink(store))
 
 	start := time.Now()
@@ -87,4 +90,12 @@ func main() {
 	high := store.Find(alertstore.Query{MinScore: 0.9})
 	fmt.Printf("  alert store:            %d records at %s (%d with score ≥ 0.9)\n",
 		store.Len(), storePath, len(high))
+
+	// The same run as the observability layer sees it — what `logsynergy
+	// serve` exports at /metrics for a long-running deployment.
+	fmt.Println("\n/metrics view of this run:")
+	reg.WriteText(os.Stdout)
+	if lat, ok := reg.Snapshot().Histograms["pipeline.detect_batch_seconds"]; ok && lat.Count > 0 {
+		fmt.Printf("mean detect-batch latency: %.3fms\n", 1000*lat.Mean())
+	}
 }

@@ -6,8 +6,18 @@ import (
 	"time"
 
 	"logsynergy/internal/metrics"
+	"logsynergy/internal/obs"
 	"logsynergy/internal/repr"
 	"logsynergy/internal/tensor"
+)
+
+// Detector throughput metrics (obs.Default): scores-per-second falls out
+// of core.scores_total over the sum of core.score_batch_seconds; report
+// build latency is the cost of materializing one alert.
+var (
+	scoresTotal        = obs.Default().Counter("core.scores_total")
+	scoreBatchSeconds  = obs.Default().Histogram("core.score_batch_seconds")
+	reportBuildSeconds = obs.Default().Histogram("core.report_build_seconds")
 )
 
 // Threshold is the fixed anomaly decision threshold the paper uses for
@@ -69,6 +79,10 @@ func (d *Detector) ScoreSequence(eventIDs []int) float64 {
 // returned in input order; sequences may have differing lengths. With
 // parallelism 1 this degrades to a serial loop over ScoreSequence.
 func (d *Detector) ScoreSequences(seqs [][]int) []float64 {
+	if len(seqs) == 0 {
+		return nil
+	}
+	start := time.Now()
 	scores := make([]float64, len(seqs))
 	// Each forward pass is O(T·D·model) — far past any serial-fallback
 	// threshold, so size the work estimate to always shard when workers > 1.
@@ -78,6 +92,8 @@ func (d *Detector) ScoreSequences(seqs [][]int) []float64 {
 			scores[i] = d.ScoreSequence(seqs[i])
 		}
 	})
+	scoresTotal.Add(int64(len(seqs)))
+	scoreBatchSeconds.ObserveSince(start)
 	return scores
 }
 
@@ -117,6 +133,8 @@ func (d *Detector) Detect(eventIDs []int) (float64, *Report) {
 // BuildReport assembles the anomaly report for a sequence without running
 // the model (used by the pattern library for cached anomalous patterns).
 func (d *Detector) BuildReport(eventIDs []int, score float64) *Report {
+	start := time.Now()
+	defer reportBuildSeconds.ObserveSince(start)
 	rep := &Report{
 		System:    d.Table.System,
 		Timestamp: d.Now(),

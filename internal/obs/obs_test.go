@@ -1,0 +1,211 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterAndGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("a.total")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Value())
+	}
+	if r.Counter("a.total") != c {
+		t.Fatal("get-or-create must return the same counter")
+	}
+
+	g := r.Gauge("a.depth")
+	g.Set(7)
+	g.Add(-2)
+	if g.Value() != 5 {
+		t.Fatalf("gauge = %d, want 5", g.Value())
+	}
+	g.Max(3) // below current: no-op
+	g.Max(9)
+	if g.Value() != 9 {
+		t.Fatalf("gauge after Max = %d, want 9", g.Value())
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.HistogramWith("lat", []float64{0.01, 0.1, 1})
+	h.Observe(0.005) // <= 0.01: bucket 0
+	h.Observe(0.01)  // boundary lands in its own bucket (le semantics)
+	h.Observe(0.5)   // bucket 2
+	h.Observe(99)    // +Inf overflow
+	s := h.snapshot()
+	want := []int64{2, 0, 1, 1}
+	for i, c := range s.Counts {
+		if c != want[i] {
+			t.Fatalf("bucket %d = %d, want %d (%v)", i, c, want[i], s.Counts)
+		}
+	}
+	if s.Count != 4 {
+		t.Fatalf("count = %d, want 4", s.Count)
+	}
+	if got := s.Sum; got < 99.5 || got > 99.6 {
+		t.Fatalf("sum = %g", got)
+	}
+	if s.Mean() != s.Sum/4 {
+		t.Fatalf("mean = %g", s.Mean())
+	}
+	if r.HistogramWith("lat", []float64{5}) != h {
+		t.Fatal("first registration must win")
+	}
+}
+
+func TestObserveSince(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("d")
+	h.ObserveSince(time.Now().Add(-time.Millisecond))
+	s := h.snapshot()
+	if s.Count != 1 || s.Sum <= 0 {
+		t.Fatalf("snapshot %+v", s)
+	}
+}
+
+func TestSnapshotMerge(t *testing.T) {
+	a := NewRegistry()
+	a.Counter("c").Add(3)
+	a.Gauge("g").Set(2)
+	a.HistogramWith("h", []float64{1, 10}).Observe(0.5)
+
+	b := NewRegistry()
+	b.Counter("c").Add(4)
+	b.Counter("only.b").Inc()
+	b.Gauge("g").Set(5)
+	b.HistogramWith("h", []float64{1, 10}).Observe(20)
+
+	m := a.Snapshot().Merge(b.Snapshot())
+	if m.Counters["c"] != 7 || m.Counters["only.b"] != 1 {
+		t.Fatalf("counters %v", m.Counters)
+	}
+	if m.Gauges["g"] != 7 {
+		t.Fatalf("gauges %v", m.Gauges)
+	}
+	h := m.Histograms["h"]
+	if h.Count != 2 || h.Sum != 20.5 {
+		t.Fatalf("merged histogram %+v", h)
+	}
+	if h.Counts[0] != 1 || h.Counts[2] != 1 {
+		t.Fatalf("merged buckets %v", h.Counts)
+	}
+
+	// Merging must not alias the source snapshots' slices.
+	h.Counts[0] = 99
+	if a.Snapshot().Histograms["h"].Counts[0] != 1 {
+		t.Fatal("merge aliased the source snapshot")
+	}
+}
+
+func TestWriteTextFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("pipeline.hits").Add(12)
+	r.Gauge("pipeline.depth").Set(3)
+	r.HistogramWith("pipeline.lat", []float64{1}).Observe(0.5)
+
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"counter pipeline.hits 12\n",
+		"gauge pipeline.depth 3\n",
+		"histogram pipeline.lat count 1 sum 0.5 mean 0.5\n",
+		"histogram pipeline.lat bucket le=1 1\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSnapshotJSONForExpvar(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c").Inc()
+	r.Histogram("h").Observe(1)
+	data, err := json.Marshal(r.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Counters["c"] != 1 || back.Histograms["h"].Count != 1 {
+		t.Fatalf("round trip lost data: %+v", back)
+	}
+}
+
+func TestHandlerServesMetrics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("served.total").Add(2)
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type %q", ct)
+	}
+	if !strings.Contains(string(body), "counter served.total 2") {
+		t.Fatalf("body %q", body)
+	}
+}
+
+// TestRegistryConcurrency hammers get-or-create, updates, and snapshots
+// from many goroutines; it exists to run under the race tier and to pin
+// that concurrent updates are never lost.
+func TestRegistryConcurrency(t *testing.T) {
+	r := NewRegistry()
+	const workers = 8
+	const perWorker = 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				r.Counter("shared.count").Inc()
+				r.Gauge("shared.gauge").Max(int64(i))
+				r.Histogram("shared.hist").Observe(float64(i) * 1e-4)
+				if i%500 == 0 {
+					_ = r.Snapshot()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	s := r.Snapshot()
+	if s.Counters["shared.count"] != workers*perWorker {
+		t.Fatalf("lost counter updates: %d", s.Counters["shared.count"])
+	}
+	if s.Gauges["shared.gauge"] != perWorker-1 {
+		t.Fatalf("gauge max = %d", s.Gauges["shared.gauge"])
+	}
+	h := s.Histograms["shared.hist"]
+	if h.Count != workers*perWorker {
+		t.Fatalf("lost histogram observations: %d", h.Count)
+	}
+	var bucketSum int64
+	for _, c := range h.Counts {
+		bucketSum += c
+	}
+	if bucketSum != h.Count {
+		t.Fatalf("bucket sum %d != count %d", bucketSum, h.Count)
+	}
+}

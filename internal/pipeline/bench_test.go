@@ -12,3 +12,29 @@ func BenchmarkPatternLibrary(b *testing.B) {
 		lib.Lookup(seq)
 	}
 }
+
+// BenchmarkPatternLibraryMissPath measures the hot miss path as the
+// online loop drives it: one key render serving both the lookup and the
+// keyed store.
+func BenchmarkPatternLibraryMissPath(b *testing.B) {
+	lib := NewPatternLibrary(0)
+	seq := []int{3, 1, 4, 1, 5, 9, 2, 6, 5, 3}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		seq[0] = i // every iteration is a fresh pattern
+		_, _, key := lib.LookupOrKey(seq)
+		lib.StoreKey(key, 0.2)
+	}
+}
+
+// BenchmarkPatternLibraryEvicting measures steady-state LRU churn: every
+// insert over Cap evicts the least recently used pattern.
+func BenchmarkPatternLibraryEvicting(b *testing.B) {
+	lib := NewPatternLibrary(256)
+	seq := []int{3, 1, 4, 1, 5, 9, 2, 6, 5, 3}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		seq[0] = i
+		lib.Store(seq, 0.2)
+	}
+}

@@ -13,18 +13,24 @@
 //	Report: detected anomalies become reports carrying the original
 //	sequence, LEI interpretations and metadata, fanned out to sinks (the
 //	SMS/email analogues).
+//
+// Every stage is instrumented through an obs.Registry (Config.Metrics):
+// per-stage counters, a buffer-occupancy gauge, and a detect-batch
+// latency histogram, so a long-running deployment can be observed live
+// via obs.Snapshot() or the logsynergy serve /metrics endpoint.
 package pipeline
 
 import (
+	"container/list"
 	"context"
-	"strconv"
-	"strings"
 	"sync"
+	"time"
 
 	"logsynergy/internal/core"
 	"logsynergy/internal/drain"
 	"logsynergy/internal/embed"
 	"logsynergy/internal/lei"
+	"logsynergy/internal/obs"
 	"logsynergy/internal/tensor"
 	"logsynergy/internal/window"
 )
@@ -82,7 +88,8 @@ func (m *MemorySink) Reports() []*core.Report {
 type Stats struct {
 	// LinesCollected counts raw lines shipped by the collector.
 	LinesCollected int
-	// LinesDropped counts lines dropped on buffer overflow.
+	// LinesDropped counts lines dropped on buffer overflow (only under
+	// DropNewest; the default DropBlock policy never drops).
 	LinesDropped int
 	// SequencesFormed counts completed sliding windows.
 	SequencesFormed int
@@ -90,6 +97,8 @@ type Stats struct {
 	PatternHits int
 	// PatternMisses counts sequences that required model inference.
 	PatternMisses int
+	// PatternEvictions counts LRU evictions from the pattern library.
+	PatternEvictions int
 	// Anomalies counts reported anomalous sequences.
 	Anomalies int
 	// NewEvents counts templates first seen online.
@@ -99,67 +108,128 @@ type Stats struct {
 // PatternLibrary caches per-pattern verdicts: a pattern is the exact event
 // id sequence. Real deployments key historical anomaly patterns the same
 // way; the cache also suppresses redundant inference on the dominant
-// repeating patterns (paper §VI-A "Detection").
+// repeating patterns (paper §VI-A "Detection"). When Cap is set the
+// library evicts in LRU order (map + doubly-linked list), so a workload
+// shift replaces stale patterns instead of freezing the cache on the
+// first Cap entries seen.
 type PatternLibrary struct {
-	mu    sync.Mutex
-	cache map[string]float64
+	mu      sync.Mutex
+	entries map[string]*list.Element
+	order   *list.List // front = most recently used
 	// Cap bounds the library size; 0 = unbounded.
-	Cap int
+	Cap       int
+	evictions int
+}
+
+// libEntry is one cached pattern; list.Element.Value holds *libEntry.
+type libEntry struct {
+	key   string
+	score float64
 }
 
 // NewPatternLibrary creates a library with the given capacity (0 = unbounded).
 func NewPatternLibrary(capacity int) *PatternLibrary {
-	return &PatternLibrary{cache: make(map[string]float64), Cap: capacity}
-}
-
-// key renders an event id sequence as a map key.
-func (p *PatternLibrary) key(eventIDs []int) string {
-	var b strings.Builder
-	for i, id := range eventIDs {
-		if i > 0 {
-			b.WriteByte(',')
-		}
-		b.WriteString(strconv.Itoa(id))
+	return &PatternLibrary{
+		entries: make(map[string]*list.Element),
+		order:   list.New(),
+		Cap:     capacity,
 	}
-	return b.String()
 }
 
-// Lookup returns the cached score for the pattern.
+// Lookup returns the cached score for the pattern, refreshing its LRU
+// position on a hit.
 func (p *PatternLibrary) Lookup(eventIDs []int) (float64, bool) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	s, ok := p.cache[p.key(eventIDs)]
+	s, ok, _ := p.LookupOrKey(eventIDs)
 	return s, ok
 }
 
-// Store records a verdict (evicting nothing unless over Cap, in which case
-// the insert is skipped — a simple bound suited to the dominant-pattern
-// workload the library exists for).
-func (p *PatternLibrary) Store(eventIDs []int, score float64) {
+// LookupOrKey is Lookup plus the rendered map key, so the hot online loop
+// can follow a miss with StoreKey without rendering the key a second time.
+func (p *PatternLibrary) LookupOrKey(eventIDs []int) (score float64, ok bool, key string) {
+	key = patternKey(eventIDs)
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	if p.Cap > 0 && len(p.cache) >= p.Cap {
-		return
+	if el, hit := p.entries[key]; hit {
+		p.order.MoveToFront(el)
+		return el.Value.(*libEntry).score, true, key
 	}
-	p.cache[p.key(eventIDs)] = score
+	return 0, false, key
+}
+
+// Store records a verdict, evicting the least recently used pattern when
+// the library is at Cap. It reports whether an eviction occurred.
+func (p *PatternLibrary) Store(eventIDs []int, score float64) bool {
+	return p.StoreKey(patternKey(eventIDs), score)
+}
+
+// StoreKey is Store for a key already rendered by LookupOrKey.
+func (p *PatternLibrary) StoreKey(key string, score float64) (evicted bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if el, ok := p.entries[key]; ok {
+		el.Value.(*libEntry).score = score
+		p.order.MoveToFront(el)
+		return false
+	}
+	p.entries[key] = p.order.PushFront(&libEntry{key: key, score: score})
+	if p.Cap > 0 && len(p.entries) > p.Cap {
+		oldest := p.order.Back()
+		p.order.Remove(oldest)
+		delete(p.entries, oldest.Value.(*libEntry).key)
+		p.evictions++
+		return true
+	}
+	return false
 }
 
 // Size returns the number of cached patterns.
 func (p *PatternLibrary) Size() int {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	return len(p.cache)
+	return len(p.entries)
+}
+
+// Evictions returns the number of LRU evictions so far.
+func (p *PatternLibrary) Evictions() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.evictions
+}
+
+// DropPolicy selects what the collector does when the bounded buffer is
+// full (paper Fig. 7: the Kafka stage absorbing a collection burst).
+type DropPolicy int
+
+const (
+	// DropBlock blocks the collector until the parser drains the buffer
+	// (lossless backpressure; the default).
+	DropBlock DropPolicy = iota
+	// DropNewest discards the incoming line when the buffer is full,
+	// counting it in Stats.LinesDropped (load shedding: detection
+	// freshness over completeness).
+	DropNewest
+)
+
+// String names the policy for flags and logs.
+func (d DropPolicy) String() string {
+	if d == DropNewest {
+		return "drop-newest"
+	}
+	return "block"
 }
 
 // Config assembles a pipeline.
 type Config struct {
 	// BufferSize is the bounded buffer capacity (Kafka analogue).
 	BufferSize int
+	// DropPolicy selects block-vs-drop behavior on a full buffer.
+	DropPolicy DropPolicy
 	// Window is the segmentation config (paper: length 10, step 5).
 	Window window.Config
 	// SystemHint feeds LEI prompts for events first seen online.
 	SystemHint string
-	// PatternCap bounds the pattern library (0 = unbounded).
+	// PatternCap bounds the pattern library (0 = unbounded); over-cap
+	// inserts evict the least recently used pattern.
 	PatternCap int
 	// DisablePatternLibrary forces model inference on every sequence
 	// (ablation for the deployment benchmark).
@@ -170,11 +240,50 @@ type Config struct {
 	// latency on a trickling stream; reports are always delivered in input
 	// order. 1 forces the serial one-window-at-a-time path.
 	DetectBatch int
+	// Metrics receives the pipeline's counters, gauges and histograms
+	// (nil = obs.Default()).
+	Metrics *obs.Registry
 }
 
 // DefaultConfig returns production defaults.
 func DefaultConfig(systemHint string) Config {
 	return Config{BufferSize: 1024, Window: window.Default(), SystemHint: systemHint}
+}
+
+// pipelineObs caches the pipeline's metric handles so hot-path updates
+// are single atomic operations.
+type pipelineObs struct {
+	linesCollected   *obs.Counter
+	linesDropped     *obs.Counter
+	sequencesFormed  *obs.Counter
+	patternHits      *obs.Counter
+	patternMisses    *obs.Counter
+	patternEvictions *obs.Counter
+	anomalies        *obs.Counter
+	newEvents        *obs.Counter
+	bufferOccupancy  *obs.Gauge
+	bufferPeak       *obs.Gauge
+	bufferCapacity   *obs.Gauge
+	librarySize      *obs.Gauge
+	detectBatch      *obs.Histogram
+}
+
+func newPipelineObs(reg *obs.Registry) pipelineObs {
+	return pipelineObs{
+		linesCollected:   reg.Counter("pipeline.lines_collected"),
+		linesDropped:     reg.Counter("pipeline.lines_dropped"),
+		sequencesFormed:  reg.Counter("pipeline.sequences_formed"),
+		patternHits:      reg.Counter("pipeline.pattern_hits"),
+		patternMisses:    reg.Counter("pipeline.pattern_misses"),
+		patternEvictions: reg.Counter("pipeline.pattern_evictions"),
+		anomalies:        reg.Counter("pipeline.anomalies"),
+		newEvents:        reg.Counter("pipeline.new_events"),
+		bufferOccupancy:  reg.Gauge("pipeline.buffer_occupancy"),
+		bufferPeak:       reg.Gauge("pipeline.buffer_peak"),
+		bufferCapacity:   reg.Gauge("pipeline.buffer_capacity"),
+		librarySize:      reg.Gauge("pipeline.pattern_library_size"),
+		detectBatch:      reg.Histogram("pipeline.detect_batch_seconds"),
+	}
 }
 
 // Pipeline wires collection, detection and reporting for one target system.
@@ -186,6 +295,7 @@ type Pipeline struct {
 	embedder *embed.Embedder
 	library  *PatternLibrary
 	sinks    []Sink
+	om       pipelineObs
 
 	mu    sync.Mutex
 	stats Stats
@@ -201,6 +311,10 @@ func New(cfg Config, parser *drain.Parser, det *core.Detector, interp lei.Interp
 	if cfg.Window.Length == 0 {
 		cfg.Window = window.Default()
 	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = obs.Default()
+	}
 	return &Pipeline{
 		cfg:      cfg,
 		parser:   parser,
@@ -209,6 +323,7 @@ func New(cfg Config, parser *drain.Parser, det *core.Detector, interp lei.Interp
 		embedder: e,
 		library:  NewPatternLibrary(cfg.PatternCap),
 		sinks:    sinks,
+		om:       newPipelineObs(reg),
 	}
 }
 
@@ -229,6 +344,7 @@ func (p *Pipeline) Library() *PatternLibrary { return p.library }
 // cfg.DetectBatch at a time) with reports delivered in input order.
 func (p *Pipeline) Run(ctx context.Context, src Source) Stats {
 	buffer := make(chan string, p.cfg.BufferSize)
+	p.om.bufferCapacity.Set(int64(cap(buffer)))
 
 	var wg sync.WaitGroup
 	wg.Add(1)
@@ -240,13 +356,26 @@ func (p *Pipeline) Run(ctx context.Context, src Source) Stats {
 			if !ok {
 				return
 			}
-			select {
-			case buffer <- line:
-				p.mu.Lock()
-				p.stats.LinesCollected++
-				p.mu.Unlock()
-			case <-ctx.Done():
-				return
+			if p.cfg.DropPolicy == DropNewest {
+				select {
+				case buffer <- line:
+					p.countCollected()
+				default:
+					p.mu.Lock()
+					p.stats.LinesDropped++
+					p.mu.Unlock()
+					p.om.linesDropped.Inc()
+				}
+				if ctx.Err() != nil {
+					return
+				}
+			} else {
+				select {
+				case buffer <- line:
+					p.countCollected()
+				case <-ctx.Done():
+					return
+				}
 			}
 		}
 	}()
@@ -277,6 +406,11 @@ func (p *Pipeline) Run(ctx context.Context, src Source) Stats {
 		if !ok {
 			break
 		}
+		// Occupancy counts the just-dequeued line; at this instant the
+		// buffer holds len(buffer)+1 lines' worth of backlog.
+		occ := int64(len(buffer))
+		p.om.bufferOccupancy.Set(occ)
+		p.om.bufferPeak.Max(occ + 1)
 		eventID := p.parseLine(line)
 		windowBuf = append(windowBuf, eventID)
 		sincePrev++
@@ -296,8 +430,16 @@ func (p *Pipeline) Run(ctx context.Context, src Source) Stats {
 		}
 	}
 	p.detectBatch(pending)
+	p.om.bufferOccupancy.Set(0)
 	wg.Wait()
 	return p.Stats()
+}
+
+func (p *Pipeline) countCollected() {
+	p.mu.Lock()
+	p.stats.LinesCollected++
+	p.mu.Unlock()
+	p.om.linesCollected.Inc()
 }
 
 // parseLine structures one raw line, extending the event table when a new
@@ -311,6 +453,7 @@ func (p *Pipeline) parseLine(line string) int {
 		p.mu.Lock()
 		p.stats.NewEvents++
 		p.mu.Unlock()
+		p.om.newEvents.Inc()
 	}
 	return m.EventID
 }
@@ -320,30 +463,35 @@ func (p *Pipeline) parseLine(line string) int {
 // duplicates of an earlier window in the same batch, which the serial path
 // would have stored before reaching them) skip the model; the remaining
 // unique patterns are scored in one parallel pass; then scores, library
-// inserts, stats, and report delivery are applied in input order.
+// inserts, stats, and report delivery are applied in input order. Each
+// pattern's map key is rendered exactly once (LookupOrKey → StoreKey).
 func (p *Pipeline) detectBatch(seqs [][]int) {
 	if len(seqs) == 0 {
 		return
 	}
+	start := time.Now()
 	p.mu.Lock()
 	p.stats.SequencesFormed += len(seqs)
 	p.mu.Unlock()
+	p.om.sequencesFormed.Add(int64(len(seqs)))
 
 	n := len(seqs)
 	scores := make([]float64, n)
 	hit := make([]bool, n)
+	keys := make([]string, n)
 	dupOf := make([]int, n) // index of this pattern's first in-batch occurrence, or -1
 	var missIdx []int       // batch indices that need the model
 	firstSeen := make(map[string]int)
 	for i, seq := range seqs {
 		dupOf[i] = -1
 		if !p.cfg.DisablePatternLibrary {
-			if cached, ok := p.library.Lookup(seq); ok {
+			cached, ok, k := p.library.LookupOrKey(seq)
+			keys[i] = k
+			if ok {
 				scores[i], hit[i] = cached, true
 				continue
 			}
-			k := p.library.key(seq)
-			if j, ok := firstSeen[k]; ok {
+			if j, dup := firstSeen[k]; dup {
 				dupOf[i], hit[i] = j, true
 				continue
 			}
@@ -375,8 +523,18 @@ func (p *Pipeline) detectBatch(seqs [][]int) {
 			p.stats.PatternMisses++
 		}
 		p.mu.Unlock()
+		if hit[i] {
+			p.om.patternHits.Inc()
+		} else {
+			p.om.patternMisses.Inc()
+		}
 		if !hit[i] && !p.cfg.DisablePatternLibrary {
-			p.library.Store(seq, scores[i])
+			if p.library.StoreKey(keys[i], scores[i]) {
+				p.mu.Lock()
+				p.stats.PatternEvictions++
+				p.mu.Unlock()
+				p.om.patternEvictions.Inc()
+			}
 		}
 		if scores[i] > core.Threshold {
 			// For cached anomalous patterns this rebuilds the report without
@@ -384,12 +542,15 @@ func (p *Pipeline) detectBatch(seqs [][]int) {
 			p.deliver(p.detector.BuildReport(seq, scores[i]))
 		}
 	}
+	p.om.librarySize.Set(int64(p.library.Size()))
+	p.om.detectBatch.ObserveSince(start)
 }
 
 func (p *Pipeline) deliver(rep *core.Report) {
 	p.mu.Lock()
 	p.stats.Anomalies++
 	p.mu.Unlock()
+	p.om.anomalies.Inc()
 	for _, s := range p.sinks {
 		s.Notify(rep)
 	}

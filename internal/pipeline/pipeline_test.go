@@ -178,9 +178,56 @@ func TestPatternLibrary(t *testing.T) {
 		t.Fatal("pattern keys must be collision-free")
 	}
 	lib.Store([]int{4}, 0.1)
-	lib.Store([]int{5}, 0.2) // over cap: skipped
+	lib.Store([]int{5}, 0.2) // over cap: evicts the LRU entry
 	if lib.Size() != 2 {
 		t.Fatalf("cap violated: size %d", lib.Size())
+	}
+}
+
+func TestPatternLibraryLRUEviction(t *testing.T) {
+	lib := NewPatternLibrary(2)
+	lib.Store([]int{1}, 0.1)
+	lib.Store([]int{2}, 0.2)
+	// Touch [1] so [2] becomes least recently used.
+	if _, ok := lib.Lookup([]int{1}); !ok {
+		t.Fatal("warm entry must hit")
+	}
+	if !lib.Store([]int{3}, 0.3) {
+		t.Fatal("over-cap insert must report an eviction")
+	}
+	if lib.Size() != 2 || lib.Evictions() != 1 {
+		t.Fatalf("size %d evictions %d", lib.Size(), lib.Evictions())
+	}
+	if _, ok := lib.Lookup([]int{2}); ok {
+		t.Fatal("LRU entry [2] must have been evicted")
+	}
+	if s, ok := lib.Lookup([]int{1}); !ok || s != 0.1 {
+		t.Fatal("recently used entry [1] must survive")
+	}
+	if s, ok := lib.Lookup([]int{3}); !ok || s != 0.3 {
+		t.Fatal("new entry [3] must be cached")
+	}
+	// Re-storing an existing key updates in place, no eviction.
+	if lib.Store([]int{1}, 0.9) {
+		t.Fatal("updating a cached key must not evict")
+	}
+	if s, _ := lib.Lookup([]int{1}); s != 0.9 {
+		t.Fatalf("score not updated: %v", s)
+	}
+	if lib.Size() != 2 || lib.Evictions() != 1 {
+		t.Fatalf("size %d evictions %d after update", lib.Size(), lib.Evictions())
+	}
+}
+
+func TestPatternLibraryLookupOrKey(t *testing.T) {
+	lib := NewPatternLibrary(0)
+	_, ok, key := lib.LookupOrKey([]int{7, 8, 9})
+	if ok || key != "7,8,9" {
+		t.Fatalf("miss returned ok=%v key=%q", ok, key)
+	}
+	lib.StoreKey(key, 0.4)
+	if s, ok, _ := lib.LookupOrKey([]int{7, 8, 9}); !ok || s != 0.4 {
+		t.Fatalf("keyed store not visible: %v %v", s, ok)
 	}
 }
 

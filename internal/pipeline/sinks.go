@@ -25,6 +25,8 @@ type DedupSink struct {
 	seen map[string]time.Time
 	// suppressed counts dropped duplicates.
 	suppressed int
+	// lastPrune is when seen was last swept of expired entries.
+	lastPrune time.Time
 }
 
 // NewDedupSink wraps next with per-pattern deduplication.
@@ -37,6 +39,20 @@ func (d *DedupSink) Notify(r *core.Report) {
 	key := patternKey(r.EventIDs)
 	now := d.Now()
 	d.mu.Lock()
+	// Opportunistic pruning: entries older than Cooldown can never
+	// suppress again, so sweep them at most once per Cooldown period.
+	// Without this the map grows by one entry per distinct pattern for
+	// the lifetime of the process.
+	if d.lastPrune.IsZero() {
+		d.lastPrune = now
+	} else if now.Sub(d.lastPrune) >= d.Cooldown {
+		for k, t := range d.seen {
+			if now.Sub(t) >= d.Cooldown {
+				delete(d.seen, k)
+			}
+		}
+		d.lastPrune = now
+	}
 	last, ok := d.seen[key]
 	if ok && now.Sub(last) < d.Cooldown {
 		d.suppressed++
@@ -53,6 +69,14 @@ func (d *DedupSink) Suppressed() int {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	return d.suppressed
+}
+
+// Tracked returns the number of patterns currently held for dedup
+// accounting (diagnostics; bounded by pruning in Notify).
+func (d *DedupSink) Tracked() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.seen)
 }
 
 // patternKey renders an event-id sequence as a stable key.

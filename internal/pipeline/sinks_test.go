@@ -31,6 +31,41 @@ func TestDedupSinkSuppressesRepeats(t *testing.T) {
 	}
 }
 
+// TestDedupSinkPrunesExpired pins the memory bound: entries older than
+// Cooldown are swept opportunistically in Notify, so the seen map tracks
+// only patterns that could still suppress — not every pattern ever alerted.
+func TestDedupSinkPrunesExpired(t *testing.T) {
+	inner := &MemorySink{}
+	clock := time.Date(2023, 1, 1, 0, 0, 0, 0, time.UTC)
+	d := NewDedupSink(inner, time.Minute)
+	d.Now = func() time.Time { return clock }
+
+	for i := 0; i < 50; i++ {
+		d.Notify(testReport(i))
+	}
+	if d.Tracked() != 50 {
+		t.Fatalf("tracking %d patterns, want 50", d.Tracked())
+	}
+
+	// All 50 entries expire; the next notify sweeps them.
+	clock = clock.Add(3 * time.Minute)
+	d.Notify(testReport(999))
+	if d.Tracked() != 1 {
+		t.Fatalf("tracking %d patterns after prune, want 1", d.Tracked())
+	}
+
+	// Pruning must not break suppression semantics for live entries.
+	d.Notify(testReport(999))
+	if d.Suppressed() != 1 {
+		t.Fatalf("suppressed %d, want 1", d.Suppressed())
+	}
+	// An expired-and-pruned pattern alerts again.
+	d.Notify(testReport(7))
+	if got := len(inner.Reports()); got != 52 {
+		t.Fatalf("delivered %d reports, want 52", got)
+	}
+}
+
 func TestDedupKeyCollisionFree(t *testing.T) {
 	inner := &MemorySink{}
 	d := NewDedupSink(inner, time.Hour)

@@ -4,6 +4,9 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"logsynergy/internal/obs"
 )
 
 // This file is the shared parallel compute runtime: a lazily started worker
@@ -32,6 +35,14 @@ var (
 	poolMu      sync.Mutex
 	poolTasks   chan func()
 	poolWorkers atomic.Int64
+
+	// Dispatch metrics (obs.Default): how often kernels take the serial
+	// fallback vs shard onto the pool, and enqueue-to-completion latency
+	// of pooled span tasks. Single atomic ops — cheap enough for the
+	// per-kernel dispatch path.
+	dispatchSerial   = obs.Default().Counter("tensor.dispatch.serial")
+	dispatchParallel = obs.Default().Counter("tensor.dispatch.parallel")
+	poolTaskSeconds  = obs.Default().Histogram("tensor.pool.task_seconds")
 )
 
 // DefaultMinParallelWork is the default serial-fallback threshold: kernels
@@ -133,9 +144,11 @@ func ParallelRange(n, work int, fn func(lo, hi int)) {
 	}
 	workers := Parallelism()
 	if n < 2 || !shouldParallel(work) {
+		dispatchSerial.Inc()
 		fn(0, n)
 		return
 	}
+	dispatchParallel.Inc()
 	spans := workers
 	if spans > n {
 		spans = n
@@ -162,8 +175,10 @@ func ParallelRange(n, work int, fn func(lo, hi int)) {
 			hi++
 		}
 		start, end := lo, hi
+		enqueued := time.Now()
 		task := func() {
 			fn(start, end)
+			poolTaskSeconds.ObserveSince(enqueued)
 			if pending.Add(-1) == 0 {
 				close(done)
 			}

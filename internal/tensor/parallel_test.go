@@ -5,6 +5,8 @@ import (
 	"math/rand"
 	"sync"
 	"testing"
+
+	"logsynergy/internal/obs"
 )
 
 // forceParallel routes every kernel through the parallel path with the
@@ -261,4 +263,42 @@ func TestSetParallelismRoundTrip(t *testing.T) {
 		t.Fatal("reset parallelism must be at least 1")
 	}
 	SetParallelism(prev)
+}
+
+// TestDispatchMetrics pins the obs instrumentation of the dispatch path:
+// serial fallbacks and parallel shardings are counted, and pooled span
+// tasks record their latency.
+func TestDispatchMetrics(t *testing.T) {
+	read := func() (serial, parallel, tasks int64) {
+		s := obs.Default().Snapshot()
+		return s.Counters["tensor.dispatch.serial"],
+			s.Counters["tensor.dispatch.parallel"],
+			s.Histograms["tensor.pool.task_seconds"].Count
+	}
+
+	forceParallel(t, 4)
+	s0, p0, t0 := read()
+	ParallelRange(64, 1<<20, func(lo, hi int) {})
+	s1, p1, t1 := read()
+	if p1 != p0+1 {
+		t.Fatalf("parallel dispatch count %d -> %d, want +1", p0, p1)
+	}
+	if s1 != s0 {
+		t.Fatalf("serial dispatch count moved on a parallel dispatch: %d -> %d", s0, s1)
+	}
+	// 4 workers -> 3 pooled spans (the caller runs the last one inline).
+	if t1 != t0+3 {
+		t.Fatalf("pool task observations %d -> %d, want +3", t0, t1)
+	}
+
+	serially(func() {
+		ParallelRange(64, 1<<20, func(lo, hi int) {})
+	})
+	s2, p2, _ := read()
+	if s2 != s1+1 {
+		t.Fatalf("serial dispatch count %d -> %d, want +1", s1, s2)
+	}
+	if p2 != p1 {
+		t.Fatalf("parallel dispatch count moved on a serial dispatch: %d -> %d", p1, p2)
+	}
 }
