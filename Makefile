@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race bench verify
+.PHONY: build test vet race bench chaos fuzz-smoke verify
 
 build:
 	$(GO) build ./...
@@ -25,4 +25,18 @@ race:
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkBatchScore|BenchmarkTrainEpoch' -benchmem .
 
-verify: vet test race
+# Chaos tier: the fault-injection framework and the deterministic chaos
+# suite (seeded fault schedules, breakers, spill, leak checks) under the
+# race detector. Fast — it uses the untrained tiny deployment.
+chaos:
+	$(GO) test -race -count=1 ./internal/fault/
+	$(GO) test -race -count=1 -run 'TestChaos|TestDrop|TestPipelineCancel' ./internal/pipeline/
+
+# Fuzz-smoke tier: a short randomized pass over the parser and window
+# fuzz targets (the checked-in seed corpora always run as part of
+# `make test`; this tier actually mutates).
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz FuzzParse -fuzztime 10s ./internal/drain/
+	$(GO) test -run '^$$' -fuzz FuzzSlide -fuzztime 10s ./internal/window/
+
+verify: vet test chaos race

@@ -10,12 +10,15 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"sync"
 	"time"
 
+	"logsynergy/internal/alertstore"
 	"logsynergy/internal/core"
 	"logsynergy/internal/drain"
 	"logsynergy/internal/embed"
+	"logsynergy/internal/fault"
 	"logsynergy/internal/lei"
 	"logsynergy/internal/obs"
 	"logsynergy/internal/pipeline"
@@ -43,6 +46,17 @@ func runServe(args []string) error {
 	patternCap := fs.Int("pattern-cap", 0, "pattern library capacity, LRU-evicted (0 = unbounded)")
 	linger := fs.Duration("linger", 0, "keep serving metrics this long after the stream ends")
 	quiet := fs.Bool("quiet", false, "suppress per-anomaly report output")
+	retries := fs.Int("retries", 0, "attempts per stage call before the failure is terminal (0 = default 3)")
+	breakerThreshold := fs.Int("breaker-threshold", 0, "consecutive failures that open a circuit breaker (0 = default 5)")
+	breakerCooldown := fs.Duration("breaker-cooldown", 0, "open-breaker cooldown before probing (0 = default 1s)")
+	interpretTimeout := fs.Duration("interpret-timeout", 0, "per-call LEI timeout (0 = none)")
+	sinkTimeout := fs.Duration("sink-timeout", 0, "per-delivery sink timeout (0 = none)")
+	spillCap := fs.Int("spill-cap", 0, "in-memory spill queue capacity for undeliverable alerts (0 = default 1024)")
+	spillPath := fs.String("spill", "", "alertstore file additionally receiving spilled alerts")
+	noResilience := fs.Bool("no-resilience", false, "disable retries, breakers, timeouts and spill (ablation)")
+	faultSeed := fs.Int64("fault-seed", 1, "seed for the fault-injection registry")
+	var injectSpecs ruleList
+	fs.Var(&injectSpecs, "inject", "fault-injection rule point[:key=val,...] (repeatable; see internal/fault.ParseRule)")
 	fs.Parse(args)
 
 	policy, err := parseDropPolicy(*dropPolicy)
@@ -101,12 +115,43 @@ func runServe(args []string) error {
 	cfg.DropPolicy = policy
 	cfg.PatternCap = *patternCap
 	cfg.Metrics = reg
+	cfg.Resilience = pipeline.ResilienceConfig{
+		Disabled:         *noResilience,
+		MaxAttempts:      *retries,
+		InterpretTimeout: *interpretTimeout,
+		SinkTimeout:      *sinkTimeout,
+		BreakerThreshold: *breakerThreshold,
+		BreakerCooldown:  *breakerCooldown,
+		SpillCap:         *spillCap,
+		Seed:             *faultSeed,
+	}
+	if len(injectSpecs.rules) > 0 {
+		faults := fault.New(*faultSeed)
+		faults.Enable(injectSpecs.rules...)
+		cfg.Faults = faults
+	}
+	if *spillPath != "" {
+		store, err := alertstore.Open(*spillPath)
+		if err != nil {
+			return fmt.Errorf("serve: opening spill store: %w", err)
+		}
+		defer store.Close()
+		cfg.SpillTo = alertstore.NewSink(store)
+	}
 	p := pipeline.New(cfg, parser, det, interp, embedder, &printingSink{quiet: *quiet})
 
 	stats := p.Run(ctx, newRepeatSource(lines, *repeat))
 	fmt.Printf("lines=%d dropped=%d sequences=%d anomalies=%d pattern-hits=%d evictions=%d new-events=%d\n",
 		stats.LinesCollected, stats.LinesDropped, stats.SequencesFormed,
 		stats.Anomalies, stats.PatternHits, stats.PatternEvictions, stats.NewEvents)
+	if stats.Retries+stats.Degraded+stats.Spilled+stats.BreakerOpens+stats.ParseFailures+stats.DetectFailures > 0 {
+		fmt.Printf("faults: retries=%d degraded=%d spilled=%d spill-dropped=%d breaker-opens=%d sink-errors=%d parse-failures=%d detect-failures=%d\n",
+			stats.Retries, stats.Degraded, stats.Spilled, stats.SpillDropped,
+			stats.BreakerOpens, stats.SinkErrors, stats.ParseFailures, stats.DetectFailures)
+	}
+	if n := p.SpillLen(); n > 0 {
+		fmt.Printf("%d alerts remain spilled (undeliverable at shutdown)\n", n)
+	}
 
 	if *linger > 0 {
 		fmt.Printf("stream ended; serving metrics for %s more\n", *linger)
@@ -115,6 +160,24 @@ func runServe(args []string) error {
 		case <-time.After(*linger):
 		}
 	}
+	return nil
+}
+
+// ruleList collects repeatable -inject flags as parsed fault rules.
+type ruleList struct {
+	specs []string
+	rules []fault.Rule
+}
+
+func (l *ruleList) String() string { return strings.Join(l.specs, ";") }
+
+func (l *ruleList) Set(spec string) error {
+	rule, err := fault.ParseRule(spec)
+	if err != nil {
+		return err
+	}
+	l.specs = append(l.specs, spec)
+	l.rules = append(l.rules, rule)
 	return nil
 }
 

@@ -86,3 +86,22 @@ func TestRepeatSource(t *testing.T) {
 		}
 	}
 }
+
+func TestRuleListFlag(t *testing.T) {
+	var l ruleList
+	if err := l.Set("pipeline.sink"); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Set("pipeline.interpret:every=3,limit=10"); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Set("no-such-syntax:every=x"); err == nil {
+		t.Fatal("bad rule spec must be rejected")
+	}
+	if len(l.rules) != 2 || l.rules[1].Every != 3 || l.rules[1].Limit != 10 {
+		t.Fatalf("parsed rules %+v", l.rules)
+	}
+	if got := l.String(); got != "pipeline.sink;pipeline.interpret:every=3,limit=10" {
+		t.Fatalf("String() = %q", got)
+	}
+}

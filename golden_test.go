@@ -1,0 +1,144 @@
+package bench
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"logsynergy/internal/core"
+	"logsynergy/internal/drain"
+	"logsynergy/internal/embed"
+	"logsynergy/internal/lei"
+	"logsynergy/internal/logdata"
+	"logsynergy/internal/pipeline"
+	"logsynergy/internal/repr"
+	"logsynergy/internal/window"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files with current output")
+
+// goldenPath is the checked-in transcript of the fixed-seed train+detect
+// run. Regenerate with: go test -run TestGoldenEndToEnd -update .
+const goldenPath = "testdata/golden_e2e.txt"
+
+// TestGoldenEndToEnd trains a small fixed-seed model, streams a fixed
+// online corpus through the detection pipeline, and compares the full
+// transcript — pipeline stats, every rendered anomaly report, and
+// bit-exact probe scores — against the checked-in golden file. Any
+// unintended change to parsing, interpretation, embedding, training,
+// scoring, or report rendering shows up as a diff here.
+func TestGoldenEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training test")
+	}
+
+	interp := lei.NewSimLLM(lei.Config{})
+	e := embed.New(32)
+	spec := logdata.SystemB()
+	offline := logdata.Generate(spec, 1, 6000)
+	parser := drain.NewDefault()
+	parsed := logdata.Parse(offline, parser)
+	seqs := parsed.Windows(window.Default())
+
+	cfg := core.DefaultConfig()
+	cfg.Epochs = 2
+	srcSeqs := logdata.Build(logdata.SystemA(), 2, 0.002, window.Default())
+	src := repr.Build(srcSeqs, interp, e)
+	table := repr.BuildEventTable(seqs, interp, e)
+	train := repr.BuildDataset(seqs, table)
+	model := core.TrainModel(cfg, []*repr.Dataset{src}, train)
+
+	det := core.NewDetector(model, table)
+	det.Now = func() time.Time { return time.Date(2023, 9, 1, 0, 0, 0, 0, time.UTC) }
+
+	sink := &pipeline.MemorySink{}
+	p := pipeline.New(pipeline.DefaultConfig("a cloud data management system (SystemB)"), parser, det, interp, e, sink)
+	online := logdata.Generate(spec, 99, 3000)
+
+	// Seed the pattern library with the stream's opening window marked
+	// anomalous (operational memory of a past incident): every recurrence
+	// is a library hit at score 0.95, guaranteeing the transcript pins
+	// rendered anomaly reports regardless of how sharply the quick
+	// 2-epoch model separates scores.
+	first := make([]int, 0, p.Library().Size()+10)
+	for _, msg := range online.Messages()[:10] {
+		first = append(first, parser.Parse(msg).EventID)
+	}
+	p.Library().Store(first, 0.95)
+
+	stats := p.Run(context.Background(), pipeline.NewSliceSource(online.Messages()))
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "== stats ==\n")
+	fmt.Fprintf(&b, "lines=%d sequences=%d anomalies=%d pattern-hits=%d pattern-misses=%d new-events=%d\n",
+		stats.LinesCollected, stats.SequencesFormed, stats.Anomalies,
+		stats.PatternHits, stats.PatternMisses, stats.NewEvents)
+
+	fmt.Fprintf(&b, "== reports (%d) ==\n", len(sink.Reports()))
+	for _, r := range sink.Reports() {
+		fmt.Fprintf(&b, "score=%s\n%s", strconv.FormatFloat(r.Score, 'g', -1, 64), r.String())
+	}
+
+	// Probe scores: fixed synthetic windows scored directly through the
+	// detector, recorded at full float64 precision. These pin the trained
+	// weights and the scoring path bit-exactly even if the stream above
+	// happens to produce few anomaly reports.
+	fmt.Fprintf(&b, "== probe scores ==\n")
+	n := det.Table.Len()
+	probes := make([][]int, 8)
+	for i := range probes {
+		w := make([]int, 10)
+		for j := range w {
+			w[j] = (i*7 + j*3) % n
+		}
+		probes[i] = w
+	}
+	for i, s := range det.ScoreSequences(probes) {
+		fmt.Fprintf(&b, "probe[%d]=%s\n", i, strconv.FormatFloat(s, 'g', -1, 64))
+	}
+	got := b.String()
+
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d bytes)", goldenPath, len(got))
+		return
+	}
+
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("missing golden file (generate with -update): %v", err)
+	}
+	if got != string(want) {
+		t.Fatalf("end-to-end output diverged from %s (run with -update if intended):\n%s",
+			goldenPath, firstDiff(string(want), got))
+	}
+}
+
+// firstDiff renders the first differing line of two transcripts.
+func firstDiff(want, got string) string {
+	wl, gl := strings.Split(want, "\n"), strings.Split(got, "\n")
+	for i := 0; i < len(wl) || i < len(gl); i++ {
+		w, g := "<eof>", "<eof>"
+		if i < len(wl) {
+			w = wl[i]
+		}
+		if i < len(gl) {
+			g = gl[i]
+		}
+		if w != g {
+			return fmt.Sprintf("line %d:\n  want: %s\n  got:  %s", i+1, w, g)
+		}
+	}
+	return "transcripts equal?"
+}

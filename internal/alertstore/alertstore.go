@@ -293,12 +293,21 @@ type Sink struct {
 func NewSink(store *Store) *Sink { return &Sink{Store: store} }
 
 // Notify implements the pipeline Sink interface.
-func (s *Sink) Notify(r *core.Report) {
-	if _, err := s.Store.Append(r); err != nil {
+func (s *Sink) Notify(r *core.Report) { _ = s.TryNotify(r) }
+
+// TryNotify appends the report and reports the failure, implementing the
+// pipeline's FallibleSink interface: a failing append (disk full, closed
+// store) feeds the pipeline's retry loop and circuit breaker instead of
+// being swallowed, and terminally failed reports spill rather than
+// vanish. The error counter still advances for Errors().
+func (s *Sink) TryNotify(r *core.Report) error {
+	_, err := s.Store.Append(r)
+	if err != nil {
 		s.mu.Lock()
 		s.errors++
 		s.mu.Unlock()
 	}
+	return err
 }
 
 // Errors returns the count of failed appends.

@@ -42,18 +42,54 @@ func SaveBundle(w io.Writer, m *Model, table *repr.EventTable) error {
 	return enc.Encode(b)
 }
 
+// validate rejects bundles whose structure would crash or mis-size model
+// reconstruction, with errors that name the corrupt field.
+func (b *Bundle) validate() error {
+	c := b.Config
+	switch {
+	case b.EmbedDim <= 0:
+		return fmt.Errorf("core: bundle embed dim %d must be positive", b.EmbedDim)
+	case b.EmbedDim != c.EmbedDim:
+		return fmt.Errorf("core: bundle embed dim %d does not match model config embed dim %d",
+			b.EmbedDim, c.EmbedDim)
+	case b.NumSystems < 1:
+		return fmt.Errorf("core: bundle records %d systems, need at least 1", b.NumSystems)
+	case c.ModelDim <= 0 || c.Heads <= 0 || c.FFDim <= 0 || c.Depth <= 0:
+		return fmt.Errorf("core: bundle config has non-positive architecture dims (model %d, heads %d, ff %d, depth %d)",
+			c.ModelDim, c.Heads, c.FFDim, c.Depth)
+	case c.ModelDim%c.Heads != 0:
+		return fmt.Errorf("core: bundle model dim %d not divisible by %d heads", c.ModelDim, c.Heads)
+	case len(b.Params) == 0 || bytes.Equal(bytes.TrimSpace(b.Params), []byte("null")),
+		bytes.Equal(bytes.TrimSpace(b.Params), []byte("[]")):
+		// A missing or empty payload would "load" as a random-init model.
+		return fmt.Errorf("core: bundle has no parameter payload")
+	}
+	return nil
+}
+
 // LoadBundle reconstructs a detector from a serialized bundle. The event
 // embeddings are recomputed with a fresh embedder of the recorded
 // dimension — the hash embedder is deterministic, so the reconstruction is
-// exact.
-func LoadBundle(r io.Reader) (*Detector, error) {
+// exact. A corrupted stream (truncation, bit flips, mismatched dims)
+// yields a descriptive error, never a panic.
+func LoadBundle(r io.Reader) (det *Detector, err error) {
+	// Backstop: whatever validation misses must still surface as an error
+	// on a hostile byte stream, not take the process down.
+	defer func() {
+		if rec := recover(); rec != nil {
+			det, err = nil, fmt.Errorf("core: corrupt bundle: %v", rec)
+		}
+	}()
 	var b Bundle
 	if err := json.NewDecoder(r).Decode(&b); err != nil {
 		return nil, fmt.Errorf("core: decoding bundle: %w", err)
 	}
+	if err := b.validate(); err != nil {
+		return nil, err
+	}
 	m := NewModel(b.Config, b.NumSystems)
 	if err := m.Params.Load(bytes.NewReader(b.Params)); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("core: loading bundle parameters: %w", err)
 	}
 	e := embed.New(b.EmbedDim)
 	texts := make([]string, len(b.Interps))

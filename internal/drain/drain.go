@@ -221,15 +221,19 @@ func (p *Parser) bestGroup(leaf *node, tokens []string) (*Event, float64) {
 }
 
 // similarity is the fraction of positions where the template token equals
-// the message token; wildcard positions do not count as matches (Drain's
-// simSeq definition).
+// the message token (Drain's simSeq definition). A wildcard template
+// position counts as a match only against a masked (wildcard) message
+// token: masked tokens can never be anything but parameters, and without
+// this rule a fully-masked message scores 0 against its own template and
+// mints a fresh group on every parse — unbounded growth on numeric-heavy
+// streams (found by FuzzParse).
 func similarity(template, tokens []string) float64 {
 	if len(template) != len(tokens) {
 		return 0
 	}
 	same := 0
 	for i := range template {
-		if template[i] == tokens[i] && template[i] != Wildcard {
+		if template[i] == tokens[i] {
 			same++
 		}
 	}

@@ -1,0 +1,141 @@
+package fault
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// ErrOpen is the sentinel for calls refused by an open breaker.
+var ErrOpen = errors.New("fault: circuit open")
+
+// Breaker is a consecutive-failure circuit breaker. Closed, it admits
+// every call; after Threshold consecutive recorded failures it opens and
+// refuses calls for Cooldown; then a single half-open probe is admitted —
+// success closes the breaker, failure re-opens it for another Cooldown.
+//
+// The breaker guards components whose failure mode is sustained (a dead
+// alert gateway, a hung LLM endpoint): once open, the pipeline stops
+// burning retries on every call and degrades immediately, probing at
+// Cooldown intervals for recovery.
+type Breaker struct {
+	// Threshold is the consecutive-failure count that opens the breaker
+	// (default 5).
+	Threshold int
+	// Cooldown is how long the breaker stays open before admitting a
+	// probe (default 1s).
+	Cooldown time.Duration
+	// Now is the clock (overridable in tests).
+	Now func() time.Time
+	// OnOpen, if set, observes each closed/half-open -> open transition.
+	OnOpen func()
+
+	mu       sync.Mutex
+	state    breakerState
+	failures int
+	openedAt time.Time
+	opens    int
+}
+
+type breakerState int
+
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+func (b *Breaker) now() time.Time {
+	if b.Now != nil {
+		return b.Now()
+	}
+	return time.Now()
+}
+
+func (b *Breaker) threshold() int {
+	if b.Threshold <= 0 {
+		return 5
+	}
+	return b.Threshold
+}
+
+func (b *Breaker) cooldown() time.Duration {
+	if b.Cooldown <= 0 {
+		return time.Second
+	}
+	return b.Cooldown
+}
+
+// Allow reports whether a call may proceed. While open it returns false
+// until Cooldown has elapsed, then admits one half-open probe (further
+// Allow calls return false until the probe's Record).
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return true
+	case breakerOpen:
+		if b.now().Sub(b.openedAt) >= b.cooldown() {
+			b.state = breakerHalfOpen
+			return true
+		}
+		return false
+	default: // half-open: a probe is already in flight
+		return false
+	}
+}
+
+// Record feeds a call outcome to the breaker: nil resets the failure
+// streak (and closes a half-open breaker); an error extends it and opens
+// the breaker at Threshold (a failed half-open probe re-opens
+// immediately).
+func (b *Breaker) Record(err error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if err == nil {
+		b.state = breakerClosed
+		b.failures = 0
+		return
+	}
+	b.failures++
+	if b.state == breakerHalfOpen || b.failures >= b.threshold() {
+		if b.state != breakerOpen {
+			b.opens++
+			if b.OnOpen != nil {
+				b.OnOpen()
+			}
+		}
+		b.state = breakerOpen
+		b.openedAt = b.now()
+		b.failures = 0
+	}
+}
+
+// Open reports whether the breaker is currently refusing calls.
+func (b *Breaker) Open() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state == breakerOpen && b.now().Sub(b.openedAt) < b.cooldown()
+}
+
+// Opens returns how many times the breaker has transitioned to open.
+func (b *Breaker) Opens() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.opens
+}
+
+// State names the current state for logs and metrics.
+func (b *Breaker) State() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}

@@ -1,0 +1,111 @@
+package fault
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// testClock is a manually advanced clock for breaker tests.
+type testClock struct{ t time.Time }
+
+func (c *testClock) now() time.Time          { return c.t }
+func (c *testClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+func newTestClock() *testClock               { return &testClock{t: time.Unix(1_700_000_000, 0)} }
+
+func TestBreakerOpensAtThreshold(t *testing.T) {
+	clk := newTestClock()
+	opens := 0
+	b := &Breaker{Threshold: 3, Cooldown: time.Minute, Now: clk.now, OnOpen: func() { opens++ }}
+	boom := errors.New("boom")
+
+	for i := 0; i < 2; i++ {
+		if !b.Allow() {
+			t.Fatalf("closed breaker refused call %d", i)
+		}
+		b.Record(boom)
+	}
+	if b.Open() || opens != 0 {
+		t.Fatal("breaker opened below threshold")
+	}
+	b.Record(boom) // third consecutive failure
+	if !b.Open() || opens != 1 || b.Opens() != 1 {
+		t.Fatalf("breaker not open at threshold: open=%v opens=%d", b.Open(), opens)
+	}
+	if b.Allow() {
+		t.Fatal("open breaker admitted a call within cooldown")
+	}
+	if b.State() != "open" {
+		t.Fatalf("state %q", b.State())
+	}
+}
+
+func TestBreakerSuccessResetsStreak(t *testing.T) {
+	clk := newTestClock()
+	b := &Breaker{Threshold: 3, Cooldown: time.Minute, Now: clk.now}
+	boom := errors.New("boom")
+	b.Record(boom)
+	b.Record(boom)
+	b.Record(nil) // success interrupts the streak
+	b.Record(boom)
+	b.Record(boom)
+	if b.Open() {
+		t.Fatal("interleaved successes must prevent opening")
+	}
+}
+
+func TestBreakerHalfOpenProbe(t *testing.T) {
+	clk := newTestClock()
+	b := &Breaker{Threshold: 1, Cooldown: time.Minute, Now: clk.now}
+	boom := errors.New("boom")
+	b.Record(boom)
+	if b.Allow() {
+		t.Fatal("breaker must be open")
+	}
+
+	// Cooldown elapses: exactly one probe is admitted.
+	clk.advance(time.Minute)
+	if !b.Allow() {
+		t.Fatal("cooled-down breaker must admit a probe")
+	}
+	if b.State() != "half-open" {
+		t.Fatalf("state %q", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("only one half-open probe may be in flight")
+	}
+
+	// Probe fails: re-open for a full cooldown, counting another open.
+	b.Record(boom)
+	if !b.Open() || b.Opens() != 2 {
+		t.Fatalf("failed probe must re-open: open=%v opens=%d", b.Open(), b.Opens())
+	}
+	if b.Allow() {
+		t.Fatal("re-opened breaker admitted a call immediately")
+	}
+
+	// Next probe succeeds: breaker closes and stays closed.
+	clk.advance(time.Minute)
+	if !b.Allow() {
+		t.Fatal("second probe refused")
+	}
+	b.Record(nil)
+	if b.State() != "closed" || !b.Allow() {
+		t.Fatal("successful probe must close the breaker")
+	}
+}
+
+func TestBreakerDefaults(t *testing.T) {
+	b := &Breaker{}
+	boom := errors.New("boom")
+	for i := 0; i < 4; i++ {
+		b.Record(boom)
+	}
+	if b.Open() {
+		t.Fatal("default threshold is 5; four failures must not open")
+	}
+	b.Record(boom)
+	if !b.Open() {
+		t.Fatal("fifth failure must open the default breaker")
+	}
+}

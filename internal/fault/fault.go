@@ -1,0 +1,343 @@
+// Package fault is a deterministic, seedable fault-injection and
+// fault-tolerance toolkit for the streaming pipeline (paper §VI: a
+// deployment "lives or dies on resilience to noisy, malformed, and
+// partial inputs").
+//
+// Injection side: components expose named injection points and consult a
+// Registry at each one (Registry.Check). Tests and operators register
+// Rules at runtime — no build tags, no recompilation — that return
+// errors, add latency, or panic at chosen call indices or with a seeded
+// probability. Everything is deterministic given the registry seed and
+// the call order, so a chaos schedule replays bit-identically.
+//
+// Tolerance side: Retryer (exponential backoff with deterministic
+// jitter), Breaker (a consecutive-failure circuit breaker), WithTimeout
+// (bounded calls into code that cannot be cancelled), and Safe (panic
+// containment) are the primitives the pipeline composes into per-stage
+// fault handling.
+//
+// A nil *Registry is valid and injects nothing; the disarmed Check fast
+// path is a single atomic load, cheap enough to leave in production code.
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrInjected is the default error returned by a firing rule that does
+// not specify its own error, panic, or delay-only behavior.
+var ErrInjected = errors.New("fault: injected error")
+
+// Rule describes one injection behavior at a named point. The zero rule
+// with only Point set is a permanent error injector (every call fails
+// with ErrInjected).
+type Rule struct {
+	// Point names the injection point the rule applies to.
+	Point string
+	// After skips the first After calls to the point before the rule
+	// becomes eligible.
+	After uint64
+	// Every fires the rule on every Every-th eligible call (0 and 1 both
+	// mean every call).
+	Every uint64
+	// Limit stops the rule after it has fired Limit times (0 = unlimited).
+	Limit uint64
+	// Prob, when in (0,1), fires the rule with this probability. The coin
+	// flip is a deterministic hash of (registry seed, point, call index),
+	// so a schedule replays identically for a fixed seed.
+	Prob float64
+	// Delay is latency added when the rule fires (before Err/Panic take
+	// effect). A rule with only Delay set is a pure latency injector: it
+	// sleeps and returns nil.
+	Delay time.Duration
+	// Err is the error Check returns when the rule fires.
+	Err error
+	// PanicMsg, when non-empty, makes the firing rule panic with this
+	// message instead of returning an error (models a crashing component;
+	// contain it with Safe).
+	PanicMsg string
+}
+
+// ruleState is a registered rule plus its firing accounting.
+type ruleState struct {
+	Rule
+	eligible uint64 // eligible calls seen (call index - After)
+	fired    uint64
+}
+
+// PointStats reports per-point call accounting.
+type PointStats struct {
+	// Calls counts Check invocations while the registry was armed.
+	Calls uint64
+	// Injected counts calls on which a rule fired.
+	Injected uint64
+}
+
+// Registry holds active injection rules, keyed by point name. All
+// methods are safe for concurrent use; a nil receiver is valid and
+// injects nothing.
+type Registry struct {
+	armed atomic.Int32 // registered rule count; 0 = disarmed fast path
+	seed  int64
+
+	mu    sync.Mutex
+	rules map[string][]*ruleState
+	stats map[string]*PointStats
+	sleep func(time.Duration)
+}
+
+// New creates an empty registry. The seed drives every probabilistic
+// rule's coin flips.
+func New(seed int64) *Registry {
+	return &Registry{
+		seed:  seed,
+		rules: make(map[string][]*ruleState),
+		stats: make(map[string]*PointStats),
+		sleep: time.Sleep,
+	}
+}
+
+// SetSleep replaces the sleep used for Delay rules (tests substitute a
+// recording fake to keep chaos schedules instant).
+func (r *Registry) SetSleep(fn func(time.Duration)) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if fn == nil {
+		fn = time.Sleep
+	}
+	r.sleep = fn
+}
+
+// Enable registers rules. Rules for the same point are evaluated in
+// registration order; the first eligible rule per call fires.
+func (r *Registry) Enable(rules ...Rule) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, rule := range rules {
+		if rule.Point == "" {
+			panic("fault: rule without a point")
+		}
+		if rule.Err == nil && rule.PanicMsg == "" && rule.Delay == 0 {
+			rule.Err = ErrInjected
+		}
+		r.rules[rule.Point] = append(r.rules[rule.Point], &ruleState{Rule: rule})
+		r.armed.Add(1)
+	}
+}
+
+// Disable removes every rule registered for the point (the outage ends;
+// call accounting is kept).
+func (r *Registry) Disable(point string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if n := len(r.rules[point]); n > 0 {
+		r.armed.Add(int32(-n))
+		delete(r.rules, point)
+	}
+}
+
+// Reset removes all rules and clears call accounting.
+func (r *Registry) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.armed.Store(0)
+	r.rules = make(map[string][]*ruleState)
+	r.stats = make(map[string]*PointStats)
+}
+
+// Check consults the registry at a named injection point. With no rules
+// registered (or a nil registry) it returns nil after one atomic load.
+// Otherwise it counts the call, finds the first eligible rule, applies
+// its delay, panics if the rule demands it, and returns the rule's error.
+func (r *Registry) Check(point string) error {
+	if r == nil || r.armed.Load() == 0 {
+		return nil
+	}
+	r.mu.Lock()
+	st := r.stats[point]
+	if st == nil {
+		st = &PointStats{}
+		r.stats[point] = st
+	}
+	st.Calls++
+	n := st.Calls
+	var fire *ruleState
+	for _, rule := range r.rules[point] {
+		if n <= rule.After {
+			continue
+		}
+		if rule.Limit > 0 && rule.fired >= rule.Limit {
+			continue
+		}
+		rule.eligible++
+		every := rule.Every
+		if every == 0 {
+			every = 1
+		}
+		if rule.eligible%every != 0 {
+			continue
+		}
+		if rule.Prob > 0 && rule.Prob < 1 && hash01(r.seed, point, n) >= rule.Prob {
+			continue
+		}
+		rule.fired++
+		st.Injected++
+		fire = rule
+		break
+	}
+	sleep := r.sleep
+	r.mu.Unlock()
+	if fire == nil {
+		return nil
+	}
+	if fire.Delay > 0 {
+		sleep(fire.Delay)
+	}
+	if fire.PanicMsg != "" {
+		panic("fault: injected panic: " + fire.PanicMsg)
+	}
+	return fire.Err
+}
+
+// Stats returns the accounting for one point. A nil registry reports
+// zeros.
+func (r *Registry) Stats(point string) PointStats {
+	if r == nil {
+		return PointStats{}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if st := r.stats[point]; st != nil {
+		return *st
+	}
+	return PointStats{}
+}
+
+// Calls returns how many Check calls the point has seen while armed.
+func (r *Registry) Calls(point string) uint64 { return r.Stats(point).Calls }
+
+// Injected returns how many calls at the point had a rule fire.
+func (r *Registry) Injected(point string) uint64 { return r.Stats(point).Injected }
+
+// InjectedTotal sums injections across every point.
+func (r *Registry) InjectedTotal() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var total uint64
+	for _, st := range r.stats {
+		total += st.Injected
+	}
+	return total
+}
+
+// Points returns every point that has seen calls, sorted (diagnostics).
+func (r *Registry) Points() []string {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, 0, len(r.stats))
+	for p := range r.stats {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// hash01 maps (seed, point, call index) to a uniform float64 in [0,1)
+// with an FNV-seeded splitmix64 finalizer — deterministic across runs
+// and platforms.
+func hash01(seed int64, point string, n uint64) float64 {
+	h := fnv.New64a()
+	h.Write([]byte(point))
+	x := h.Sum64() ^ uint64(seed)*0x9e3779b97f4a7c15 ^ n*0xbf58476d1ce4e5b9
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return float64(x>>11) / float64(1<<53)
+}
+
+// ParseRule parses the CLI rule syntax used by `logsynergy serve
+// -inject`:
+//
+//	point[:key=value[,key=value...]]
+//
+// Keys: after=N, every=N, limit=N, prob=F, delay=DUR, error=MSG,
+// panic=MSG. With no action key the rule injects ErrInjected.
+// Examples:
+//
+//	pipeline.sink                       // every delivery fails
+//	pipeline.interpret:every=3,limit=10 // 10 transient LEI errors
+//	pipeline.detect:prob=0.01,delay=50ms
+func ParseRule(spec string) (Rule, error) {
+	point, rest, _ := strings.Cut(spec, ":")
+	point = strings.TrimSpace(point)
+	if point == "" {
+		return Rule{}, fmt.Errorf("fault: rule %q has no injection point", spec)
+	}
+	rule := Rule{Point: point}
+	if strings.TrimSpace(rest) == "" {
+		rule.Err = ErrInjected
+		return rule, nil
+	}
+	for _, kv := range strings.Split(rest, ",") {
+		key, val, ok := strings.Cut(kv, "=")
+		key = strings.TrimSpace(key)
+		val = strings.TrimSpace(val)
+		if !ok && key != "" {
+			// Bare action keywords: "panic" and "error" without messages.
+			switch key {
+			case "panic":
+				rule.PanicMsg = "injected"
+				continue
+			case "error":
+				rule.Err = ErrInjected
+				continue
+			}
+			return Rule{}, fmt.Errorf("fault: rule %q: bad clause %q", spec, kv)
+		}
+		var err error
+		switch key {
+		case "after":
+			rule.After, err = strconv.ParseUint(val, 10, 64)
+		case "every":
+			rule.Every, err = strconv.ParseUint(val, 10, 64)
+		case "limit":
+			rule.Limit, err = strconv.ParseUint(val, 10, 64)
+		case "prob":
+			rule.Prob, err = strconv.ParseFloat(val, 64)
+			if err == nil && (rule.Prob < 0 || rule.Prob > 1) {
+				err = fmt.Errorf("probability %v outside [0,1]", rule.Prob)
+			}
+		case "delay":
+			rule.Delay, err = time.ParseDuration(val)
+		case "error":
+			rule.Err = errors.New(val)
+		case "panic":
+			rule.PanicMsg = val
+		default:
+			err = fmt.Errorf("unknown key %q", key)
+		}
+		if err != nil {
+			return Rule{}, fmt.Errorf("fault: rule %q: clause %q: %v", spec, kv, err)
+		}
+	}
+	if rule.Err == nil && rule.PanicMsg == "" && rule.Delay == 0 {
+		rule.Err = ErrInjected
+	}
+	return rule, nil
+}

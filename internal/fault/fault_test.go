@@ -1,0 +1,222 @@
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilRegistryInjectsNothing(t *testing.T) {
+	var r *Registry
+	for i := 0; i < 10; i++ {
+		if err := r.Check("anything"); err != nil {
+			t.Fatalf("nil registry injected %v", err)
+		}
+	}
+	if r.Calls("anything") != 0 || r.InjectedTotal() != 0 {
+		t.Fatal("nil registry must report zero stats")
+	}
+	if r.Points() != nil {
+		t.Fatal("nil registry must report no points")
+	}
+}
+
+func TestDisarmedRegistrySkipsAccounting(t *testing.T) {
+	r := New(1)
+	for i := 0; i < 5; i++ {
+		if err := r.Check("p"); err != nil {
+			t.Fatalf("disarmed registry injected %v", err)
+		}
+	}
+	if r.Calls("p") != 0 {
+		t.Fatal("disarmed fast path must not count calls")
+	}
+}
+
+func TestErrorInjectionSchedule(t *testing.T) {
+	r := New(7)
+	boom := errors.New("boom")
+	// Skip 2 calls, then fail every 3rd eligible call, at most twice.
+	r.Enable(Rule{Point: "p", After: 2, Every: 3, Limit: 2, Err: boom})
+
+	var got []int
+	for i := 1; i <= 20; i++ {
+		if err := r.Check("p"); err != nil {
+			if !errors.Is(err, boom) {
+				t.Fatalf("call %d: wrong error %v", i, err)
+			}
+			got = append(got, i)
+		}
+	}
+	// Eligible calls start at 3; every 3rd eligible call = calls 5, 8.
+	want := []int{5, 8}
+	if len(got) != len(want) || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("injected on calls %v, want %v", got, want)
+	}
+	if r.Calls("p") != 20 || r.Injected("p") != 2 {
+		t.Fatalf("stats %+v", r.Stats("p"))
+	}
+}
+
+func TestDefaultErrorRule(t *testing.T) {
+	r := New(1)
+	r.Enable(Rule{Point: "p"})
+	if err := r.Check("p"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("bare rule must inject ErrInjected, got %v", err)
+	}
+}
+
+func TestDelayOnlyRule(t *testing.T) {
+	r := New(1)
+	var slept []time.Duration
+	r.SetSleep(func(d time.Duration) { slept = append(slept, d) })
+	r.Enable(Rule{Point: "p", Delay: 25 * time.Millisecond})
+	if err := r.Check("p"); err != nil {
+		t.Fatalf("latency-only rule must not error, got %v", err)
+	}
+	if len(slept) != 1 || slept[0] != 25*time.Millisecond {
+		t.Fatalf("slept %v", slept)
+	}
+}
+
+func TestPanicInjection(t *testing.T) {
+	r := New(1)
+	r.Enable(Rule{Point: "p", PanicMsg: "kaboom"})
+	err := Safe(func() error { return r.Check("p") })
+	if err == nil || !strings.Contains(err.Error(), "kaboom") {
+		t.Fatalf("contained panic = %v", err)
+	}
+}
+
+func TestProbabilisticRuleIsDeterministic(t *testing.T) {
+	run := func(seed int64) []int {
+		r := New(seed)
+		r.Enable(Rule{Point: "p", Prob: 0.3})
+		var hits []int
+		for i := 1; i <= 200; i++ {
+			if r.Check("p") != nil {
+				hits = append(hits, i)
+			}
+		}
+		return hits
+	}
+	a, b := run(42), run(42)
+	if fmt.Sprint(a) != fmt.Sprint(b) {
+		t.Fatal("same seed must replay the same schedule")
+	}
+	if len(a) == 0 || len(a) == 200 {
+		t.Fatalf("prob 0.3 fired %d/200 times", len(a))
+	}
+	c := run(43)
+	if fmt.Sprint(a) == fmt.Sprint(c) {
+		t.Fatal("different seeds should give different schedules")
+	}
+	// Rough frequency sanity: 0.3 ± 0.15 over 200 draws.
+	if len(a) < 30 || len(a) > 90 {
+		t.Fatalf("prob 0.3 fired %d/200 times, far from expectation", len(a))
+	}
+}
+
+func TestDisableEndsOutage(t *testing.T) {
+	r := New(1)
+	r.Enable(Rule{Point: "p"})
+	if r.Check("p") == nil {
+		t.Fatal("rule must fire")
+	}
+	r.Disable("p")
+	if err := r.Check("p"); err != nil {
+		t.Fatalf("disabled point still injects %v", err)
+	}
+	if r.Calls("p") != 1 {
+		// After Disable the registry is disarmed again (no other rules),
+		// so the second call is not counted.
+		t.Fatalf("calls %d", r.Calls("p"))
+	}
+}
+
+func TestResetClearsEverything(t *testing.T) {
+	r := New(1)
+	r.Enable(Rule{Point: "a"}, Rule{Point: "b"})
+	r.Check("a")
+	r.Reset()
+	if r.Check("a") != nil || r.Check("b") != nil {
+		t.Fatal("reset registry still injects")
+	}
+	if r.InjectedTotal() != 0 || len(r.Points()) != 0 {
+		t.Fatal("reset registry keeps stats")
+	}
+}
+
+func TestFirstEligibleRuleWins(t *testing.T) {
+	r := New(1)
+	first := errors.New("first")
+	second := errors.New("second")
+	r.Enable(
+		Rule{Point: "p", Limit: 1, Err: first},
+		Rule{Point: "p", Err: second},
+	)
+	if err := r.Check("p"); !errors.Is(err, first) {
+		t.Fatalf("call 1 got %v", err)
+	}
+	if err := r.Check("p"); !errors.Is(err, second) {
+		t.Fatalf("call 2 must fall through to the second rule, got %v", err)
+	}
+}
+
+func TestRegistryConcurrentUse(t *testing.T) {
+	r := New(1)
+	r.Enable(Rule{Point: "p", Every: 2})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				r.Check("p")
+			}
+		}()
+	}
+	wg.Wait()
+	if r.Calls("p") != 4000 || r.Injected("p") != 2000 {
+		t.Fatalf("stats %+v", r.Stats("p"))
+	}
+}
+
+func TestParseRule(t *testing.T) {
+	cases := []struct {
+		spec string
+		want Rule
+	}{
+		{"pipeline.sink", Rule{Point: "pipeline.sink", Err: ErrInjected}},
+		{"pipeline.interpret:every=3,limit=10", Rule{Point: "pipeline.interpret", Every: 3, Limit: 10, Err: ErrInjected}},
+		{"p:after=5,delay=50ms", Rule{Point: "p", After: 5, Delay: 50 * time.Millisecond}},
+		{"p:prob=0.25,error=gateway down", Rule{Point: "p", Prob: 0.25, Err: errors.New("gateway down")}},
+		{"p:panic=oom", Rule{Point: "p", PanicMsg: "oom"}},
+		{"p:panic", Rule{Point: "p", PanicMsg: "injected"}},
+	}
+	for _, c := range cases {
+		got, err := ParseRule(c.spec)
+		if err != nil {
+			t.Fatalf("%q: %v", c.spec, err)
+		}
+		if got.Point != c.want.Point || got.After != c.want.After || got.Every != c.want.Every ||
+			got.Limit != c.want.Limit || got.Prob != c.want.Prob || got.Delay != c.want.Delay ||
+			got.PanicMsg != c.want.PanicMsg {
+			t.Fatalf("%q parsed to %+v, want %+v", c.spec, got, c.want)
+		}
+		if (got.Err == nil) != (c.want.Err == nil) {
+			t.Fatalf("%q error field %v, want %v", c.spec, got.Err, c.want.Err)
+		}
+		if c.want.Err != nil && !errors.Is(got.Err, ErrInjected) && got.Err.Error() != c.want.Err.Error() {
+			t.Fatalf("%q error %q, want %q", c.spec, got.Err, c.want.Err)
+		}
+	}
+	for _, bad := range []string{"", ":every=2", "p:every=x", "p:prob=1.5", "p:delay=zz", "p:wat=1", "p:junk"} {
+		if _, err := ParseRule(bad); err == nil {
+			t.Fatalf("%q must fail to parse", bad)
+		}
+	}
+}

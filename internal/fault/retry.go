@@ -1,0 +1,136 @@
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// ErrTimeout is returned by WithTimeout when the call does not complete
+// in time.
+var ErrTimeout = errors.New("fault: call timed out")
+
+// Safe runs fn and converts a panic into an error, so a crashing
+// component (a parser choking on a malformed line, an injected panic)
+// degrades into the same retry path as a returned error.
+func Safe(fn func() error) (err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			err = fmt.Errorf("fault: recovered panic: %v", rec)
+		}
+	}()
+	return fn()
+}
+
+// WithTimeout runs fn, returning ErrTimeout (wrapped with the budget) if
+// it does not finish within d. The call cannot be cancelled — on timeout
+// fn keeps running on its goroutine and its eventual result is
+// discarded; the buffered channel lets that goroutine exit. Panics
+// inside fn are contained by Safe. d <= 0 runs fn inline with no
+// timeout.
+func WithTimeout(d time.Duration, fn func() error) error {
+	if d <= 0 {
+		return Safe(fn)
+	}
+	done := make(chan error, 1)
+	go func() { done <- Safe(fn) }()
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case err := <-done:
+		return err
+	case <-timer.C:
+		return fmt.Errorf("%w after %v", ErrTimeout, d)
+	}
+}
+
+// Backoff computes exponential retry delays with deterministic jitter.
+// The zero value is usable: 1ms base, 1s cap, factor 2, no jitter.
+type Backoff struct {
+	// Base is the delay before the first retry.
+	Base time.Duration
+	// Max caps the grown delay.
+	Max time.Duration
+	// Factor is the per-retry growth multiplier.
+	Factor float64
+	// Jitter in (0,1] spreads each delay uniformly over
+	// [(1-Jitter)·d, (1+Jitter)·d], decorrelating retry storms. The
+	// spread is drawn from a seeded hash, not the global RNG, so delay
+	// schedules are reproducible.
+	Jitter float64
+	// Seed drives the jitter hash.
+	Seed int64
+}
+
+// Delay returns the backoff before retry number retry (1-based). salt
+// decorrelates jitter across call sites sharing one Backoff.
+func (b Backoff) Delay(retry int, salt uint64) time.Duration {
+	base, max, factor := b.Base, b.Max, b.Factor
+	if base <= 0 {
+		base = time.Millisecond
+	}
+	if max <= 0 {
+		max = time.Second
+	}
+	if factor < 1 {
+		factor = 2
+	}
+	d := float64(base)
+	for i := 1; i < retry; i++ {
+		d *= factor
+		if d >= float64(max) {
+			break
+		}
+	}
+	if d > float64(max) {
+		d = float64(max)
+	}
+	if b.Jitter > 0 {
+		u := hash01(b.Seed, "backoff", salt*1_000_003+uint64(retry))
+		d *= 1 - b.Jitter + 2*b.Jitter*u
+	}
+	return time.Duration(d)
+}
+
+// Retryer runs an operation with bounded attempts and backoff between
+// them. The zero value means 3 attempts with the zero Backoff.
+type Retryer struct {
+	// Attempts is the total number of tries including the first
+	// (default 3; 1 disables retrying).
+	Attempts int
+	// Backoff shapes the delay between attempts.
+	Backoff Backoff
+	// Sleep is the delay function (default time.Sleep; tests inject).
+	Sleep func(time.Duration)
+	// OnRetry, if set, observes each retry (attempt is the 1-based number
+	// of the attempt that just failed).
+	OnRetry func(attempt int, err error)
+
+	calls atomic.Uint64 // jitter salt: distinct per Do invocation
+}
+
+// Do runs fn until it succeeds or attempts are exhausted, returning the
+// last error. Panics inside fn are contained and retried like errors.
+func (r *Retryer) Do(fn func() error) error {
+	attempts := r.Attempts
+	if attempts <= 0 {
+		attempts = 3
+	}
+	sleep := r.Sleep
+	if sleep == nil {
+		sleep = time.Sleep
+	}
+	salt := r.calls.Add(1)
+	var err error
+	for attempt := 1; ; attempt++ {
+		err = Safe(fn)
+		if err == nil || attempt >= attempts {
+			return err
+		}
+		if r.OnRetry != nil {
+			r.OnRetry(attempt, err)
+		}
+		sleep(r.Backoff.Delay(attempt, salt))
+	}
+}

@@ -1,0 +1,127 @@
+package fault
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSafeContainsPanics(t *testing.T) {
+	if err := Safe(func() error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("boom")
+	if err := Safe(func() error { return boom }); !errors.Is(err, boom) {
+		t.Fatalf("got %v", err)
+	}
+	err := Safe(func() error { panic("ouch") })
+	if err == nil || !strings.Contains(err.Error(), "ouch") {
+		t.Fatalf("panic not contained: %v", err)
+	}
+}
+
+func TestWithTimeout(t *testing.T) {
+	if err := WithTimeout(0, func() error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if err := WithTimeout(time.Second, func() error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	block := make(chan struct{})
+	defer close(block)
+	err := WithTimeout(10*time.Millisecond, func() error { <-block; return nil })
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("want ErrTimeout, got %v", err)
+	}
+	// Panics inside a timed call are contained, not re-thrown on another
+	// goroutine.
+	err = WithTimeout(time.Second, func() error { panic("late") })
+	if err == nil || !strings.Contains(err.Error(), "late") {
+		t.Fatalf("timed panic not contained: %v", err)
+	}
+}
+
+func TestBackoffGrowthAndCap(t *testing.T) {
+	b := Backoff{Base: 10 * time.Millisecond, Max: 80 * time.Millisecond, Factor: 2}
+	want := []time.Duration{10, 20, 40, 80, 80}
+	for i, w := range want {
+		if d := b.Delay(i+1, 0); d != w*time.Millisecond {
+			t.Fatalf("retry %d: delay %v, want %v", i+1, d, w*time.Millisecond)
+		}
+	}
+}
+
+func TestBackoffJitterDeterministicAndBounded(t *testing.T) {
+	b := Backoff{Base: 100 * time.Millisecond, Max: time.Second, Factor: 2, Jitter: 0.5, Seed: 3}
+	d1 := b.Delay(1, 7)
+	d2 := b.Delay(1, 7)
+	if d1 != d2 {
+		t.Fatal("jitter must be deterministic for a fixed seed and salt")
+	}
+	if d1 < 50*time.Millisecond || d1 > 150*time.Millisecond {
+		t.Fatalf("jittered delay %v outside [50ms,150ms]", d1)
+	}
+	if b.Delay(1, 8) == d1 && b.Delay(1, 9) == d1 {
+		t.Fatal("salt should decorrelate jitter")
+	}
+}
+
+func TestRetryerRecoversTransientFailures(t *testing.T) {
+	var slept []time.Duration
+	var retries []int
+	r := &Retryer{
+		Attempts: 4,
+		Backoff:  Backoff{Base: time.Millisecond},
+		Sleep:    func(d time.Duration) { slept = append(slept, d) },
+		OnRetry:  func(attempt int, err error) { retries = append(retries, attempt) },
+	}
+	calls := 0
+	err := r.Do(func() error {
+		calls++
+		if calls < 3 {
+			return errors.New("transient")
+		}
+		return nil
+	})
+	if err != nil || calls != 3 {
+		t.Fatalf("err=%v calls=%d", err, calls)
+	}
+	if len(slept) != 2 || len(retries) != 2 || retries[0] != 1 || retries[1] != 2 {
+		t.Fatalf("slept=%v retries=%v", slept, retries)
+	}
+}
+
+func TestRetryerExhaustsAttempts(t *testing.T) {
+	boom := errors.New("permanent")
+	r := &Retryer{Attempts: 3, Sleep: func(time.Duration) {}}
+	calls := 0
+	err := r.Do(func() error { calls++; return boom })
+	if !errors.Is(err, boom) || calls != 3 {
+		t.Fatalf("err=%v calls=%d", err, calls)
+	}
+}
+
+func TestRetryerRetriesPanics(t *testing.T) {
+	r := &Retryer{Attempts: 2, Sleep: func(time.Duration) {}}
+	calls := 0
+	err := r.Do(func() error {
+		calls++
+		if calls == 1 {
+			panic("first try explodes")
+		}
+		return nil
+	})
+	if err != nil || calls != 2 {
+		t.Fatalf("err=%v calls=%d", err, calls)
+	}
+}
+
+func TestRetryerZeroValueDefaults(t *testing.T) {
+	r := &Retryer{Sleep: func(time.Duration) {}}
+	calls := 0
+	r.Do(func() error { calls++; return errors.New("x") })
+	if calls != 3 {
+		t.Fatalf("zero-value Retryer made %d attempts, want 3", calls)
+	}
+}

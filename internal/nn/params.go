@@ -138,14 +138,34 @@ func (s *ParamSet) Load(r io.Reader) error {
 		if p == nil {
 			return fmt.Errorf("nn: unknown parameter %q in checkpoint", sp.Name)
 		}
-		saved := tensor.FromSlice(sp.Data, sp.Shape...)
-		if !saved.SameShape(p.Value) {
+		// Validate against the live parameter without materializing a tensor
+		// from checkpoint-supplied dimensions: a corrupted shape whose
+		// product disagrees with the data length must be a descriptive
+		// error, not a tensor-construction panic.
+		if !shapeEqual(sp.Shape, p.Value.Shape) {
 			return fmt.Errorf("nn: parameter %q shape %v does not match checkpoint %v",
 				sp.Name, p.Value.Shape, sp.Shape)
+		}
+		if len(sp.Data) != p.Value.Size() {
+			return fmt.Errorf("nn: parameter %q has %d checkpoint values for shape %v (want %d)",
+				sp.Name, len(sp.Data), sp.Shape, p.Value.Size())
 		}
 		copy(p.Value.Data, sp.Data)
 	}
 	return nil
+}
+
+// shapeEqual reports whether two dimension lists are identical.
+func shapeEqual(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // XavierUniform returns a [fanIn,fanOut] tensor initialized with the

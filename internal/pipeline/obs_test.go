@@ -148,6 +148,7 @@ func (s *signalSource) Next() (string, bool) {
 // 4-line buffer, a 100-line burst must shed load under DropNewest, and
 // every line must be accounted as either collected or dropped.
 func TestDropNewestAccounting(t *testing.T) {
+	leakCheck(t)
 	det, parser, interp, e := tinyDeployment(t)
 	release := make(chan struct{})
 	gate := &gateInterp{inner: interp, release: release}
@@ -204,6 +205,7 @@ func TestDropNewestAccounting(t *testing.T) {
 
 // TestDropBlockNeverDrops pins the default policy: backpressure, no loss.
 func TestDropBlockNeverDrops(t *testing.T) {
+	leakCheck(t)
 	det, parser, interp, e := tinyDeployment(t)
 	cfg := DefaultConfig("x")
 	cfg.BufferSize = 2
@@ -236,6 +238,7 @@ func (c *cancelSource) Next() (string, bool) {
 // TestPipelineCancelMidStream cancels while lines are flowing and
 // requires Run to return promptly with internally consistent stats.
 func TestPipelineCancelMidStream(t *testing.T) {
+	leakCheck(t)
 	det, parser, interp, e := tinyDeployment(t)
 	online := logdata.Generate(logdata.SystemB(), 7, 3000)
 	ctx, cancel := context.WithCancel(context.Background())
@@ -272,6 +275,7 @@ func TestPipelineCancelMidStream(t *testing.T) {
 // TestPipelineCancelMidStreamDropNewest covers the same path under the
 // shedding policy, where the collector must still exit on cancellation.
 func TestPipelineCancelMidStreamDropNewest(t *testing.T) {
+	leakCheck(t)
 	det, parser, interp, e := tinyDeployment(t)
 	online := logdata.Generate(logdata.SystemB(), 8, 3000)
 	ctx, cancel := context.WithCancel(context.Background())

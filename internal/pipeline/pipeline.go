@@ -18,6 +18,15 @@
 // per-stage counters, a buffer-occupancy gauge, and a detect-batch
 // latency histogram, so a long-running deployment can be observed live
 // via obs.Snapshot() or the logsynergy serve /metrics endpoint.
+//
+// Every stage call also runs under the fault-tolerance layer
+// (resilience.go): named injection points (PointParse …PointSink) for
+// deterministic chaos rehearsal, per-stage retries with exponential
+// backoff and jitter, per-call timeouts, circuit breakers on the
+// interpreter and each sink, and graceful degradation — LEI failure
+// falls back to template-text interpretation, sink failure spills
+// reports to a bounded queue (and optionally an alertstore) for later
+// FlushSpill.
 package pipeline
 
 import (
@@ -29,6 +38,7 @@ import (
 	"logsynergy/internal/core"
 	"logsynergy/internal/drain"
 	"logsynergy/internal/embed"
+	"logsynergy/internal/fault"
 	"logsynergy/internal/lei"
 	"logsynergy/internal/obs"
 	"logsynergy/internal/tensor"
@@ -103,6 +113,30 @@ type Stats struct {
 	Anomalies int
 	// NewEvents counts templates first seen online.
 	NewEvents int
+
+	// Retries counts stage-call retries across all guarded stages.
+	Retries int
+	// Degraded counts LEI failures that fell back to template-text
+	// interpretation.
+	Degraded int
+	// Spilled counts reports diverted to the spill queue after sink
+	// delivery failed (or the sink breaker was open). A report respilled
+	// by FlushSpill counts again.
+	Spilled int
+	// SpillDropped counts spilled reports evicted from a full queue.
+	SpillDropped int
+	// BreakerOpens counts circuit-breaker open transitions (interpreter
+	// and sink breakers combined).
+	BreakerOpens int
+	// SinkErrors counts terminal (post-retry) sink delivery failures.
+	SinkErrors int
+	// ParseFailures counts lines abandoned after the parse or embed
+	// stage terminally failed (the line is skipped; windows continue
+	// from the next line).
+	ParseFailures int
+	// DetectFailures counts windows abandoned after the detect stage
+	// terminally failed.
+	DetectFailures int
 }
 
 // PatternLibrary caches per-pattern verdicts: a pattern is the exact event
@@ -243,6 +277,17 @@ type Config struct {
 	// Metrics receives the pipeline's counters, gauges and histograms
 	// (nil = obs.Default()).
 	Metrics *obs.Registry
+	// Faults is the injection registry consulted at the pipeline's named
+	// injection points (nil = nothing injected; the disarmed check is one
+	// atomic load).
+	Faults *fault.Registry
+	// Resilience tunes retries, timeouts, breakers and the spill queue
+	// (zero value = production defaults).
+	Resilience ResilienceConfig
+	// SpillTo, when set, additionally receives every spilled report —
+	// typically an alertstore.Sink, so alerts survive a sink outage on
+	// disk. The in-memory spill queue is kept either way for FlushSpill.
+	SpillTo Sink
 }
 
 // DefaultConfig returns production defaults.
@@ -295,7 +340,9 @@ type Pipeline struct {
 	embedder *embed.Embedder
 	library  *PatternLibrary
 	sinks    []Sink
+	guards   []*sinkGuard
 	om       pipelineObs
+	res      *resilience
 
 	mu    sync.Mutex
 	stats Stats
@@ -315,7 +362,7 @@ func New(cfg Config, parser *drain.Parser, det *core.Detector, interp lei.Interp
 	if reg == nil {
 		reg = obs.Default()
 	}
-	return &Pipeline{
+	p := &Pipeline{
 		cfg:      cfg,
 		parser:   parser,
 		detector: det,
@@ -325,6 +372,11 @@ func New(cfg Config, parser *drain.Parser, det *core.Detector, interp lei.Interp
 		sinks:    sinks,
 		om:       newPipelineObs(reg),
 	}
+	p.res = p.newResilience(cfg.Resilience, cfg.Faults, cfg.SpillTo, reg)
+	for _, s := range sinks {
+		p.guards = append(p.guards, &sinkGuard{sink: s, breaker: p.res.newBreaker()})
+	}
+	return p
 }
 
 // Stats returns a snapshot of the counters.
@@ -411,7 +463,15 @@ func (p *Pipeline) Run(ctx context.Context, src Source) Stats {
 		occ := int64(len(buffer))
 		p.om.bufferOccupancy.Set(occ)
 		p.om.bufferPeak.Max(occ + 1)
-		eventID := p.parseLine(line)
+		eventID, ok := p.parseLine(line)
+		if !ok {
+			// The line was abandoned after parse/embed stage failures;
+			// windows continue from the next line.
+			if ctx.Err() != nil {
+				break
+			}
+			continue
+		}
 		windowBuf = append(windowBuf, eventID)
 		sincePrev++
 		if len(windowBuf) > p.cfg.Window.Length {
@@ -443,19 +503,46 @@ func (p *Pipeline) countCollected() {
 }
 
 // parseLine structures one raw line, extending the event table when a new
-// template appears online.
-func (p *Pipeline) parseLine(line string) int {
-	m := p.parser.Parse(line)
+// template appears online. Parsing runs under the fault layer: a parser
+// panic or injected error is retried, and a terminally failed line is
+// abandoned (reported false) rather than blocking the stream. New
+// templates are interpreted with breaker-guarded degradation (see
+// interpret) and embedded under PointEmbed.
+func (p *Pipeline) parseLine(line string) (int, bool) {
+	var m drain.Match
+	if err := p.guard(PointParse, 0, func() error {
+		m = p.parser.Parse(line)
+		return nil
+	}); err != nil {
+		p.countParseFailure()
+		return 0, false
+	}
 	table := p.detector.Table
 	for table.Len() <= m.EventID {
-		in := p.interp.Interpret(p.cfg.SystemHint, m.Template)
-		table.Extend(in, p.embedder)
+		in := p.interpret(m.Template)
+		if err := p.guard(PointEmbed, 0, func() error {
+			table.Extend(in, p.embedder)
+			return nil
+		}); err != nil {
+			// The table could not grow to cover this event id; scoring the
+			// line would crash, so abandon it.
+			p.countParseFailure()
+			return 0, false
+		}
 		p.mu.Lock()
 		p.stats.NewEvents++
 		p.mu.Unlock()
 		p.om.newEvents.Inc()
 	}
-	return m.EventID
+	return m.EventID, true
+}
+
+// countParseFailure records one abandoned line.
+func (p *Pipeline) countParseFailure() {
+	p.mu.Lock()
+	p.stats.ParseFailures++
+	p.mu.Unlock()
+	p.res.om.parseFailures.Inc()
 }
 
 // detectBatch scores a batch of sequences through the pattern library +
@@ -500,22 +587,45 @@ func (p *Pipeline) detectBatch(seqs [][]int) {
 		missIdx = append(missIdx, i)
 	}
 
+	failed := make([]bool, n)
 	if len(missIdx) > 0 {
 		missSeqs := make([][]int, len(missIdx))
 		for pos, i := range missIdx {
 			missSeqs[pos] = seqs[i]
 		}
-		for pos, s := range p.detector.ScoreSequences(missSeqs) {
-			scores[missIdx[pos]] = s
+		var batchScores []float64
+		err := p.guard(PointDetect, 0, func() error {
+			batchScores = p.detector.ScoreSequences(missSeqs)
+			return nil
+		})
+		if err == nil {
+			for pos, s := range batchScores {
+				scores[missIdx[pos]] = s
+			}
+		} else {
+			// The model terminally failed on this batch: the unscored
+			// windows (and their in-batch duplicates) are abandoned rather
+			// than reported with garbage scores. Library hits still deliver.
+			for _, i := range missIdx {
+				failed[i] = true
+			}
 		}
 	}
 	for i, j := range dupOf {
 		if j >= 0 {
 			scores[i] = scores[j]
+			failed[i] = failed[j]
 		}
 	}
 
 	for i, seq := range seqs {
+		if failed[i] {
+			p.mu.Lock()
+			p.stats.DetectFailures++
+			p.mu.Unlock()
+			p.res.om.detectFailures.Inc()
+			continue
+		}
 		p.mu.Lock()
 		if hit[i] {
 			p.stats.PatternHits++
@@ -551,7 +661,7 @@ func (p *Pipeline) deliver(rep *core.Report) {
 	p.stats.Anomalies++
 	p.mu.Unlock()
 	p.om.anomalies.Inc()
-	for _, s := range p.sinks {
-		s.Notify(rep)
+	for _, g := range p.guards {
+		p.deliverTo(g, rep)
 	}
 }

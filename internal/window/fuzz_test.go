@@ -1,0 +1,56 @@
+package window
+
+import "testing"
+
+// FuzzSlide drives the sequencer with arbitrary stream lengths and
+// configurations and checks its contract: Slide and Count agree, every
+// span is exactly Length wide, in bounds, and consecutive spans start
+// exactly Step apart. Invalid configurations must be rejected by
+// Validate and (by documented design) panic in Slide rather than
+// produce garbage windows.
+func FuzzSlide(f *testing.F) {
+	f.Add(100, 10, 5)
+	f.Add(0, 10, 5)
+	f.Add(9, 10, 5)
+	f.Add(10, 10, 5)
+	f.Add(1, 1, 1)
+	f.Add(1000, 3, 7)
+	f.Add(50, -1, 5)
+	f.Add(50, 10, 0)
+	f.Add(-5, 10, 5)
+	f.Fuzz(func(t *testing.T, n, length, step int) {
+		// Cap sizes so a fuzzer-found giant config cannot OOM the worker.
+		if n > 1<<20 || length > 1<<20 || step > 1<<20 {
+			t.Skip("implausibly large input")
+		}
+		cfg := Config{Length: length, Step: step}
+		if err := cfg.Validate(); err != nil {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("Slide accepted invalid config %+v", cfg)
+				}
+			}()
+			Slide(n, cfg)
+			return
+		}
+
+		spans := Slide(n, cfg)
+		if got, want := len(spans), Count(n, cfg); got != want {
+			t.Fatalf("Slide produced %d spans, Count says %d (n=%d cfg=%+v)", got, want, n, cfg)
+		}
+		for i, s := range spans {
+			if s.End-s.Start != cfg.Length {
+				t.Fatalf("span %d is %d wide, want %d", i, s.End-s.Start, cfg.Length)
+			}
+			if s.Start < 0 || s.End > n {
+				t.Fatalf("span %d [%d,%d) outside stream of %d", i, s.Start, s.End, n)
+			}
+			if i > 0 && s.Start-spans[i-1].Start != cfg.Step {
+				t.Fatalf("span %d starts %d after its predecessor, want step %d", i, s.Start-spans[i-1].Start, cfg.Step)
+			}
+		}
+		if n >= cfg.Length && len(spans) == 0 {
+			t.Fatalf("stream of %d fits a %d-window but Slide returned none", n, cfg.Length)
+		}
+	})
+}
