@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race bench chaos fuzz-smoke verify
+.PHONY: build test vet race bench bench-broker bench-broker-smoke chaos fuzz-smoke verify
 
 build:
 	$(GO) build ./...
@@ -25,12 +25,25 @@ race:
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkBatchScore|BenchmarkTrainEpoch' -benchmem .
 
+# Broker bench tier: measures WAL append throughput/latency, consume
+# throughput, and end-to-end slice-vs-broker pipeline overhead, writing
+# BENCH_broker.json. The full run enforces the ≤2x e2e overhead bound;
+# the smoke variant shrinks the sizes and only reports (it runs inside
+# `make verify`).
+bench-broker:
+	BENCH_BROKER_OUT=$(CURDIR)/BENCH_broker.json $(GO) test -run TestBenchBrokerReport -count=1 -v ./internal/broker/
+
+bench-broker-smoke:
+	BENCH_BROKER_OUT=$(CURDIR)/BENCH_broker.json BENCH_BROKER_SMOKE=1 $(GO) test -run TestBenchBrokerReport -count=1 ./internal/broker/
+
 # Chaos tier: the fault-injection framework and the deterministic chaos
-# suite (seeded fault schedules, breakers, spill, leak checks) under the
-# race detector. Fast — it uses the untrained tiny deployment.
+# suites (seeded fault schedules, breakers, spill, leak checks; broker
+# crash-recovery replay) under the race detector. Fast — it uses the
+# untrained tiny deployment.
 chaos:
 	$(GO) test -race -count=1 ./internal/fault/
 	$(GO) test -race -count=1 -run 'TestChaos|TestDrop|TestPipelineCancel' ./internal/pipeline/
+	$(GO) test -race -count=1 ./internal/broker/
 
 # Fuzz-smoke tier: a short randomized pass over the parser and window
 # fuzz targets (the checked-in seed corpora always run as part of
@@ -39,4 +52,4 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzParse -fuzztime 10s ./internal/drain/
 	$(GO) test -run '^$$' -fuzz FuzzSlide -fuzztime 10s ./internal/window/
 
-verify: vet test chaos race
+verify: vet test chaos bench-broker-smoke race

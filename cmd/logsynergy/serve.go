@@ -12,9 +12,11 @@ import (
 	"os/signal"
 	"strings"
 	"sync"
+	"syscall"
 	"time"
 
 	"logsynergy/internal/alertstore"
+	"logsynergy/internal/broker"
 	"logsynergy/internal/core"
 	"logsynergy/internal/drain"
 	"logsynergy/internal/embed"
@@ -31,13 +33,26 @@ import (
 //	/metrics      plain-text counters, gauges and latency histograms
 //	/debug/vars   the same registry as expvar JSON (plus Go runtime vars)
 //	/debug/pprof  CPU/heap/goroutine profiling of the live pipeline
+//	/ingest       durable log intake (broker mode, -broker-dir)
 //
-// With -repeat 0 the log replays forever (a soak target for profiling);
-// interrupt with SIGINT for a clean shutdown and final stats.
+// Two source modes:
+//
+//   - Direct (default): the -log file (or stdin) replays through the
+//     in-memory pipeline; -repeat 0 loops forever as a soak target.
+//   - Broker (-broker-dir): lines land in the WAL-backed broker — over
+//     POST /ingest and/or seeded from -log — and the pipeline tails a
+//     consumer group, committing its offset as windows finish detection.
+//     A restart resumes at the committed offset; acknowledged records
+//     survive crashes.
+//
+// SIGINT/SIGTERM triggers a graceful shutdown: intake closes, the
+// pipeline drains what the broker holds, spilled alerts get a redelivery
+// attempt, consumer offsets commit, and a final metrics snapshot prints.
+// A second signal kills the process immediately.
 func runServe(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	modelPath := fs.String("model", "model.json", "trained model bundle")
-	logPath := fs.String("log", "", "log file to stream (default stdin)")
+	logPath := fs.String("log", "", "log file to stream (default stdin; in broker mode an optional seed)")
 	hint := fs.String("hint", "a software system", "LEI system hint for new templates")
 	addr := fs.String("addr", "localhost:9090", "HTTP listen address for /metrics, /debug/vars, /debug/pprof")
 	repeat := fs.Int("repeat", 1, "replay the log this many times (0 = loop forever)")
@@ -55,6 +70,15 @@ func runServe(args []string) error {
 	spillPath := fs.String("spill", "", "alertstore file additionally receiving spilled alerts")
 	noResilience := fs.Bool("no-resilience", false, "disable retries, breakers, timeouts and spill (ablation)")
 	faultSeed := fs.Int64("fault-seed", 1, "seed for the fault-injection registry")
+	brokerDir := fs.String("broker-dir", "", "WAL directory; enables the durable broker and its POST /ingest intake")
+	group := fs.String("group", "detector", "broker consumer group the pipeline reads as")
+	fsyncPolicy := fs.String("fsync", "interval", "broker durability policy: always | interval | never")
+	fsyncEvery := fs.Duration("fsync-every", 50*time.Millisecond, "background fsync cadence under -fsync interval")
+	segmentBytes := fs.Int64("segment-bytes", 8<<20, "broker segment roll size in bytes")
+	backlogBytes := fs.Int64("backlog-bytes", 256<<20, "broker backlog bound in bytes (<0 = unbounded)")
+	backlogPolicy := fs.String("backlog-policy", "reject", "broker full-backlog policy: block | reject (reject answers 429)")
+	maxBatchBytes := fs.Int64("max-batch-bytes", broker.DefaultMaxBatchBytes, "one /ingest request body limit in bytes")
+	noRetention := fs.Bool("no-retention", false, "keep fully-consumed broker segments instead of deleting them")
 	var injectSpecs ruleList
 	fs.Var(&injectSpecs, "inject", "fault-injection rule point[:key=val,...] (repeatable; see internal/fault.ParseRule)")
 	fs.Parse(args)
@@ -80,13 +104,15 @@ func runServe(args []string) error {
 		if err != nil {
 			return err
 		}
-	} else {
+	} else if *brokerDir == "" {
+		// Broker mode takes traffic over /ingest, so an empty -log is not
+		// an empty stream there — only direct mode falls back to stdin.
 		lines, err = readAllStdin()
 		if err != nil {
 			return err
 		}
 	}
-	if len(lines) == 0 {
+	if *brokerDir == "" && len(lines) == 0 {
 		return fmt.Errorf("serve: no log lines to stream")
 	}
 
@@ -98,16 +124,70 @@ func runServe(args []string) error {
 	}
 
 	reg := obs.Default()
+
+	// One fault registry serves both the broker's injection points
+	// (broker.append/fsync/read) and the pipeline's.
+	var faults *fault.Registry
+	if len(injectSpecs.rules) > 0 {
+		faults = fault.New(*faultSeed)
+		faults.Enable(injectSpecs.rules...)
+	}
+
+	var bk *broker.Broker
+	var cons *broker.Consumer
+	if *brokerDir != "" {
+		fp, err := broker.ParseFsyncPolicy(*fsyncPolicy)
+		if err != nil {
+			return err
+		}
+		bp, err := broker.ParseFullPolicy(*backlogPolicy)
+		if err != nil {
+			return err
+		}
+		bk, err = broker.Open(broker.Config{
+			Dir:              *brokerDir,
+			SegmentBytes:     *segmentBytes,
+			Fsync:            fp,
+			FsyncEvery:       *fsyncEvery,
+			MaxBacklogBytes:  *backlogBytes,
+			FullPolicy:       bp,
+			DisableRetention: *noRetention,
+			Metrics:          reg,
+			Faults:           faults,
+		})
+		if err != nil {
+			return err
+		}
+		defer bk.Close()
+		if len(lines) > 0 {
+			first, last, err := bk.AppendBatch(lines)
+			if err != nil {
+				return fmt.Errorf("serve: seeding broker from -log: %w", err)
+			}
+			fmt.Printf("broker: seeded offsets %d..%d from %s\n", first, last, *logPath)
+		}
+		cons, err = bk.Consumer(*group)
+		if err != nil {
+			return err
+		}
+		defer cons.Close()
+		fmt.Printf("broker: %s resuming group %q at offset %d (fsync=%s, backlog=%s)\n",
+			*brokerDir, *group, cons.Position(), fp, bp)
+	}
+
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
 	}
-	srv := &http.Server{Handler: newObsMux(reg)}
+	srv := &http.Server{Handler: newServeMux(reg, bk, *maxBatchBytes)}
 	go srv.Serve(ln)
 	defer srv.Close()
 	fmt.Printf("serving metrics on http://%s/metrics (pprof on /debug/pprof/)\n", ln.Addr())
+	if bk != nil {
+		fmt.Printf("ingesting on http://%s/ingest (newline-delimited POST batches)\n", ln.Addr())
+	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	cfg := pipeline.DefaultConfig(*hint)
@@ -115,6 +195,7 @@ func runServe(args []string) error {
 	cfg.DropPolicy = policy
 	cfg.PatternCap = *patternCap
 	cfg.Metrics = reg
+	cfg.Faults = faults
 	cfg.Resilience = pipeline.ResilienceConfig{
 		Disabled:         *noResilience,
 		MaxAttempts:      *retries,
@@ -124,11 +205,6 @@ func runServe(args []string) error {
 		BreakerCooldown:  *breakerCooldown,
 		SpillCap:         *spillCap,
 		Seed:             *faultSeed,
-	}
-	if len(injectSpecs.rules) > 0 {
-		faults := fault.New(*faultSeed)
-		faults.Enable(injectSpecs.rules...)
-		cfg.Faults = faults
 	}
 	if *spillPath != "" {
 		store, err := alertstore.Open(*spillPath)
@@ -140,7 +216,26 @@ func runServe(args []string) error {
 	}
 	p := pipeline.New(cfg, parser, det, interp, embedder, &printingSink{quiet: *quiet})
 
-	stats := p.Run(ctx, newRepeatSource(lines, *repeat))
+	var stats pipeline.Stats
+	if bk != nil {
+		// The consumer must drain everything already acknowledged before
+		// the run ends, so the pipeline runs on an uncancelled context;
+		// the signal instead closes the intake, which ends the stream once
+		// the backlog is detected. stop() re-arms default signal handling,
+		// so a second signal kills immediately.
+		go func() {
+			<-ctx.Done()
+			stop()
+			fmt.Println("\nshutting down: intake closed, draining broker backlog (signal again to kill)")
+			bk.CloseIntake()
+		}()
+		stats = p.Run(context.Background(), cons)
+		if err := cons.Err(); err != nil {
+			fmt.Printf("broker consumer stopped early: %v\n", err)
+		}
+	} else {
+		stats = p.Run(ctx, newRepeatSource(lines, *repeat))
+	}
 	fmt.Printf("lines=%d dropped=%d sequences=%d anomalies=%d pattern-hits=%d evictions=%d new-events=%d\n",
 		stats.LinesCollected, stats.LinesDropped, stats.SequencesFormed,
 		stats.Anomalies, stats.PatternHits, stats.PatternEvictions, stats.NewEvents)
@@ -150,8 +245,26 @@ func runServe(args []string) error {
 			stats.BreakerOpens, stats.SinkErrors, stats.ParseFailures, stats.DetectFailures)
 	}
 	if n := p.SpillLen(); n > 0 {
-		fmt.Printf("%d alerts remain spilled (undeliverable at shutdown)\n", n)
+		// Sinks may have recovered since the spill; one redelivery pass
+		// before the process exits.
+		delivered, remaining := p.FlushSpill()
+		fmt.Printf("spill flush: %d alerts redelivered, %d undeliverable\n", delivered, remaining)
 	}
+	if cons != nil {
+		if err := cons.Commit(); err != nil {
+			fmt.Printf("broker: final offset commit failed: %v\n", err)
+		}
+		fmt.Printf("broker: group %q committed through offset %d (lag %d)\n",
+			*group, bk.Committed(*group), bk.Lag(*group))
+		cons.Close()
+	}
+	if bk != nil {
+		if err := bk.Close(); err != nil {
+			fmt.Printf("broker: close: %v\n", err)
+		}
+	}
+	fmt.Println("final metrics snapshot:")
+	reg.WriteText(os.Stdout)
 
 	if *linger > 0 {
 		fmt.Printf("stream ended; serving metrics for %s more\n", *linger)
@@ -160,7 +273,19 @@ func runServe(args []string) error {
 		case <-time.After(*linger):
 		}
 	}
-	return nil
+	shCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	return srv.Shutdown(shCtx)
+}
+
+// newServeMux wires the serve HTTP surface: the observability pages
+// plus, when a broker is attached, the durable /ingest intake.
+func newServeMux(reg *obs.Registry, bk *broker.Broker, maxBatchBytes int64) *http.ServeMux {
+	mux := newObsMux(reg)
+	if bk != nil {
+		mux.Handle("/ingest", bk.IngestHandler(maxBatchBytes))
+	}
+	return mux
 }
 
 // ruleList collects repeatable -inject flags as parsed fault rules.

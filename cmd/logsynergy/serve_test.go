@@ -8,6 +8,7 @@ import (
 	"strings"
 	"testing"
 
+	"logsynergy/internal/broker"
 	"logsynergy/internal/obs"
 	"logsynergy/internal/pipeline"
 )
@@ -103,5 +104,106 @@ func TestRuleListFlag(t *testing.T) {
 	}
 	if got := l.String(); got != "pipeline.sink;pipeline.interpret:every=3,limit=10" {
 		t.Fatalf("String() = %q", got)
+	}
+}
+
+// TestServeMuxIngest exercises the serve wiring of the broker intake:
+// the same mux that serves /metrics accepts durable batches on /ingest,
+// bounds them (413), and surfaces broker backpressure (429).
+func TestServeMuxIngest(t *testing.T) {
+	reg := obs.NewRegistry()
+	bk, err := broker.Open(broker.Config{
+		Dir:             t.TempDir(),
+		Fsync:           broker.FsyncNever,
+		MaxBacklogBytes: 256,
+		FullPolicy:      broker.FullReject,
+		Metrics:         reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bk.Close()
+
+	srv := httptest.NewServer(newServeMux(reg, bk, 128))
+	defer srv.Close()
+
+	post := func(body string) *http.Response {
+		t.Helper()
+		resp, err := http.Post(srv.URL+"/ingest", "text/plain", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+
+	// Happy path: 202 with the acked count and offset range.
+	resp := post("one\ntwo\nthree\n")
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("status %d, want 202", resp.StatusCode)
+	}
+	var ir broker.IngestResponse
+	if err := json.NewDecoder(resp.Body).Decode(&ir); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if ir.Acked != 3 || ir.FirstOffset != 1 || ir.LastOffset != 3 {
+		t.Fatalf("ingest response %+v", ir)
+	}
+	if got := bk.NextOffset(); got != 4 {
+		t.Fatalf("NextOffset %d after ingest", got)
+	}
+
+	// Oversized batch: 413, nothing appended.
+	resp = post(strings.Repeat("x", 300))
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized status %d, want 413", resp.StatusCode)
+	}
+	if got := bk.NextOffset(); got != 4 {
+		t.Fatalf("oversized batch appended (NextOffset %d)", got)
+	}
+
+	// Fill the backlog past its bound: reject policy answers 429.
+	for {
+		resp = post(strings.Repeat("y", 100) + "\n")
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusAccepted {
+			break
+		}
+	}
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("backpressure status %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+
+	// The obs surface sees the broker counters through the same mux.
+	mresp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	if !strings.Contains(string(body), "broker.ingest_requests_total") ||
+		!strings.Contains(string(body), "broker.rejected_appends_total") {
+		t.Fatalf("/metrics missing broker counters:\n%s", body)
+	}
+}
+
+// TestServeMuxWithoutBroker: direct mode leaves /ingest unrouted.
+func TestServeMuxWithoutBroker(t *testing.T) {
+	srv := httptest.NewServer(newServeMux(obs.NewRegistry(), nil, 0))
+	defer srv.Close()
+	resp, err := http.Post(srv.URL+"/ingest", "text/plain", strings.NewReader("x\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("status %d, want 404 without a broker", resp.StatusCode)
 	}
 }

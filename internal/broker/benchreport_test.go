@@ -1,0 +1,192 @@
+package broker
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"testing"
+	"time"
+
+	"logsynergy/internal/obs"
+	"logsynergy/internal/pipeline"
+)
+
+// benchReport is the schema of BENCH_broker.json, produced by
+// `make bench-broker` (full) and `make bench-broker-smoke` (shrunk
+// sizes, no threshold enforcement — it runs inside `make verify`).
+type benchReport struct {
+	Smoke  bool `json:"smoke"`
+	Append struct {
+		Records     int     `json:"records"`
+		LinesPerSec float64 `json:"lines_per_sec"`
+		P50Micros   float64 `json:"p50_us"`
+		P99Micros   float64 `json:"p99_us"`
+	} `json:"append"`
+	Consume struct {
+		LinesPerSec float64 `json:"lines_per_sec"`
+	} `json:"consume"`
+	E2E struct {
+		Lines             int     `json:"lines"`
+		SliceLinesPerSec  float64 `json:"slice_lines_per_sec"`
+		BrokerLinesPerSec float64 `json:"broker_lines_per_sec"`
+		OverheadRatio     float64 `json:"overhead_ratio"`
+	} `json:"e2e"`
+}
+
+// quantile returns the q-th quantile (0..1) of sorted durations, in
+// microseconds.
+func quantile(sorted []time.Duration, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return float64(sorted[i]) / float64(time.Microsecond)
+}
+
+// TestBenchBrokerReport measures the broker and writes BENCH_broker.json.
+// Gated on BENCH_BROKER_OUT so `go test ./...` stays fast;
+// BENCH_BROKER_SMOKE shrinks the sizes for the verify gate.
+//
+// Three measurements:
+//
+//  1. Append throughput and per-append latency (p50/p99) under the
+//     production-default FsyncInterval policy.
+//  2. Consume throughput draining the same records.
+//  3. End-to-end pipeline throughput: the same lines through identical
+//     fresh detector legs, once from an in-memory SliceSource and once
+//     appended to and consumed from a broker. The overhead ratio
+//     (slice rate / broker rate) must stay ≤ 2.0 in full mode — the
+//     durability layer may not halve detection throughput.
+func TestBenchBrokerReport(t *testing.T) {
+	out := os.Getenv("BENCH_BROKER_OUT")
+	if out == "" {
+		t.Skip("set BENCH_BROKER_OUT=path to run the broker benchmark and write the report")
+	}
+	smoke := os.Getenv("BENCH_BROKER_SMOKE") != ""
+	appendN, e2eN := 200_000, 20_000
+	if smoke {
+		appendN, e2eN = 5_000, 2_000
+	}
+
+	var rep benchReport
+	rep.Smoke = smoke
+
+	// --- Append: production-default fsync policy, per-append latency. ---
+	bk, err := Open(Config{
+		Dir:             t.TempDir(),
+		Fsync:           FsyncInterval,
+		MaxBacklogBytes: -1,
+		Metrics:         obs.NewRegistry(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lats := make([]time.Duration, appendN)
+	start := time.Now()
+	for i := 0; i < appendN; i++ {
+		t0 := time.Now()
+		if _, err := bk.Append(benchLine); err != nil {
+			t.Fatal(err)
+		}
+		lats[i] = time.Since(t0)
+	}
+	appendDur := time.Since(start)
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	rep.Append.Records = appendN
+	rep.Append.LinesPerSec = float64(appendN) / appendDur.Seconds()
+	rep.Append.P50Micros = quantile(lats, 0.50)
+	rep.Append.P99Micros = quantile(lats, 0.99)
+
+	// --- Consume: drain everything just appended. ---
+	bk.CloseIntake()
+	cons, err := bk.Consumer("bench")
+	if err != nil {
+		t.Fatal(err)
+	}
+	start = time.Now()
+	var drained int
+	for {
+		if _, ok := cons.Next(); !ok {
+			break
+		}
+		drained++
+	}
+	consumeDur := time.Since(start)
+	if err := cons.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if drained != appendN {
+		t.Fatalf("drained %d of %d records", drained, appendN)
+	}
+	cons.Close()
+	if err := bk.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rep.Consume.LinesPerSec = float64(drained) / consumeDur.Seconds()
+
+	// --- E2E: identical detector legs, slice vs broker. ---
+	lines := brokerLines(0, e2eN)
+	rep.E2E.Lines = e2eN
+
+	pSlice, _, _ := detectorLeg(t, obs.NewRegistry())
+	start = time.Now()
+	sliceStats := pSlice.Run(context.Background(), pipeline.NewSliceSource(lines))
+	sliceDur := time.Since(start)
+	if sliceStats.LinesCollected != e2eN {
+		t.Fatalf("slice leg collected %d lines", sliceStats.LinesCollected)
+	}
+	rep.E2E.SliceLinesPerSec = float64(e2eN) / sliceDur.Seconds()
+
+	bk2, err := Open(Config{
+		Dir:             t.TempDir(),
+		Fsync:           FsyncInterval,
+		MaxBacklogBytes: -1,
+		Metrics:         obs.NewRegistry(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pBroker, _, _ := detectorLeg(t, obs.NewRegistry())
+	start = time.Now()
+	if _, _, err := bk2.AppendBatch(lines); err != nil {
+		t.Fatal(err)
+	}
+	bk2.CloseIntake()
+	cons2, err := bk2.Consumer("bench")
+	if err != nil {
+		t.Fatal(err)
+	}
+	brokerStats := pBroker.Run(context.Background(), cons2)
+	brokerDur := time.Since(start)
+	if err := cons2.Err(); err != nil {
+		t.Fatal(err)
+	}
+	cons2.Close()
+	if err := bk2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if brokerStats.LinesCollected != e2eN {
+		t.Fatalf("broker leg collected %d lines", brokerStats.LinesCollected)
+	}
+	rep.E2E.BrokerLinesPerSec = float64(e2eN) / brokerDur.Seconds()
+	rep.E2E.OverheadRatio = rep.E2E.SliceLinesPerSec / rep.E2E.BrokerLinesPerSec
+
+	t.Logf("append: %.0f lines/s (p50 %.1fµs, p99 %.1fµs); consume: %.0f lines/s; e2e slice %.0f vs broker %.0f lines/s (ratio %.2f)",
+		rep.Append.LinesPerSec, rep.Append.P50Micros, rep.Append.P99Micros,
+		rep.Consume.LinesPerSec, rep.E2E.SliceLinesPerSec, rep.E2E.BrokerLinesPerSec, rep.E2E.OverheadRatio)
+
+	if !smoke && rep.E2E.OverheadRatio > 2.0 {
+		t.Errorf("broker e2e overhead ratio %.2f exceeds 2.0", rep.E2E.OverheadRatio)
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fmt.Printf("wrote %s\n", out)
+}

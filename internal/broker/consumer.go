@@ -1,0 +1,238 @@
+package broker
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+)
+
+// Consumer reads a group's records in offset order. It implements the
+// pipeline's Source interface (Next) and its AckSource extension (Ack),
+// so `pipeline.Run(ctx, consumer)` streams straight off the WAL and
+// commits progress as windows finish detection:
+//
+//	Next returns records sequentially, blocking at the head of the log
+//	until a producer appends more or the intake closes (then it returns
+//	false — the drain signal).
+//
+//	Ack(n) marks the first n records this consumer handed out as fully
+//	processed; with AutoCommit (the default) the committed offset
+//	advances immediately and is persisted every CommitEvery records, so
+//	a crash replays at most one commit stride of already-processed
+//	records (at-least-once).
+//
+// A Consumer is owned by one goroutine; concurrent consumers of the
+// same broker each get their own Consumer (and usually their own
+// group).
+type Consumer struct {
+	b     *Broker
+	group string
+
+	pos      uint64 // next offset to read
+	startOff uint64 // committed offset when the consumer was opened
+	acked    uint64 // highest offset reported processed via Ack
+
+	// AutoCommit advances the committed offset on every Ack (default
+	// true). Disable to batch commits manually via Commit.
+	AutoCommit bool
+
+	// CommitEvery bounds how far the offsets file may trail the
+	// acknowledged offset under AutoCommit (default DefaultCommitEvery
+	// records; 1 persists every ack). Every Ack still advances the
+	// in-memory committed offset — Committed, lag gauges and retention
+	// see progress immediately — but rewriting the offsets file costs a
+	// file create + rename, which would dominate the detection hot path
+	// if paid per window. Explicit Commit and Broker.Close always
+	// persist.
+	CommitEvery uint64
+
+	persisted uint64 // acked value at the last offsets-file write
+
+	f         *os.File
+	r         *bufio.Reader
+	segBase   uint64 // base of the currently open segment
+	nextInSeg uint64 // offset the next frame in the open reader holds
+	err       error
+}
+
+// Consumer opens a reader for the named group, resuming at the group's
+// committed offset (or the oldest retained record for a new group). The
+// group is registered with the retention policy immediately, so its
+// unread records cannot be deleted out from under it.
+func (b *Broker) Consumer(group string) (*Consumer, error) {
+	if group == "" {
+		return nil, fmt.Errorf("broker: consumer group name is required")
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return nil, ErrClosed
+	}
+	committed, ok := b.groups[group]
+	if !ok || committed < b.firstOff-1 {
+		committed = b.firstOff - 1
+	}
+	if committed > b.nextOff-1 {
+		committed = b.nextOff - 1
+	}
+	b.groups[group] = committed
+	b.lagGaugeLocked(group).Set(int64(b.nextOff - 1 - committed))
+	return &Consumer{
+		b:           b,
+		group:       group,
+		pos:         committed + 1,
+		startOff:    committed,
+		acked:       committed,
+		persisted:   committed,
+		AutoCommit:  true,
+		CommitEvery: DefaultCommitEvery,
+	}, nil
+}
+
+// DefaultCommitEvery is the auto-commit persistence stride: the offsets
+// file is rewritten once per this many acknowledged records, not on
+// every ack. At-least-once delivery makes the trade safe — a crash
+// merely re-detects up to a stride of records.
+const DefaultCommitEvery = 256
+
+// Next returns the next record, blocking at the log head until data
+// arrives. It returns false when the intake has closed and every
+// retained record was delivered, or on a read error (see Err).
+func (c *Consumer) Next() (string, bool) {
+	if c.err != nil {
+		return "", false
+	}
+	b := c.b
+	b.mu.Lock()
+	for c.pos >= b.nextOff {
+		if b.intakeClosed || b.closed {
+			b.mu.Unlock()
+			return "", false
+		}
+		b.cond.Wait()
+	}
+	seg := b.segmentFor(c.pos)
+	first := b.firstOff
+	b.mu.Unlock()
+	if seg == nil {
+		// Retention ran past this consumer's position — possible only if
+		// another consumer committed offsets for the same group.
+		c.fail(fmt.Errorf("broker: offset %d no longer retained (oldest is %d)", c.pos, first))
+		return "", false
+	}
+	if err := b.cfg.Faults.Check(PointRead); err != nil {
+		c.fail(err)
+		return "", false
+	}
+	payload, err := c.readAt(seg)
+	if err != nil {
+		c.fail(fmt.Errorf("broker: reading offset %d: %w", c.pos, err))
+		return "", false
+	}
+	c.pos++
+	b.om.consumed.Inc()
+	return string(payload), true
+}
+
+// readAt returns the frame at c.pos from seg, maintaining a sequential
+// buffered reader that survives segment rolls and mid-segment starts.
+// The caller has verified (under the broker lock) that c.pos is fully
+// written, so every frame read here is complete on disk.
+func (c *Consumer) readAt(seg *segment) ([]byte, error) {
+	if c.f == nil || c.segBase != seg.base {
+		if c.f != nil {
+			c.f.Close()
+		}
+		f, err := os.Open(seg.path)
+		if err != nil {
+			return nil, err
+		}
+		c.f = f
+		c.r = bufio.NewReaderSize(f, 1<<16)
+		c.segBase = seg.base
+		c.nextInSeg = seg.base
+	}
+	for c.nextInSeg < c.pos {
+		// Skip records already consumed in an earlier session (resuming
+		// mid-segment after a restart).
+		if _, err := readFrame(c.r, c.b.cfg.MaxRecordBytes); err != nil {
+			return nil, err
+		}
+		c.nextInSeg++
+	}
+	payload, err := readFrame(c.r, c.b.cfg.MaxRecordBytes)
+	if err != nil {
+		return nil, err
+	}
+	c.nextInSeg++
+	return payload, nil
+}
+
+// fail records a terminal consumer error.
+func (c *Consumer) fail(err error) {
+	if c.err == nil {
+		c.err = err
+		c.b.om.readErrors.Inc()
+	}
+}
+
+// Err returns the error that ended consumption, if any (a false from
+// Next with a nil Err is a clean end-of-stream).
+func (c *Consumer) Err() error { return c.err }
+
+// Position returns the offset of the next record Next will return.
+func (c *Consumer) Position() uint64 { return c.pos }
+
+// Ack implements the pipeline's AckSource: the first done records this
+// consumer returned are fully processed. Under AutoCommit the committed
+// offset advances immediately (retention and lag see it) and the
+// offsets file is rewritten once per CommitEvery records; commit
+// failures are counted (broker.commit_errors_total) but do not stop
+// consumption — progress is simply re-done after a restart
+// (at-least-once).
+func (c *Consumer) Ack(done uint64) {
+	if off := c.startOff + done; off > c.acked {
+		c.acked = off
+	}
+	if !c.AutoCommit {
+		return
+	}
+	persist := c.CommitEvery <= 1 || c.acked >= c.persisted+c.CommitEvery
+	if err := c.commit(persist); err != nil {
+		c.b.om.commitErrors.Inc()
+	}
+}
+
+// Commit persists the highest acknowledged offset for the group and
+// lets retention reclaim fully-consumed sealed segments.
+func (c *Consumer) Commit() error { return c.commit(true) }
+
+func (c *Consumer) commit(persist bool) error {
+	b := c.b
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if c.acked > b.groups[c.group] {
+		b.groups[c.group] = c.acked
+		b.retainLocked()
+		b.updateGaugesLocked()
+	}
+	if !persist || c.acked == c.persisted {
+		return nil
+	}
+	if err := b.saveOffsetsLocked(); err != nil {
+		return err
+	}
+	c.persisted = c.acked
+	return nil
+}
+
+// Close releases the consumer's file handle. The broker itself stays
+// open.
+func (c *Consumer) Close() error {
+	if c.f == nil {
+		return nil
+	}
+	err := c.f.Close()
+	c.f = nil
+	return err
+}

@@ -1,0 +1,124 @@
+package broker
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"logsynergy/internal/obs"
+)
+
+// The networked intake: POST /ingest with a newline-delimited batch of
+// raw log lines. The handler appends the batch to the WAL and answers
+// 202 with the acked record count and offset range — the collector-side
+// contract is "202 means your lines are in the log" (durable per the
+// broker's fsync policy). Failure statuses map the broker's admission
+// and lifecycle errors:
+//
+//	413 request body exceeds the batch limit
+//	429 backlog full under FullReject (Retry-After: 1)
+//	503 intake closed (shutdown in progress)
+//	405 anything but POST
+
+// DefaultMaxBatchBytes bounds one /ingest request body when the handler
+// is built with maxBatchBytes <= 0.
+const DefaultMaxBatchBytes = 4 << 20
+
+// IngestResponse is the JSON body of a 202 from /ingest.
+type IngestResponse struct {
+	// Acked is the number of records appended.
+	Acked int `json:"acked"`
+	// FirstOffset and LastOffset bound the appended records (0/0 for an
+	// empty batch).
+	FirstOffset uint64 `json:"first_offset"`
+	LastOffset  uint64 `json:"last_offset"`
+}
+
+// intakeObs caches the intake's metric handles.
+type intakeObs struct {
+	requests  *obs.Counter
+	lines     *obs.Counter
+	rejected  *obs.Counter
+	oversized *obs.Counter
+}
+
+// IngestHandler returns the /ingest HTTP handler. maxBatchBytes bounds
+// one request body (<= 0 selects DefaultMaxBatchBytes); larger requests
+// get 413 without being appended.
+func (b *Broker) IngestHandler(maxBatchBytes int64) http.Handler {
+	if maxBatchBytes <= 0 {
+		maxBatchBytes = DefaultMaxBatchBytes
+	}
+	om := intakeObs{
+		requests:  b.reg.Counter("broker.ingest_requests_total"),
+		lines:     b.reg.Counter("broker.ingest_lines_total"),
+		rejected:  b.reg.Counter("broker.ingest_rejected_total"),
+		oversized: b.reg.Counter("broker.ingest_oversized_total"),
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		om.requests.Inc()
+		if r.Method != http.MethodPost {
+			w.Header().Set("Allow", http.MethodPost)
+			http.Error(w, "ingest accepts POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		if r.ContentLength > maxBatchBytes {
+			om.oversized.Inc()
+			http.Error(w, fmt.Sprintf("batch of %d bytes exceeds limit %d", r.ContentLength, maxBatchBytes), http.StatusRequestEntityTooLarge)
+			return
+		}
+		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBatchBytes))
+		if err != nil {
+			var tooBig *http.MaxBytesError
+			if errors.As(err, &tooBig) {
+				om.oversized.Inc()
+				http.Error(w, fmt.Sprintf("batch exceeds limit %d bytes", maxBatchBytes), http.StatusRequestEntityTooLarge)
+				return
+			}
+			http.Error(w, "reading request body: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		lines := splitBatch(body)
+		var resp IngestResponse
+		if len(lines) > 0 {
+			first, last, err := b.AppendBatch(lines)
+			switch {
+			case errors.Is(err, ErrBacklogFull):
+				om.rejected.Inc()
+				w.Header().Set("Retry-After", "1")
+				http.Error(w, err.Error(), http.StatusTooManyRequests)
+				return
+			case errors.Is(err, ErrClosed):
+				http.Error(w, "intake closed", http.StatusServiceUnavailable)
+				return
+			case err != nil:
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+			resp = IngestResponse{Acked: len(lines), FirstOffset: first, LastOffset: last}
+			om.lines.Add(int64(len(lines)))
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusAccepted)
+		json.NewEncoder(w).Encode(resp)
+	})
+}
+
+// splitBatch parses a newline-delimited body into log lines, tolerating
+// CRLF and dropping empty lines (a trailing newline is not an empty
+// record).
+func splitBatch(body []byte) []string {
+	raw := strings.Split(string(body), "\n")
+	lines := make([]string, 0, len(raw))
+	for _, l := range raw {
+		l = strings.TrimSuffix(l, "\r")
+		if l == "" {
+			continue
+		}
+		lines = append(lines, l)
+	}
+	return lines
+}

@@ -1,0 +1,151 @@
+package broker
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestFrameRoundtrip(t *testing.T) {
+	payloads := []string{"", "a", "hello world", strings.Repeat("x", 4096)}
+	var buf []byte
+	for _, p := range payloads {
+		buf = appendFrame(buf, []byte(p))
+	}
+	r := bufio.NewReader(bytes.NewReader(buf))
+	for i, want := range payloads {
+		got, err := readFrame(r, 1<<20)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if string(got) != want {
+			t.Fatalf("frame %d: got %q want %q", i, got, want)
+		}
+	}
+	if _, err := readFrame(r, 1<<20); err != io.EOF {
+		t.Fatalf("want io.EOF at stream end, got %v", err)
+	}
+}
+
+func TestReadFrameErrors(t *testing.T) {
+	good := appendFrame(nil, []byte("payload"))
+
+	cases := []struct {
+		name string
+		data []byte
+		want string
+	}{
+		{"torn header", good[:5], "torn frame header"},
+		{"torn payload", good[:frameHeader+3], "torn frame payload"},
+		{"crc mismatch", func() []byte {
+			b := append([]byte(nil), good...)
+			b[frameHeader] ^= 0xff
+			return b
+		}(), "checksum mismatch"},
+		{"implausible length", func() []byte {
+			b := append([]byte(nil), good...)
+			binary.LittleEndian.PutUint32(b[0:4], 1<<30)
+			return b
+		}(), "exceeds record limit"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := readFrame(bufio.NewReader(bytes.NewReader(tc.data)), 1<<20)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("got %v, want error containing %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestScanSegmentTornTail(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "seg.wal")
+	var buf []byte
+	for _, p := range []string{"one", "two", "three"} {
+		buf = appendFrame(buf, []byte(p))
+	}
+	validLen := int64(len(buf))
+	// A torn tail: a header promising 100 bytes followed by only 4.
+	var hdr [frameHeader]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], 100)
+	buf = append(buf, hdr[:]...)
+	buf = append(buf, 'x', 'x', 'x', 'x')
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	recs, valid, scanErr, err := scanSegment(path, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recs != 3 || valid != validLen {
+		t.Fatalf("recs=%d valid=%d, want 3/%d", recs, valid, validLen)
+	}
+	if scanErr == nil || !strings.Contains(scanErr.Error(), "torn frame payload") {
+		t.Fatalf("scanErr = %v, want torn frame payload", scanErr)
+	}
+}
+
+func TestScanSegmentClean(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "seg.wal")
+	var buf []byte
+	for i := 0; i < 5; i++ {
+		buf = appendFrame(buf, []byte("record"))
+	}
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	recs, valid, scanErr, err := scanSegment(path, 1<<20)
+	if err != nil || scanErr != nil {
+		t.Fatalf("err=%v scanErr=%v", err, scanErr)
+	}
+	if recs != 5 || valid != int64(len(buf)) {
+		t.Fatalf("recs=%d valid=%d", recs, valid)
+	}
+}
+
+func TestSegmentNaming(t *testing.T) {
+	dir := t.TempDir()
+	p := segmentPath(dir, 42)
+	base, ok := parseSegmentBase(filepath.Base(p))
+	if !ok || base != 42 {
+		t.Fatalf("roundtrip of %s: base=%d ok=%v", p, base, ok)
+	}
+	for _, bad := range []string{"x.wal", "123.txt", "offsets.json", ".wal"} {
+		if _, ok := parseSegmentBase(bad); ok {
+			t.Fatalf("parseSegmentBase(%q) accepted", bad)
+		}
+	}
+
+	// listSegments sorts by base offset, not lexically-by-accident.
+	for _, base := range []uint64{300, 1, 42, 25} {
+		if err := os.WriteFile(segmentPath(dir, base), nil, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	os.WriteFile(filepath.Join(dir, "offsets.json"), []byte("{}"), 0o644)
+	segs, err := listSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bases []uint64
+	for _, s := range segs {
+		bases = append(bases, s.base)
+	}
+	want := []uint64{1, 25, 42, 300}
+	if len(bases) != len(want) {
+		t.Fatalf("bases %v, want %v", bases, want)
+	}
+	for i := range want {
+		if bases[i] != want[i] {
+			t.Fatalf("bases %v, want %v", bases, want)
+		}
+	}
+}

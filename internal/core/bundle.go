@@ -4,10 +4,13 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"hash/crc32"
 	"io"
+	"os"
 
 	"logsynergy/internal/embed"
 	"logsynergy/internal/lei"
+	"logsynergy/internal/obs"
 	"logsynergy/internal/repr"
 )
 
@@ -38,8 +41,67 @@ func SaveBundle(w io.Writer, m *Model, table *repr.EventTable) error {
 		Interps:    table.Interps,
 		Params:     json.RawMessage(paramBuf.Bytes()),
 	}
-	enc := json.NewEncoder(w)
-	return enc.Encode(b)
+	var body bytes.Buffer
+	if err := json.NewEncoder(&body).Encode(b); err != nil {
+		return err
+	}
+	if _, err := w.Write(body.Bytes()); err != nil {
+		return err
+	}
+	// Integrity footer: format version + CRC32C over the JSON body
+	// (including its trailing newline). LoadBundle verifies it, turning
+	// silent truncation and bit flips into loud checksum errors.
+	_, err := fmt.Fprintf(w, bundleFooterFmt, bundleFooterVersion, crc32.Checksum(body.Bytes(), bundleCRCTable))
+	return err
+}
+
+// The bundle footer is one trailing comment-style line after the JSON:
+//
+//	#lsbundle v1 crc32c=xxxxxxxx
+//
+// The version lets the format grow; a loader refuses versions newer than
+// it understands. Bundles written before the footer existed still load
+// (with a warning) — the footer's absence simply skips verification.
+const (
+	bundleFooterPrefix  = "#lsbundle v"
+	bundleFooterFmt     = bundleFooterPrefix + "%d crc32c=%08x\n"
+	bundleFooterVersion = 1
+)
+
+var bundleCRCTable = crc32.MakeTable(crc32.Castagnoli)
+
+// WarnLegacyBundle receives the warning emitted when a footer-less
+// (pre-versioning) bundle loads successfully. Replaceable for tests and
+// embedding applications; the default writes to stderr.
+var WarnLegacyBundle = func(msg string) { fmt.Fprintln(os.Stderr, msg) }
+
+// splitBundleFooter separates the serialized bundle into JSON body and
+// footer line. A missing footer returns ok=false with the whole input as
+// body (the legacy format).
+func splitBundleFooter(data []byte) (body, footer []byte, ok bool) {
+	trimmed := bytes.TrimRight(data, "\n")
+	i := bytes.LastIndexByte(trimmed, '\n')
+	line := trimmed[i+1:]
+	if !bytes.HasPrefix(line, []byte(bundleFooterPrefix)) {
+		return data, nil, false
+	}
+	return data[:i+1], line, true
+}
+
+// verifyBundleFooter checks the footer's version and CRC against body.
+func verifyBundleFooter(body, footer []byte) error {
+	var version int
+	var sum uint32
+	if n, err := fmt.Sscanf(string(footer), bundleFooterFmt, &version, &sum); err != nil || n != 2 {
+		return fmt.Errorf("core: malformed bundle footer %q", footer)
+	}
+	if version > bundleFooterVersion {
+		return fmt.Errorf("core: bundle format v%d is newer than supported v%d", version, bundleFooterVersion)
+	}
+	if got := crc32.Checksum(body, bundleCRCTable); got != sum {
+		return fmt.Errorf("core: bundle checksum mismatch (got %08x want %08x): truncated or corrupted", got, sum)
+	}
+	return nil
 }
 
 // validate rejects bundles whose structure would crash or mis-size model
@@ -71,7 +133,9 @@ func (b *Bundle) validate() error {
 // embeddings are recomputed with a fresh embedder of the recorded
 // dimension — the hash embedder is deterministic, so the reconstruction is
 // exact. A corrupted stream (truncation, bit flips, mismatched dims)
-// yields a descriptive error, never a panic.
+// yields a descriptive error, never a panic. Footered bundles are
+// CRC-verified before any JSON is parsed; legacy footer-less bundles
+// still load, with a warning through WarnLegacyBundle.
 func LoadBundle(r io.Reader) (det *Detector, err error) {
 	// Backstop: whatever validation misses must still surface as an error
 	// on a hostile byte stream, not take the process down.
@@ -80,12 +144,28 @@ func LoadBundle(r io.Reader) (det *Detector, err error) {
 			det, err = nil, fmt.Errorf("core: corrupt bundle: %v", rec)
 		}
 	}()
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("core: reading bundle: %w", err)
+	}
+	body, footer, footered := splitBundleFooter(data)
+	if footered {
+		if err := verifyBundleFooter(body, footer); err != nil {
+			return nil, err
+		}
+	}
 	var b Bundle
-	if err := json.NewDecoder(r).Decode(&b); err != nil {
+	// json.Unmarshal (not a Decoder) so trailing garbage — say, the torn
+	// remnant of a footer after truncation — is an error, not ignored.
+	if err := json.Unmarshal(body, &b); err != nil {
 		return nil, fmt.Errorf("core: decoding bundle: %w", err)
 	}
 	if err := b.validate(); err != nil {
 		return nil, err
+	}
+	if !footered {
+		obs.Default().Counter("core.bundle_legacy_total").Inc()
+		WarnLegacyBundle("core: loading legacy bundle without integrity footer; re-save to add checksum protection")
 	}
 	m := NewModel(b.Config, b.NumSystems)
 	if err := m.Params.Load(bytes.NewReader(b.Params)); err != nil {

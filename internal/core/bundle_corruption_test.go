@@ -74,7 +74,9 @@ func TestLoadBundleFlippedBytes(t *testing.T) {
 // a table rebuilt at the wrong width would crash scoring much later.
 func TestLoadBundleWrongEmbedDim(t *testing.T) {
 	var b Bundle
-	if err := json.Unmarshal(goodBundle(t), &b); err != nil {
+	// A Decoder stops at the end of the JSON value, skipping the
+	// integrity footer SaveBundle now appends.
+	if err := json.NewDecoder(bytes.NewReader(goodBundle(t))).Decode(&b); err != nil {
 		t.Fatal(err)
 	}
 
@@ -103,7 +105,7 @@ func TestLoadBundleWrongEmbedDim(t *testing.T) {
 // loader, not a tensor-construction panic.
 func TestLoadBundleCorruptParams(t *testing.T) {
 	var b Bundle
-	if err := json.Unmarshal(goodBundle(t), &b); err != nil {
+	if err := json.NewDecoder(bytes.NewReader(goodBundle(t))).Decode(&b); err != nil {
 		t.Fatal(err)
 	}
 	var params []struct {

@@ -1,0 +1,135 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"logsynergy/internal/obs"
+)
+
+// TestBundleFooterRoundtrip: SaveBundle appends the versioned CRC footer
+// and LoadBundle verifies it silently (no legacy warning).
+func TestBundleFooterRoundtrip(t *testing.T) {
+	raw := goodBundle(t)
+	lines := strings.Split(strings.TrimRight(string(raw), "\n"), "\n")
+	footer := lines[len(lines)-1]
+	if !strings.HasPrefix(footer, "#lsbundle v1 crc32c=") {
+		t.Fatalf("footer %q", footer)
+	}
+
+	var warned []string
+	defer func(old func(string)) { WarnLegacyBundle = old }(WarnLegacyBundle)
+	WarnLegacyBundle = func(msg string) { warned = append(warned, msg) }
+
+	det, err := LoadBundle(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("LoadBundle: %v", err)
+	}
+	if det == nil {
+		t.Fatal("nil detector")
+	}
+	if len(warned) != 0 {
+		t.Fatalf("footered bundle warned: %v", warned)
+	}
+}
+
+// TestBundleFooterDetectsCorruption: any body mutation that still parses
+// as JSON is now caught by the checksum before JSON is even attempted.
+func TestBundleFooterDetectsCorruption(t *testing.T) {
+	raw := goodBundle(t)
+	// Flip one digit inside a number: structurally valid JSON, different
+	// semantics — exactly the corruption a checksum exists for.
+	i := bytes.Index(raw, []byte(`"num_systems":2`))
+	if i < 0 {
+		t.Fatal("marker not found; bundle layout changed")
+	}
+	mut := append([]byte(nil), raw...)
+	mut[i+len(`"num_systems":`)] = '3'
+	_, err := LoadBundle(bytes.NewReader(mut))
+	if err == nil || !strings.Contains(err.Error(), "checksum mismatch") {
+		t.Fatalf("LoadBundle = %v, want checksum mismatch", err)
+	}
+}
+
+// TestBundleFooterNewerVersionRefused: a footer from a future format
+// version must be refused, not half-parsed.
+func TestBundleFooterNewerVersionRefused(t *testing.T) {
+	raw := goodBundle(t)
+	body, _, ok := splitBundleFooter(raw)
+	if !ok {
+		t.Fatal("no footer on fresh bundle")
+	}
+	fut := append(append([]byte(nil), body...), []byte("#lsbundle v99 crc32c=00000000\n")...)
+	_, err := LoadBundle(bytes.NewReader(fut))
+	if err == nil || !strings.Contains(err.Error(), "newer than supported") {
+		t.Fatalf("LoadBundle = %v, want version refusal", err)
+	}
+}
+
+// TestBundleLegacyLoadsWithWarning: a pre-footer bundle (bare JSON)
+// still loads, emits the legacy warning, and bumps the obs counter.
+func TestBundleLegacyLoadsWithWarning(t *testing.T) {
+	raw := goodBundle(t)
+	body, _, ok := splitBundleFooter(raw)
+	if !ok {
+		t.Fatal("no footer on fresh bundle")
+	}
+
+	var warned []string
+	defer func(old func(string)) { WarnLegacyBundle = old }(WarnLegacyBundle)
+	WarnLegacyBundle = func(msg string) { warned = append(warned, msg) }
+	before := obs.Default().Snapshot().Counters["core.bundle_legacy_total"]
+
+	det, err := LoadBundle(bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("legacy bundle refused: %v", err)
+	}
+	if det == nil {
+		t.Fatal("nil detector")
+	}
+	if len(warned) != 1 || !strings.Contains(warned[0], "legacy bundle") {
+		t.Fatalf("warnings %v", warned)
+	}
+	if after := obs.Default().Snapshot().Counters["core.bundle_legacy_total"]; after != before+1 {
+		t.Fatalf("legacy counter %d -> %d", before, after)
+	}
+
+	// A corrupt legacy bundle (no footer to check) still errors via JSON
+	// and validation, never panics.
+	_, err = LoadBundle(bytes.NewReader(body[:len(body)/2]))
+	if err == nil {
+		t.Fatal("truncated legacy bundle loaded")
+	}
+}
+
+// TestBundleFooterMalformed: a recognizable but garbled footer is an
+// error — better loud than guessing.
+func TestBundleFooterMalformed(t *testing.T) {
+	raw := goodBundle(t)
+	body, _, _ := splitBundleFooter(raw)
+	bad := append(append([]byte(nil), body...), []byte("#lsbundle vX nonsense\n")...)
+	_, err := LoadBundle(bytes.NewReader(bad))
+	if err == nil || !strings.Contains(err.Error(), "footer") {
+		t.Fatalf("LoadBundle = %v, want malformed footer error", err)
+	}
+}
+
+// TestBundleTruncatedAtFooterBoundary documents the one blind spot
+// backwards compatibility forces: truncating exactly at the body/footer
+// boundary yields a byte-identical legacy bundle, which loads (with the
+// warning). Anything shorter or longer fails.
+func TestBundleTruncatedAtFooterBoundary(t *testing.T) {
+	raw := goodBundle(t)
+	body, footer, _ := splitBundleFooter(raw)
+	defer func(old func(string)) { WarnLegacyBundle = old }(WarnLegacyBundle)
+	WarnLegacyBundle = func(string) {}
+	for cut := 1; cut < len(footer); cut += 5 {
+		if _, err := LoadBundle(bytes.NewReader(raw[:len(body)+cut])); err == nil {
+			t.Fatalf("bundle with %d torn footer bytes loaded", cut)
+		}
+	}
+	if _, err := LoadBundle(bytes.NewReader(body)); err != nil {
+		t.Fatalf("boundary truncation (legacy-identical) refused: %v", err)
+	}
+}

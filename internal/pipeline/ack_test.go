@@ -1,0 +1,101 @@
+package pipeline
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"logsynergy/internal/obs"
+	"logsynergy/internal/window"
+)
+
+// ackingSource wraps SliceSource with the AckSource extension, recording
+// every watermark Run reports.
+type ackingSource struct {
+	*SliceSource
+	acks []uint64
+}
+
+func (a *ackingSource) Ack(done uint64) { a.acks = append(a.acks, done) }
+
+func ackLines(n int) []string {
+	lines := make([]string, n)
+	for i := range lines {
+		lines[i] = fmt.Sprintf("ack probe event %d fired", i%5)
+	}
+	return lines
+}
+
+// TestAckSourceWatermark pins the processed-watermark contract: with a
+// 4/2 window over 23 lines the last completed window ends at line 22, so
+// the final ack is exactly 22 — line 23 was collected but is not part of
+// any detected window and must not be acknowledged.
+func TestAckSourceWatermark(t *testing.T) {
+	det, parser, interp, e := tinyDeployment(t)
+	cfg := DefaultConfig("a ack-test system")
+	cfg.Window = window.Config{Length: 4, Step: 2}
+	cfg.Metrics = obs.NewRegistry()
+	src := &ackingSource{SliceSource: NewSliceSource(ackLines(23))}
+	p := New(cfg, parser, det, interp, e, &MemorySink{})
+	stats := p.Run(context.Background(), src)
+
+	if stats.LinesCollected != 23 {
+		t.Fatalf("collected %d", stats.LinesCollected)
+	}
+	if len(src.acks) == 0 {
+		t.Fatal("AckSource never acked")
+	}
+	var prev uint64
+	for i, a := range src.acks {
+		if a <= prev {
+			t.Fatalf("acks not strictly increasing: %v", src.acks)
+		}
+		if a%uint64(cfg.Window.Step) != 0 {
+			t.Fatalf("ack %d (%d) is not a window boundary", i, a)
+		}
+		prev = a
+	}
+	if last := src.acks[len(src.acks)-1]; last != 22 {
+		t.Fatalf("final watermark %d, want 22", last)
+	}
+}
+
+// TestAckSourceNoCompletedWindows: fewer lines than one window means no
+// detection and therefore no acknowledgement at all — a restart must
+// redeliver everything.
+func TestAckSourceNoCompletedWindows(t *testing.T) {
+	det, parser, interp, e := tinyDeployment(t)
+	cfg := DefaultConfig("a ack-test system")
+	cfg.Window = window.Config{Length: 4, Step: 2}
+	cfg.Metrics = obs.NewRegistry()
+	src := &ackingSource{SliceSource: NewSliceSource(ackLines(3))}
+	p := New(cfg, parser, det, interp, e, &MemorySink{})
+	p.Run(context.Background(), src)
+	if len(src.acks) != 0 {
+		t.Fatalf("acks %v for a stream with no completed windows", src.acks)
+	}
+}
+
+// TestAckSourceBatchBoundaries: forcing one-window detect batches acks
+// after every window, so the watermark advances step by step rather than
+// only at end of stream.
+func TestAckSourceBatchBoundaries(t *testing.T) {
+	det, parser, interp, e := tinyDeployment(t)
+	cfg := DefaultConfig("a ack-test system")
+	cfg.Window = window.Config{Length: 4, Step: 2}
+	cfg.DetectBatch = 1
+	cfg.Metrics = obs.NewRegistry()
+	src := &ackingSource{SliceSource: NewSliceSource(ackLines(12))}
+	p := New(cfg, parser, det, interp, e, &MemorySink{})
+	p.Run(context.Background(), src)
+	// Windows end at 4, 6, 8, 10, 12 — five acks, one per flush.
+	want := []uint64{4, 6, 8, 10, 12}
+	if len(src.acks) != len(want) {
+		t.Fatalf("acks %v, want %v", src.acks, want)
+	}
+	for i := range want {
+		if src.acks[i] != want[i] {
+			t.Fatalf("acks %v, want %v", src.acks, want)
+		}
+	}
+}

@@ -50,6 +50,19 @@ type Source interface {
 	Next() (string, bool)
 }
 
+// AckSource is an optional Source capability for durable sources (the
+// broker consumer). After a batch of windows finishes detection — scores
+// assigned, reports delivered — Run calls Ack with the count of leading
+// source lines that are now fully processed: every line up to and
+// including the last line of the last detected window. A durable source
+// uses the watermark to commit consumer offsets, so a restart resumes at
+// exactly the first unprocessed line and acknowledged records are never
+// lost. Lines after the watermark (still buffered, or in a not-yet-full
+// window) are redelivered after a crash (at-least-once).
+type AckSource interface {
+	Ack(done uint64)
+}
+
 // SliceSource replays a fixed slice of lines.
 type SliceSource struct {
 	lines []string
@@ -389,13 +402,23 @@ func (p *Pipeline) Stats() Stats {
 // Library exposes the pattern library (diagnostics).
 func (p *Pipeline) Library() *PatternLibrary { return p.library }
 
+// bufLine is one collected line in flight between the collector and the
+// parser, tagged with its 1-based position in the source stream so the
+// processed-watermark for AckSource survives drops and batching.
+type bufLine struct {
+	text string
+	idx  uint64
+}
+
 // Run consumes the source to exhaustion (or ctx cancellation), streaming
 // lines through collection → detection → report. It returns the final
 // stats. Collection and detection run concurrently, connected by the
 // bounded buffer; completed windows are scored in parallel batches (up to
-// cfg.DetectBatch at a time) with reports delivered in input order.
+// cfg.DetectBatch at a time) with reports delivered in input order. If
+// src implements AckSource, Run reports the fully-processed line
+// watermark after every flushed batch.
 func (p *Pipeline) Run(ctx context.Context, src Source) Stats {
-	buffer := make(chan string, p.cfg.BufferSize)
+	buffer := make(chan bufLine, p.cfg.BufferSize)
 	p.om.bufferCapacity.Set(int64(cap(buffer)))
 
 	var wg sync.WaitGroup
@@ -403,14 +426,17 @@ func (p *Pipeline) Run(ctx context.Context, src Source) Stats {
 	go func() { // collector
 		defer wg.Done()
 		defer close(buffer)
+		var srcIdx uint64
 		for {
 			line, ok := src.Next()
 			if !ok {
 				return
 			}
+			srcIdx++
+			item := bufLine{text: line, idx: srcIdx}
 			if p.cfg.DropPolicy == DropNewest {
 				select {
-				case buffer <- line:
+				case buffer <- item:
 					p.countCollected()
 				default:
 					p.mu.Lock()
@@ -423,7 +449,7 @@ func (p *Pipeline) Run(ctx context.Context, src Source) Stats {
 				}
 			} else {
 				select {
-				case buffer <- line:
+				case buffer <- item:
 					p.countCollected()
 				case <-ctx.Done():
 					return
@@ -436,24 +462,37 @@ func (p *Pipeline) Run(ctx context.Context, src Source) Stats {
 	if batchCap <= 0 {
 		batchCap = 2 * tensor.Parallelism()
 	}
+	acker, _ := src.(AckSource)
 
 	// Parser + windower (single consumer keeps window ordering); completed
 	// windows accumulate in pending and flush to the batch detector.
+	// pendingEnd tracks the source index of the last line of the last
+	// pending window: once a flush returns, every source line up to that
+	// index is fully processed (parsed lines detected in order, dropped
+	// lines deliberately shed) and the watermark is acked.
 	var windowBuf []int
 	var pending [][]int
+	var pendingEnd, ackedEnd uint64
 	sincePrev := 0
+	flush := func() {
+		p.detectBatch(pending)
+		pending = pending[:0]
+		if acker != nil && pendingEnd > ackedEnd {
+			acker.Ack(pendingEnd)
+			ackedEnd = pendingEnd
+		}
+	}
 	for {
-		var line string
+		var item bufLine
 		var ok bool
 		select {
-		case line, ok = <-buffer:
+		case item, ok = <-buffer:
 		default:
 			// Collection can't keep up with detection right now: score what
 			// we have instead of waiting for a full batch, so batching never
 			// delays a report on a slow stream.
-			p.detectBatch(pending)
-			pending = pending[:0]
-			line, ok = <-buffer
+			flush()
+			item, ok = <-buffer
 		}
 		if !ok {
 			break
@@ -463,7 +502,7 @@ func (p *Pipeline) Run(ctx context.Context, src Source) Stats {
 		occ := int64(len(buffer))
 		p.om.bufferOccupancy.Set(occ)
 		p.om.bufferPeak.Max(occ + 1)
-		eventID, ok := p.parseLine(line)
+		eventID, ok := p.parseLine(item.text)
 		if !ok {
 			// The line was abandoned after parse/embed stage failures;
 			// windows continue from the next line.
@@ -479,17 +518,17 @@ func (p *Pipeline) Run(ctx context.Context, src Source) Stats {
 		}
 		if len(windowBuf) == p.cfg.Window.Length && sincePrev >= p.cfg.Window.Step {
 			pending = append(pending, append([]int(nil), windowBuf...))
+			pendingEnd = item.idx
 			sincePrev = 0
 			if len(pending) >= batchCap {
-				p.detectBatch(pending)
-				pending = pending[:0]
+				flush()
 			}
 		}
 		if ctx.Err() != nil {
 			break
 		}
 	}
-	p.detectBatch(pending)
+	flush()
 	p.om.bufferOccupancy.Set(0)
 	wg.Wait()
 	return p.Stats()
