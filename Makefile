@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race bench bench-broker bench-broker-smoke chaos fuzz-smoke verify
+.PHONY: build test vet race bench bench-broker bench-broker-smoke bench-shard bench-shard-smoke chaos cover fuzz-smoke verify
 
 build:
 	$(GO) build ./...
@@ -36,6 +36,16 @@ bench-broker:
 bench-broker-smoke:
 	BENCH_BROKER_OUT=$(CURDIR)/BENCH_broker.json BENCH_BROKER_SMOKE=1 $(GO) test -run TestBenchBrokerReport -count=1 ./internal/broker/
 
+# Shard bench tier: end-to-end detection throughput at 1/2/4/8 shards
+# over identical fixed-seed keyed traffic, plus shared interp/embed
+# cache dedup rates, writing BENCH_shard.json. The smoke variant shrinks
+# the corpus and runs inside `make verify`.
+bench-shard:
+	BENCH_SHARD_OUT=$(CURDIR)/BENCH_shard.json $(GO) test -run TestBenchShardReport -count=1 -v ./internal/shard/
+
+bench-shard-smoke:
+	BENCH_SHARD_OUT=$(CURDIR)/BENCH_shard.json BENCH_SHARD_SMOKE=1 $(GO) test -run TestBenchShardReport -count=1 ./internal/shard/
+
 # Chaos tier: the fault-injection framework and the deterministic chaos
 # suites (seeded fault schedules, breakers, spill, leak checks; broker
 # crash-recovery replay) under the race detector. Fast — it uses the
@@ -45,6 +55,16 @@ chaos:
 	$(GO) test -race -count=1 -run 'TestChaos|TestDrop|TestPipelineCancel' ./internal/pipeline/
 	$(GO) test -race -count=1 ./internal/broker/
 
+# Cover tier: the full suite with coverage, a per-package summary, and
+# a floor on the sharded runtime (its equivalence suite is the proof the
+# roadmap leans on, so its coverage must not rot).
+cover:
+	$(GO) test -count=1 -cover -coverprofile=cover.out ./...
+	@$(GO) tool cover -func=cover.out | tail -n 1
+	@pct=$$($(GO) tool cover -func=cover.out | awk '$$1 ~ /^logsynergy\/internal\/shard\// {gsub(/%/,"",$$3); s+=$$3; n++} END {if (n) printf "%.1f", s/n; else print "0"}'); \
+	echo "internal/shard mean function coverage: $$pct%"; \
+	awk -v p="$$pct" 'BEGIN {exit !(p+0 >= 70)}' || { echo "FAIL: internal/shard coverage $$pct% is below the 70% floor"; exit 1; }
+
 # Fuzz-smoke tier: a short randomized pass over the parser and window
 # fuzz targets (the checked-in seed corpora always run as part of
 # `make test`; this tier actually mutates).
@@ -52,4 +72,4 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzParse -fuzztime 10s ./internal/drain/
 	$(GO) test -run '^$$' -fuzz FuzzSlide -fuzztime 10s ./internal/window/
 
-verify: vet test chaos bench-broker-smoke race
+verify: vet test chaos bench-broker-smoke bench-shard-smoke race

@@ -24,6 +24,7 @@ import (
 	"logsynergy/internal/lei"
 	"logsynergy/internal/obs"
 	"logsynergy/internal/pipeline"
+	"logsynergy/internal/shard"
 )
 
 // runServe is the observable deployment mode: it streams a log through
@@ -71,6 +72,7 @@ func runServe(args []string) error {
 	noResilience := fs.Bool("no-resilience", false, "disable retries, breakers, timeouts and spill (ablation)")
 	faultSeed := fs.Int64("fault-seed", 1, "seed for the fault-injection registry")
 	brokerDir := fs.String("broker-dir", "", "WAL directory; enables the durable broker and its POST /ingest intake")
+	shards := fs.Int("shards", 1, "partition intake across N independent detection shards keyed by stream id (requires -broker-dir)")
 	group := fs.String("group", "detector", "broker consumer group the pipeline reads as")
 	fsyncPolicy := fs.String("fsync", "interval", "broker durability policy: always | interval | never")
 	fsyncEvery := fs.Duration("fsync-every", 50*time.Millisecond, "background fsync cadence under -fsync interval")
@@ -133,6 +135,87 @@ func runServe(args []string) error {
 		faults.Enable(injectSpecs.rules...)
 	}
 
+	// buildPipelineCfg assembles the per-run pipeline config from the
+	// flags; the returned cleanup closes the spill store (if any).
+	buildPipelineCfg := func() (pipeline.Config, func(), error) {
+		cfg := pipeline.DefaultConfig(*hint)
+		cfg.BufferSize = *bufSize
+		cfg.DropPolicy = policy
+		cfg.PatternCap = *patternCap
+		cfg.Metrics = reg
+		cfg.Faults = faults
+		cfg.Resilience = pipeline.ResilienceConfig{
+			Disabled:         *noResilience,
+			MaxAttempts:      *retries,
+			InterpretTimeout: *interpretTimeout,
+			SinkTimeout:      *sinkTimeout,
+			BreakerThreshold: *breakerThreshold,
+			BreakerCooldown:  *breakerCooldown,
+			SpillCap:         *spillCap,
+			Seed:             *faultSeed,
+		}
+		cleanup := func() {}
+		if *spillPath != "" {
+			store, err := alertstore.Open(*spillPath)
+			if err != nil {
+				return cfg, cleanup, fmt.Errorf("serve: opening spill store: %w", err)
+			}
+			cleanup = func() { store.Close() }
+			cfg.SpillTo = alertstore.NewSink(store)
+		}
+		return cfg, cleanup, nil
+	}
+
+	if *shards > 1 {
+		if *brokerDir == "" {
+			return fmt.Errorf("serve: -shards %d requires -broker-dir (the shard runtime root)", *shards)
+		}
+		fp, err := broker.ParseFsyncPolicy(*fsyncPolicy)
+		if err != nil {
+			return err
+		}
+		bp, err := broker.ParseFullPolicy(*backlogPolicy)
+		if err != nil {
+			return err
+		}
+		pcfg, cleanup, err := buildPipelineCfg()
+		if err != nil {
+			return err
+		}
+		defer cleanup()
+		pcfg.Metrics = nil // each partition gets its own registry
+		return runServeSharded(shardServeOptions{
+			runtime: shard.Config{
+				Shards: *shards,
+				Dir:    *brokerDir,
+				Group:  *group,
+				Broker: broker.Config{
+					SegmentBytes:     *segmentBytes,
+					Fsync:            fp,
+					FsyncEvery:       *fsyncEvery,
+					MaxBacklogBytes:  *backlogBytes,
+					FullPolicy:       bp,
+					DisableRetention: *noRetention,
+				},
+				Pipeline: pcfg,
+				Detector: det,
+				Interp:   interp,
+				Embedder: embedder,
+				Sink:     &printingSink{quiet: *quiet},
+				Metrics:  reg,
+				// The -inject registry applies fleet-wide in CLI mode (chaos
+				// tests scope registries per shard programmatically).
+				ShardFaults: func(int) *fault.Registry { return faults },
+			},
+			seedLines:     lines,
+			logPath:       *logPath,
+			addr:          *addr,
+			maxBatchBytes: *maxBatchBytes,
+			linger:        *linger,
+			group:         *group,
+		})
+	}
+
 	var bk *broker.Broker
 	var cons *broker.Consumer
 	if *brokerDir != "" {
@@ -190,30 +273,11 @@ func runServe(args []string) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	cfg := pipeline.DefaultConfig(*hint)
-	cfg.BufferSize = *bufSize
-	cfg.DropPolicy = policy
-	cfg.PatternCap = *patternCap
-	cfg.Metrics = reg
-	cfg.Faults = faults
-	cfg.Resilience = pipeline.ResilienceConfig{
-		Disabled:         *noResilience,
-		MaxAttempts:      *retries,
-		InterpretTimeout: *interpretTimeout,
-		SinkTimeout:      *sinkTimeout,
-		BreakerThreshold: *breakerThreshold,
-		BreakerCooldown:  *breakerCooldown,
-		SpillCap:         *spillCap,
-		Seed:             *faultSeed,
+	cfg, cleanup, err := buildPipelineCfg()
+	if err != nil {
+		return err
 	}
-	if *spillPath != "" {
-		store, err := alertstore.Open(*spillPath)
-		if err != nil {
-			return fmt.Errorf("serve: opening spill store: %w", err)
-		}
-		defer store.Close()
-		cfg.SpillTo = alertstore.NewSink(store)
-	}
+	defer cleanup()
 	p := pipeline.New(cfg, parser, det, interp, embedder, &printingSink{quiet: *quiet})
 
 	var stats pipeline.Stats
@@ -285,6 +349,105 @@ func newServeMux(reg *obs.Registry, bk *broker.Broker, maxBatchBytes int64) *htt
 	if bk != nil {
 		mux.Handle("/ingest", bk.IngestHandler(maxBatchBytes))
 	}
+	return mux
+}
+
+// shardServeOptions carries the flag-derived settings into the sharded
+// serve loop.
+type shardServeOptions struct {
+	runtime       shard.Config
+	seedLines     []string
+	logPath       string
+	addr          string
+	maxBatchBytes int64
+	linger        time.Duration
+	group         string
+}
+
+// runServeSharded is serve's scale-out mode: one WAL-backed detection
+// pipeline per shard under a consistent-hash router, the sharded /ingest
+// intake, and a /metrics page merging the fleet (totals plus per-shard
+// shard<i>.-prefixed series). Shutdown mirrors single-broker mode:
+// intake closes, every shard drains its backlog and commits its own
+// offset, then a final merged snapshot prints.
+func runServeSharded(opts shardServeOptions) error {
+	rt, err := shard.Open(opts.runtime)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("shard runtime: %d partitions under %s (group %q)\n", rt.Shards(), opts.runtime.Dir, opts.group)
+
+	if len(opts.seedLines) > 0 {
+		results, err := rt.AppendBatch(opts.seedLines)
+		if err != nil {
+			rt.Close()
+			return fmt.Errorf("serve: seeding shards from -log: %w", err)
+		}
+		for _, res := range results {
+			fmt.Printf("shard %d: seeded %d lines from %s\n", res.Partition, res.Acked, opts.logPath)
+		}
+	}
+
+	ln, err := net.Listen("tcp", opts.addr)
+	if err != nil {
+		rt.Close()
+		return err
+	}
+	srv := &http.Server{Handler: newShardServeMux(rt, opts.maxBatchBytes)}
+	go srv.Serve(ln)
+	defer srv.Close()
+	fmt.Printf("serving merged metrics on http://%s/metrics (pprof on /debug/pprof/)\n", ln.Addr())
+	fmt.Printf("ingesting on http://%s/ingest (lines route to shards by stream key)\n", ln.Addr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	<-ctx.Done()
+	stop()
+	fmt.Println("\nshutting down: intake closed, draining every shard (signal again to kill)")
+	closeErr := rt.Close() // waits for every worker; each commits its own offset
+
+	stats := rt.Stats()
+	fmt.Printf("fleet: lines=%d dropped=%d sequences=%d anomalies=%d pattern-hits=%d evictions=%d new-events=%d\n",
+		stats.LinesCollected, stats.LinesDropped, stats.SequencesFormed,
+		stats.Anomalies, stats.PatternHits, stats.PatternEvictions, stats.NewEvents)
+	for i := 0; i < rt.Shards(); i++ {
+		s := rt.ShardStats(i)
+		fmt.Printf("shard %d: lines=%d sequences=%d anomalies=%d new-events=%d committed=%d\n",
+			i, s.LinesCollected, s.SequencesFormed, s.Anomalies, s.NewEvents, rt.Committed(i))
+	}
+	hits, misses, waits := rt.Cache().Stats()
+	fmt.Printf("interp cache: %d entries, %d hits, %d misses, %d waits\n", rt.Cache().Size(), hits, misses, waits)
+	if closeErr != nil {
+		fmt.Printf("shard runtime close: %v\n", closeErr)
+	}
+	fmt.Println("final metrics snapshot:")
+	rt.Snapshot().WriteText(os.Stdout)
+
+	if opts.linger > 0 {
+		fmt.Printf("stream ended; serving metrics for %s more\n", opts.linger)
+		time.Sleep(opts.linger)
+	}
+	shCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	return srv.Shutdown(shCtx)
+}
+
+// newShardServeMux wires the sharded serve surface: /metrics serves the
+// fleet-merged snapshot, /ingest routes to shards, and the debug pages
+// match single-broker mode.
+func newShardServeMux(rt *shard.Runtime, maxBatchBytes int64) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		rt.Snapshot().WriteText(w)
+	})
+	mux.Handle("/ingest", rt.IngestHandler(maxBatchBytes))
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return mux
 }
 

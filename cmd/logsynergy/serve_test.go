@@ -1,16 +1,24 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
 	"logsynergy/internal/broker"
+	"logsynergy/internal/core"
+	"logsynergy/internal/embed"
+	"logsynergy/internal/lei"
 	"logsynergy/internal/obs"
 	"logsynergy/internal/pipeline"
+	"logsynergy/internal/repr"
+	"logsynergy/internal/shard"
+	"logsynergy/internal/tensor"
 )
 
 func TestObsMuxEndpoints(t *testing.T) {
@@ -205,5 +213,68 @@ func TestServeMuxWithoutBroker(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusNotFound {
 		t.Fatalf("status %d, want 404 without a broker", resp.StatusCode)
+	}
+}
+
+// TestShardServeMux exercises the sharded serve wiring: /ingest routes
+// lines to shards by stream key and /metrics serves the fleet-merged
+// snapshot with per-shard prefixed series.
+func TestShardServeMux(t *testing.T) {
+	ccfg := core.DefaultConfig()
+	det := core.NewDetector(core.NewModel(ccfg, 2),
+		&repr.EventTable{System: "SystemX", Dim: ccfg.EmbedDim, Vectors: tensor.New(0, ccfg.EmbedDim)})
+	rt, err := shard.Open(shard.Config{
+		Shards:   2,
+		Dir:      t.TempDir(),
+		Detector: det,
+		Interp:   lei.NewSimLLM(lei.Config{}),
+		Embedder: embed.New(ccfg.EmbedDim),
+		Sink:     &pipeline.MemorySink{},
+		Metrics:  obs.NewRegistry(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+
+	srv := httptest.NewServer(newShardServeMux(rt, 0))
+	defer srv.Close()
+
+	resp, err := http.Post(srv.URL+"/ingest", "text/plain",
+		strings.NewReader("sysA one fine line\nsysB another fine line\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ir shard.IngestResponse
+	if err := json.NewDecoder(resp.Body).Decode(&ir); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted || ir.Acked != 2 || ir.Rejected != 0 {
+		t.Fatalf("sharded ingest: status %d, %+v", resp.StatusCode, ir)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := rt.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	mresp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	text := string(body)
+	for _, want := range []string{
+		"shard.routed_lines_total 2",
+		"gauge shard.partitions 2",
+		"pipeline.lines_collected 2",
+		"shard.ingest_requests_total 1",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, text)
+		}
 	}
 }

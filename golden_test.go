@@ -6,8 +6,10 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strconv"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -16,8 +18,11 @@ import (
 	"logsynergy/internal/embed"
 	"logsynergy/internal/lei"
 	"logsynergy/internal/logdata"
+	"logsynergy/internal/obs"
 	"logsynergy/internal/pipeline"
 	"logsynergy/internal/repr"
+	"logsynergy/internal/shard"
+	"logsynergy/internal/tensor"
 	"logsynergy/internal/window"
 )
 
@@ -122,6 +127,125 @@ func TestGoldenEndToEnd(t *testing.T) {
 	if got != string(want) {
 		t.Fatalf("end-to-end output diverged from %s (run with -update if intended):\n%s",
 			goldenPath, firstDiff(string(want), got))
+	}
+}
+
+// goldenShardPath is the checked-in transcript of the fixed-seed sharded
+// run. Regenerate with: go test -run TestGoldenShardedEndToEnd -update .
+const goldenShardPath = "testdata/golden_e2e_shard.txt"
+
+// TestGoldenShardedEndToEnd streams a fixed keyed corpus through the
+// 2-shard runtime and pins the full deterministic transcript: the key →
+// partition routing, fleet and per-shard stats, committed offsets, every
+// per-key score at full float64 precision, the (sorted) rendered
+// reports, and the shared interp-cache shape. Any unintended change to
+// the partitioner, the per-partition pipelines, the commit protocol or
+// the fan-in shows up as a diff here.
+func TestGoldenShardedEndToEnd(t *testing.T) {
+	ccfg := core.DefaultConfig()
+	det := core.NewDetector(core.NewModel(ccfg, 2),
+		&repr.EventTable{System: "SystemB", Dim: ccfg.EmbedDim, Vectors: tensor.New(0, ccfg.EmbedDim)})
+	det.Now = func() time.Time { return time.Date(2023, 9, 1, 0, 0, 0, 0, time.UTC) }
+
+	// Five stream keys multiplex one SystemB corpus; the key prefix is
+	// part of each line, exactly as a collection tier would stamp it.
+	online := logdata.Generate(logdata.SystemB(), 99, 1500)
+	lines := make([]string, 0, 1500)
+	for i, msg := range online.Messages() {
+		lines = append(lines, fmt.Sprintf("src%d %s", i%5, msg))
+	}
+
+	sink := &pipeline.MemorySink{}
+	var mu sync.Mutex
+	scores := map[string][]float64{}
+	rt, err := shard.Open(shard.Config{
+		Shards:   2,
+		Dir:      t.TempDir(),
+		Pipeline: pipeline.DefaultConfig("a cloud data management system (SystemB)"),
+		Detector: det,
+		Interp:   lei.NewSimLLM(lei.Config{}),
+		Embedder: embed.New(ccfg.EmbedDim),
+		Sink:     sink,
+		Metrics:  obs.NewRegistry(),
+		OnWindow: func(shard int, key string, seq []int, score float64, abandoned bool) {
+			mu.Lock()
+			scores[key] = append(scores[key], score)
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.AppendBatch(lines); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := rt.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "== routing ==\n")
+	keys := make([]string, 0, len(scores))
+	for k := range scores {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(&b, "%s -> shard %d\n", k, rt.PartitionFor(k))
+	}
+
+	stats := rt.Stats()
+	fmt.Fprintf(&b, "== fleet stats ==\n")
+	fmt.Fprintf(&b, "lines=%d sequences=%d anomalies=%d pattern-hits=%d pattern-misses=%d new-events=%d\n",
+		stats.LinesCollected, stats.SequencesFormed, stats.Anomalies,
+		stats.PatternHits, stats.PatternMisses, stats.NewEvents)
+	for i := 0; i < rt.Shards(); i++ {
+		s := rt.ShardStats(i)
+		fmt.Fprintf(&b, "shard %d: lines=%d sequences=%d anomalies=%d new-events=%d committed=%d\n",
+			i, s.LinesCollected, s.SequencesFormed, s.Anomalies, s.NewEvents, rt.Committed(i))
+	}
+	_, misses, _ := rt.Cache().Stats()
+	fmt.Fprintf(&b, "interp cache: entries=%d misses=%d\n", rt.Cache().Size(), misses)
+
+	fmt.Fprintf(&b, "== scores ==\n")
+	for _, k := range keys {
+		for i, s := range scores[k] {
+			fmt.Fprintf(&b, "%s[%d]=%s\n", k, i, strconv.FormatFloat(s, 'g', -1, 64))
+		}
+	}
+
+	// The fan-in interleaving across shards is scheduling-dependent; the
+	// report multiset is not. Sort the rendered reports to pin it.
+	rendered := make([]string, 0, len(sink.Reports()))
+	for _, r := range sink.Reports() {
+		rendered = append(rendered, fmt.Sprintf("score=%s\n%s", strconv.FormatFloat(r.Score, 'g', -1, 64), r.String()))
+	}
+	sort.Strings(rendered)
+	fmt.Fprintf(&b, "== reports (%d) ==\n", len(rendered))
+	for _, r := range rendered {
+		b.WriteString(r)
+	}
+	got := b.String()
+
+	if *updateGolden {
+		if err := os.WriteFile(goldenShardPath, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d bytes)", goldenShardPath, len(got))
+		return
+	}
+	want, err := os.ReadFile(goldenShardPath)
+	if err != nil {
+		t.Fatalf("missing golden file (generate with -update): %v", err)
+	}
+	if got != string(want) {
+		t.Fatalf("sharded end-to-end output diverged from %s (run with -update if intended):\n%s",
+			goldenShardPath, firstDiff(string(want), got))
 	}
 }
 

@@ -47,6 +47,12 @@ type Embedder struct {
 
 	mu    sync.Mutex
 	cache map[string][]float64
+	// texts memoizes whole-text embeddings: sharded deployments share one
+	// embedder across partitions, so a hot template's vector is computed
+	// once process-wide no matter how many partition tables extend with
+	// it. textHits counts memo hits (diagnostics).
+	texts    map[string][]float64
+	textHits uint64
 }
 
 // New creates an embedder with the given dimension (paper-equivalent role:
@@ -61,6 +67,7 @@ func New(dim int) *Embedder {
 		SynonymWeight:       0.6,
 		ParentheticalWeight: 0.25,
 		cache:               make(map[string][]float64),
+		texts:               make(map[string][]float64),
 	}
 }
 
@@ -112,8 +119,34 @@ func Tokenize(text string) []string {
 
 // Embed returns the unit-normalized embedding of text. Empty or tokenless
 // text embeds to the zero vector. Parenthesized spans contribute with
-// ParentheticalWeight; the head text with weight 1.
+// ParentheticalWeight; the head text with weight 1. Whole-text results
+// are memoized (callers get a private copy, so mutating a returned slice
+// never corrupts the memo).
 func (e *Embedder) Embed(text string) []float64 {
+	e.mu.Lock()
+	if v, ok := e.texts[text]; ok {
+		e.textHits++
+		e.mu.Unlock()
+		return append([]float64(nil), v...)
+	}
+	e.mu.Unlock()
+	out := e.embed(text)
+	e.mu.Lock()
+	e.texts[text] = out
+	e.mu.Unlock()
+	return append([]float64(nil), out...)
+}
+
+// TextCacheHits returns how many Embed calls were answered from the
+// whole-text memo.
+func (e *Embedder) TextCacheHits() uint64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.textHits
+}
+
+// embed computes an embedding without consulting the whole-text memo.
+func (e *Embedder) embed(text string) []float64 {
 	out := make([]float64, e.Dim)
 	head, parens := splitParenthetical(text)
 	e.accumulate(out, head, 1)

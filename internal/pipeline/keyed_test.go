@@ -1,0 +1,234 @@
+package pipeline
+
+import (
+	"context"
+	"fmt"
+	"testing"
+)
+
+// keyedCapture collects per-key score sequences from OnWindow.
+func keyedCapture(k *Keyed, t *testing.T) map[string][]float64 {
+	scores := map[string][]float64{}
+	k.OnWindow = func(key string, seq []int, score float64, abandoned bool) {
+		if abandoned {
+			t.Errorf("window for key %q abandoned", key)
+		}
+		scores[key] = append(scores[key], score)
+	}
+	return scores
+}
+
+// A single-key Keyed feed is the same workflow as Run over the same
+// lines: same windows, same scores, same reports in the same order.
+func TestKeyedSingleKeyMatchesRun(t *testing.T) {
+	lines := chaosLines(400)
+	firstWindow := []int{0, 1, 2, 3, 4, 5, 0, 1, 2, 3}
+
+	det, parser, interp, e := tinyDeployment(t)
+	runSink := &MemorySink{}
+	p := New(DefaultConfig("x"), parser, det, interp, e, runSink)
+	p.Library().Store(firstWindow, 0.9)
+	runStats := p.Run(context.Background(), NewSliceSource(lines))
+
+	det2, parser2, interp2, e2 := tinyDeployment(t)
+	keyedSink := &MemorySink{}
+	p2 := New(DefaultConfig("x"), parser2, det2, interp2, e2, keyedSink)
+	p2.Library().Store(firstWindow, 0.9)
+	k := NewKeyed(p2)
+	for _, line := range lines {
+		k.Feed("the-key", line)
+	}
+	k.Flush()
+	keyedStats := p2.Stats()
+
+	if keyedStats.LinesCollected != runStats.LinesCollected ||
+		keyedStats.SequencesFormed != runStats.SequencesFormed ||
+		keyedStats.Anomalies != runStats.Anomalies ||
+		keyedStats.PatternHits != runStats.PatternHits ||
+		keyedStats.PatternMisses != runStats.PatternMisses ||
+		keyedStats.NewEvents != runStats.NewEvents {
+		t.Fatalf("keyed stats %+v != run stats %+v", keyedStats, runStats)
+	}
+	kr, rr := keyedSink.Reports(), runSink.Reports()
+	if len(kr) != len(rr) {
+		t.Fatalf("%d keyed reports vs %d run reports", len(kr), len(rr))
+	}
+	for i := range rr {
+		if kr[i].Score != rr[i].Score {
+			t.Fatalf("report %d score differs: keyed %v run %v", i, kr[i].Score, rr[i].Score)
+		}
+		for j := range rr[i].EventIDs {
+			if kr[i].EventIDs[j] != rr[i].EventIDs[j] {
+				t.Fatalf("report %d event ids differ at %d", i, j)
+			}
+		}
+	}
+}
+
+// The demultiplexing property behind sharding: a key's score sequence
+// depends only on that key's lines in order — interleaving other keys
+// into the same Keyed changes nothing.
+func TestKeyedPerKeyIndependence(t *testing.T) {
+	mkLines := func(start, n int) []string {
+		lines := make([]string, n)
+		for i := range lines {
+			lines[i] = chaosTemplates[(start+i)%len(chaosTemplates)]
+		}
+		return lines
+	}
+	aLines, bLines := mkLines(0, 180), mkLines(3, 180)
+
+	solo := func(key string, lines []string) map[string][]float64 {
+		det, parser, interp, e := tinyDeployment(t)
+		p := New(DefaultConfig("x"), parser, det, interp, e, &MemorySink{})
+		k := NewKeyed(p)
+		scores := keyedCapture(k, t)
+		for _, line := range lines {
+			k.Feed(key, line)
+		}
+		k.Flush()
+		return scores
+	}
+	wantA, wantB := solo("A", aLines), solo("B", bLines)
+
+	det, parser, interp, e := tinyDeployment(t)
+	p := New(DefaultConfig("x"), parser, det, interp, e, &MemorySink{})
+	k := NewKeyed(p)
+	scores := keyedCapture(k, t)
+	for i := 0; i < 180; i++ { // interleave A and B line by line
+		k.Feed("A", aLines[i])
+		k.Feed("B", bLines[i])
+	}
+	k.Flush()
+
+	for key, want := range map[string][]float64{"A": wantA["A"], "B": wantB["B"]} {
+		got := scores[key]
+		if len(got) != len(want) {
+			t.Fatalf("key %s: %d interleaved windows vs %d solo", key, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("key %s window %d: interleaved score %v != solo %v", key, i, got[i], want[i])
+			}
+		}
+	}
+	if k.Keys() != 2 {
+		t.Fatalf("Keys() = %d, want 2", k.Keys())
+	}
+}
+
+// Tails + Restore resume every key's window phase exactly: stopping a
+// Keyed mid-stream and continuing in a fresh process must score the
+// same windows with the same values as the uninterrupted run.
+func TestKeyedTailsRestoreResumesExactly(t *testing.T) {
+	keys := []string{"alpha", "beta", "gamma"}
+	line := func(i int) (string, string) {
+		return keys[i%len(keys)], chaosTemplates[i%len(chaosTemplates)]
+	}
+	const total, cut = 400, 137 // cut mid-window on purpose
+
+	// Uninterrupted reference.
+	det, parser, interp, e := tinyDeployment(t)
+	p := New(DefaultConfig("x"), parser, det, interp, e, &MemorySink{})
+	k := NewKeyed(p)
+	want := keyedCapture(k, t)
+	for i := 0; i < total; i++ {
+		key, l := line(i)
+		k.Feed(key, l)
+	}
+	k.Flush()
+
+	// First "process": feed the prefix, flush, snapshot tails.
+	det1, parser1, interp1, e1 := tinyDeployment(t)
+	p1 := New(DefaultConfig("x"), parser1, det1, interp1, e1, &MemorySink{})
+	k1 := NewKeyed(p1)
+	got := keyedCapture(k1, t)
+	for i := 0; i < cut; i++ {
+		key, l := line(i)
+		k1.Feed(key, l)
+	}
+	k1.Flush()
+	tails := k1.Tails()
+
+	// Tails must round-trip deep copies: mutating the snapshot later must
+	// not reach into live window state (guards the state-file path).
+	for key := range tails {
+		if len(tails[key].Lines) > 0 {
+			tails[key].Lines[0] += " mutated"
+		}
+		break
+	}
+	tails = k1.Tails()
+
+	// Second "process": fresh pipeline, restore, continue the stream.
+	det2, parser2, interp2, e2 := tinyDeployment(t)
+	p2 := New(DefaultConfig("x"), parser2, det2, interp2, e2, &MemorySink{})
+	k2 := NewKeyed(p2)
+	k2.OnWindow = func(key string, seq []int, score float64, abandoned bool) {
+		if abandoned {
+			t.Errorf("window for key %q abandoned", key)
+		}
+		got[key] = append(got[key], score)
+	}
+	k2.Restore(tails)
+	if n := k2.PendingWindows(); n != 0 {
+		t.Fatalf("restore completed %d windows; restored tails must never re-complete", n)
+	}
+	for i := cut; i < total; i++ {
+		key, l := line(i)
+		k2.Feed(key, l)
+	}
+	k2.Flush()
+
+	for _, key := range keys {
+		if len(got[key]) != len(want[key]) {
+			t.Fatalf("key %s: %d resumed windows vs %d uninterrupted", key, len(got[key]), len(want[key]))
+		}
+		for i := range want[key] {
+			if got[key][i] != want[key][i] {
+				t.Fatalf("key %s window %d: resumed score %v != uninterrupted %v", key, i, got[key][i], want[key][i])
+			}
+		}
+	}
+}
+
+// Restored lines do not recount collection stats and tails exclude keys
+// with no live state.
+func TestKeyedTailsBookkeeping(t *testing.T) {
+	det, parser, interp, e := tinyDeployment(t)
+	p := New(DefaultConfig("x"), parser, det, interp, e, &MemorySink{})
+	k := NewKeyed(p)
+	for i := 0; i < 7; i++ {
+		k.Feed("k", chaosTemplates[i%len(chaosTemplates)])
+	}
+	k.Flush()
+	tails := k.Tails()
+	if tl, ok := tails["k"]; !ok || len(tl.Lines) != 7 || tl.SincePrev != 7 {
+		t.Fatalf("unexpected tail: %+v", tails)
+	}
+
+	det2, parser2, interp2, e2 := tinyDeployment(t)
+	p2 := New(DefaultConfig("x"), parser2, det2, interp2, e2, &MemorySink{})
+	k2 := NewKeyed(p2)
+	k2.Restore(tails)
+	if c := p2.Stats().LinesCollected; c != 0 {
+		t.Fatalf("restore counted %d collected lines, want 0", c)
+	}
+	if k2.Keys() != 1 {
+		t.Fatalf("Keys() = %d after restore, want 1", k2.Keys())
+	}
+	// The restored window continues: 3 more lines complete the first
+	// 10-line window.
+	done := 0
+	k2.OnWindow = func(string, []int, float64, bool) { done++ }
+	for i := 7; i < 10; i++ {
+		k2.Feed("k", chaosTemplates[i%len(chaosTemplates)])
+	}
+	k2.Flush()
+	if done != 1 {
+		t.Fatalf("completed %d windows after restore+3 lines, want 1", done)
+	}
+	if fmt.Sprintf("%v", k2.Tails()["k"].SincePrev) != "0" {
+		t.Fatalf("sincePrev not reset after completion: %+v", k2.Tails()["k"])
+	}
+}

@@ -591,9 +591,12 @@ func (p *Pipeline) countParseFailure() {
 // unique patterns are scored in one parallel pass; then scores, library
 // inserts, stats, and report delivery are applied in input order. Each
 // pattern's map key is rendered exactly once (LookupOrKey → StoreKey).
-func (p *Pipeline) detectBatch(seqs [][]int) {
+// It returns every sequence's score in input order, plus an abandoned
+// mask for windows whose detect stage terminally failed (their score
+// entry is meaningless).
+func (p *Pipeline) detectBatch(seqs [][]int) (batchScores []float64, abandoned []bool) {
 	if len(seqs) == 0 {
-		return
+		return nil, nil
 	}
 	start := time.Now()
 	p.mu.Lock()
@@ -632,13 +635,13 @@ func (p *Pipeline) detectBatch(seqs [][]int) {
 		for pos, i := range missIdx {
 			missSeqs[pos] = seqs[i]
 		}
-		var batchScores []float64
+		var missScores []float64
 		err := p.guard(PointDetect, 0, func() error {
-			batchScores = p.detector.ScoreSequences(missSeqs)
+			missScores = p.detector.ScoreSequences(missSeqs)
 			return nil
 		})
 		if err == nil {
-			for pos, s := range batchScores {
+			for pos, s := range missScores {
 				scores[missIdx[pos]] = s
 			}
 		} else {
@@ -693,6 +696,7 @@ func (p *Pipeline) detectBatch(seqs [][]int) {
 	}
 	p.om.librarySize.Set(int64(p.library.Size()))
 	p.om.detectBatch.ObserveSince(start)
+	return scores, failed
 }
 
 func (p *Pipeline) deliver(rep *core.Report) {

@@ -58,6 +58,19 @@ func BuildEventTable(seqs *logdata.Sequences, it lei.Interpreter, e *embed.Embed
 // Len returns the number of events in the table.
 func (t *EventTable) Len() int { return t.Vectors.Rows() }
 
+// Clone deep-copies the table. Sharded deployments give each partition
+// its own clone of the offline table so online extension (Extend) can
+// proceed independently per partition without synchronization; the
+// shared model weights stay read-only.
+func (t *EventTable) Clone() *EventTable {
+	return &EventTable{
+		System:  t.System,
+		Dim:     t.Dim,
+		Vectors: t.Vectors.Clone(),
+		Interps: append([]lei.Interpretation(nil), t.Interps...),
+	}
+}
+
 // Extend appends one new event (paper §III-E: "when a new log event
 // appears, LogSynergy maps the new log event into an event embedding").
 // The event receives the next id; the caller must keep its own id space in

@@ -1,0 +1,104 @@
+package shard
+
+import (
+	"sync"
+
+	"logsynergy/internal/lei"
+	"logsynergy/internal/obs"
+)
+
+// InterpCache is the shared interpretation cache: a memoizing,
+// singleflight-deduplicated lei.Interpreter that every partition
+// pipeline uses in place of the raw interpreter. LEI rendering is the
+// most expensive per-template operation in the online path (a real
+// deployment calls an LLM), and hot event templates recur across
+// source systems — so when several partitions discover the same
+// template concurrently, exactly one renders it and the rest wait for
+// that result. Interpretations are deterministic per (hint, template),
+// so which partition wins the race never affects output.
+type InterpCache struct {
+	inner lei.Interpreter
+
+	mu      sync.Mutex
+	entries map[string]*cacheEntry
+
+	hits   *obs.Counter // answered from a completed entry
+	misses *obs.Counter // computed by this call (== inner interpreter calls)
+	waits  *obs.Counter // deduplicated against another caller's in-flight render
+}
+
+// cacheEntry is one template's render slot. done closes when in is
+// valid; waiters block on it without holding the cache lock.
+type cacheEntry struct {
+	done chan struct{}
+	in   lei.Interpretation
+}
+
+// NewInterpCache wraps inner with memoization and singleflight dedup,
+// registering shard.cache_* counters on reg (nil = obs.Default()).
+func NewInterpCache(inner lei.Interpreter, reg *obs.Registry) *InterpCache {
+	if reg == nil {
+		reg = obs.Default()
+	}
+	return &InterpCache{
+		inner:   inner,
+		entries: make(map[string]*cacheEntry),
+		hits:    reg.Counter("shard.cache_hits_total"),
+		misses:  reg.Counter("shard.cache_misses_total"),
+		waits:   reg.Counter("shard.cache_dedup_waits_total"),
+	}
+}
+
+// Interpret implements lei.Interpreter. The first caller for a template
+// renders it through the inner interpreter; concurrent callers for the
+// same template wait for that render; later callers hit the memo.
+func (c *InterpCache) Interpret(systemHint, template string) lei.Interpretation {
+	key := systemHint + "\x00" + template
+	c.mu.Lock()
+	if e, ok := c.entries[key]; ok {
+		c.mu.Unlock()
+		select {
+		case <-e.done:
+			c.hits.Inc()
+		default:
+			c.waits.Inc()
+			<-e.done
+		}
+		return e.in
+	}
+	e := &cacheEntry{done: make(chan struct{})}
+	c.entries[key] = e
+	c.mu.Unlock()
+
+	c.misses.Inc()
+	defer func() {
+		// A panicking inner interpreter must not strand waiters on done:
+		// drop the poisoned entry, release them with the zero value, and
+		// let the pipeline's panic containment see the original panic.
+		if r := recover(); r != nil {
+			c.mu.Lock()
+			delete(c.entries, key)
+			c.mu.Unlock()
+			close(e.done)
+			panic(r)
+		}
+	}()
+	e.in = c.inner.Interpret(systemHint, template)
+	close(e.done)
+	return e.in
+}
+
+// Size returns the number of cached templates (including in-flight
+// renders).
+func (c *InterpCache) Size() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Stats returns the hit / miss / dedup-wait counts. misses equals the
+// number of inner interpreter calls ever made — the "rendered once"
+// guarantee is misses == distinct templates.
+func (c *InterpCache) Stats() (hits, misses, waits int64) {
+	return c.hits.Value(), c.misses.Value(), c.waits.Value()
+}

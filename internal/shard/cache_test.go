@@ -1,0 +1,167 @@
+package shard
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"logsynergy/internal/lei"
+	"logsynergy/internal/obs"
+)
+
+// countingInterp counts real renders and can be told to panic.
+type countingInterp struct {
+	calls    atomic.Int64
+	panicsOn string
+	// gate, when set, blocks renders until released — lets tests hold a
+	// render in flight while other callers pile up on the entry.
+	gate chan struct{}
+}
+
+func (c *countingInterp) Interpret(hint, template string) lei.Interpretation {
+	c.calls.Add(1)
+	if c.gate != nil {
+		<-c.gate
+	}
+	if template == c.panicsOn {
+		panic("interpreter exploded on " + template)
+	}
+	return lei.Interpretation{Template: template, Text: hint + ": rendered " + template}
+}
+
+func TestInterpCacheMemoizes(t *testing.T) {
+	inner := &countingInterp{}
+	c := NewInterpCache(inner, obs.NewRegistry())
+	first := c.Interpret("sys", "disk <*> full")
+	for i := 0; i < 10; i++ {
+		got := c.Interpret("sys", "disk <*> full")
+		if got != first {
+			t.Fatalf("cached interpretation changed: %+v vs %+v", got, first)
+		}
+	}
+	if n := inner.calls.Load(); n != 1 {
+		t.Fatalf("inner interpreter called %d times, want 1 (rendered once)", n)
+	}
+	hits, misses, _ := c.Stats()
+	if hits != 10 || misses != 1 {
+		t.Fatalf("hits=%d misses=%d, want 10/1", hits, misses)
+	}
+	if c.Size() != 1 {
+		t.Fatalf("Size() = %d, want 1", c.Size())
+	}
+}
+
+// Distinct templates and distinct system hints are distinct entries —
+// the cache must never serve one system's rendering for another's.
+func TestInterpCacheKeysByHintAndTemplate(t *testing.T) {
+	inner := &countingInterp{}
+	c := NewInterpCache(inner, obs.NewRegistry())
+	a := c.Interpret("sysA", "t")
+	b := c.Interpret("sysB", "t")
+	d := c.Interpret("sysA", "u")
+	if a == b || a == d {
+		t.Fatalf("entries collided: %+v %+v %+v", a, b, d)
+	}
+	if n := inner.calls.Load(); n != 3 {
+		t.Fatalf("inner called %d times, want 3", n)
+	}
+	if c.Size() != 3 {
+		t.Fatalf("Size() = %d, want 3", c.Size())
+	}
+}
+
+// The singleflight property: many goroutines racing on the same cold
+// template produce exactly one inner render; everyone gets that result.
+func TestInterpCacheSingleflight(t *testing.T) {
+	inner := &countingInterp{gate: make(chan struct{})}
+	c := NewInterpCache(inner, obs.NewRegistry())
+
+	const callers = 16
+	results := make([]lei.Interpretation, callers)
+	var started, done sync.WaitGroup
+	started.Add(callers)
+	done.Add(callers)
+	for i := 0; i < callers; i++ {
+		go func(i int) {
+			started.Done()
+			results[i] = c.Interpret("sys", "hot template <*>")
+			done.Done()
+		}(i)
+	}
+	started.Wait()
+	close(inner.gate) // release the winning render
+	done.Wait()
+
+	if n := inner.calls.Load(); n != 1 {
+		t.Fatalf("inner rendered %d times under %d concurrent callers, want exactly 1", n, callers)
+	}
+	for i := 1; i < callers; i++ {
+		if results[i] != results[0] {
+			t.Fatalf("caller %d got a different interpretation", i)
+		}
+	}
+	hits, misses, waits := c.Stats()
+	if misses != 1 {
+		t.Fatalf("misses=%d, want 1", misses)
+	}
+	if hits+waits != callers-1 {
+		t.Fatalf("hits+waits=%d, want %d", hits+waits, callers-1)
+	}
+}
+
+// A panicking inner interpreter must not poison the cache: the panic
+// propagates (the pipeline's guard handles it), waiters are released,
+// and the next call for the same template retries the render.
+func TestInterpCachePanicRetries(t *testing.T) {
+	inner := &countingInterp{panicsOn: "bad"}
+	c := NewInterpCache(inner, obs.NewRegistry())
+
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("panic did not propagate")
+			}
+		}()
+		c.Interpret("sys", "bad")
+	}()
+	if c.Size() != 0 {
+		t.Fatalf("poisoned entry left in cache (size %d)", c.Size())
+	}
+
+	inner.panicsOn = "" // the interpreter "recovers"
+	got := c.Interpret("sys", "bad")
+	if got.Text == "" {
+		t.Fatalf("retry after panic returned zero interpretation: %+v", got)
+	}
+	if n := inner.calls.Load(); n != 2 {
+		t.Fatalf("inner called %d times, want 2 (panic + retry)", n)
+	}
+}
+
+// Hammer the cache from many goroutines over overlapping templates; run
+// with -race this is the concurrency safety proof, and the rendered-once
+// guarantee must hold for every template.
+func TestInterpCacheConcurrentRenderedOnce(t *testing.T) {
+	inner := &countingInterp{}
+	c := NewInterpCache(inner, obs.NewRegistry())
+	const goroutines, templates, rounds = 8, 20, 200
+	var wg sync.WaitGroup
+	wg.Add(goroutines)
+	for g := 0; g < goroutines; g++ {
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				tpl := fmt.Sprintf("template <*> kind %d", (g+i)%templates)
+				if got := c.Interpret("sys", tpl); got.Template != tpl {
+					t.Errorf("wrong entry for %q: %+v", tpl, got)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if n := inner.calls.Load(); n != templates {
+		t.Fatalf("inner rendered %d times, want exactly %d (one per distinct template)", n, templates)
+	}
+}

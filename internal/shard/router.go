@@ -1,0 +1,188 @@
+package shard
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"logsynergy/internal/broker"
+)
+
+// The sharded intake: the router hashes each line's stream key onto a
+// partition and appends to that partition's WAL. Backpressure is
+// per-partition — a stalled shard whose backlog fills rejects only the
+// lines keyed to it, while every other shard keeps acking. The HTTP
+// contract extends the broker's: 202 means every line in the batch is in
+// some partition's log; 429 carries a per-partition breakdown of what
+// was acked and what must be retried.
+
+// IngestResponse is the JSON body of a 202 or 429 from the sharded
+// /ingest endpoint.
+type IngestResponse struct {
+	// Acked is the number of lines durably appended (across partitions).
+	Acked int `json:"acked"`
+	// Rejected is the number of lines refused by per-partition admission
+	// control; the collector should retry exactly these.
+	Rejected int `json:"rejected"`
+	// Partitions breaks the batch down per partition, in partition order.
+	Partitions []PartitionResult `json:"partitions,omitempty"`
+}
+
+// PartitionResult is one partition's share of an ingest batch.
+type PartitionResult struct {
+	Partition int `json:"partition"`
+	Acked     int `json:"acked"`
+	Rejected  int `json:"rejected"`
+	// Error classifies the rejection ("backlog full", "closed"), empty on
+	// success.
+	Error string `json:"error,omitempty"`
+}
+
+// Append routes one line to its partition's WAL and returns the
+// partition index and the assigned offset within that partition's log.
+// A full partition returns an error wrapping broker.ErrBacklogFull that
+// names the partition; other partitions are unaffected.
+func (rt *Runtime) Append(line string) (part int, off uint64, err error) {
+	part = rt.part.Partition(rt.cfg.KeyFunc(line))
+	off, err = rt.parts[part].bk.Append(line)
+	if err != nil {
+		rt.rejectedByBP.Inc()
+		return part, 0, fmt.Errorf("partition %d: %w", part, err)
+	}
+	rt.routedLines.Inc()
+	return part, off, nil
+}
+
+// AppendBatch routes a batch of lines to their partitions, appending
+// each partition's share as one batch. Acceptance is per-partition: the
+// returned results say what each partition acked or rejected, and the
+// error (if non-nil) wraps the first partition failure. Lines for
+// healthy partitions are durably appended even when another partition
+// rejects its share.
+func (rt *Runtime) AppendBatch(lines []string) ([]PartitionResult, error) {
+	byPart := make([][]string, rt.cfg.Shards)
+	for _, line := range lines {
+		p := rt.part.Partition(rt.cfg.KeyFunc(line))
+		byPart[p] = append(byPart[p], line)
+	}
+	var results []PartitionResult
+	var firstErr error
+	for p, share := range byPart {
+		if len(share) == 0 {
+			continue
+		}
+		res := PartitionResult{Partition: p}
+		if _, _, err := rt.parts[p].bk.AppendBatch(share); err != nil {
+			res.Rejected = len(share)
+			res.Error = rejectionLabel(err)
+			rt.rejectedByBP.Add(int64(len(share)))
+			if firstErr == nil {
+				firstErr = fmt.Errorf("partition %d: %w", p, err)
+			}
+		} else {
+			res.Acked = len(share)
+			rt.routedLines.Add(int64(len(share)))
+		}
+		results = append(results, res)
+	}
+	return results, firstErr
+}
+
+// rejectionLabel classifies an append error for the wire.
+func rejectionLabel(err error) string {
+	switch {
+	case errors.Is(err, broker.ErrBacklogFull):
+		return "backlog full"
+	case errors.Is(err, broker.ErrClosed):
+		return "closed"
+	default:
+		return err.Error()
+	}
+}
+
+// IngestHandler returns the sharded /ingest HTTP handler. maxBatchBytes
+// bounds one request body (<= 0 selects broker.DefaultMaxBatchBytes).
+// Status mapping:
+//
+//	202 every line acked (body: IngestResponse)
+//	429 some partition rejected its share — body carries the
+//	    per-partition breakdown so the collector retries only the
+//	    rejected lines (Retry-After: 1)
+//	503 every routed partition refused because intake is closed
+//	413 request body exceeds the batch limit
+//	405 anything but POST
+func (rt *Runtime) IngestHandler(maxBatchBytes int64) http.Handler {
+	if maxBatchBytes <= 0 {
+		maxBatchBytes = broker.DefaultMaxBatchBytes
+	}
+	requests := rt.reg.Counter("shard.ingest_requests_total")
+	oversized := rt.reg.Counter("shard.ingest_oversized_total")
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		requests.Inc()
+		if r.Method != http.MethodPost {
+			w.Header().Set("Allow", http.MethodPost)
+			http.Error(w, "ingest accepts POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		if r.ContentLength > maxBatchBytes {
+			oversized.Inc()
+			http.Error(w, fmt.Sprintf("batch of %d bytes exceeds limit %d", r.ContentLength, maxBatchBytes), http.StatusRequestEntityTooLarge)
+			return
+		}
+		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBatchBytes))
+		if err != nil {
+			var tooBig *http.MaxBytesError
+			if errors.As(err, &tooBig) {
+				oversized.Inc()
+				http.Error(w, fmt.Sprintf("batch exceeds limit %d bytes", maxBatchBytes), http.StatusRequestEntityTooLarge)
+				return
+			}
+			http.Error(w, "reading request body: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		lines := splitBatch(body)
+		resp := IngestResponse{}
+		if len(lines) > 0 {
+			results, _ := rt.AppendBatch(lines)
+			resp.Partitions = results
+			allClosed := len(results) > 0
+			for _, res := range results {
+				resp.Acked += res.Acked
+				resp.Rejected += res.Rejected
+				if res.Error != "closed" {
+					allClosed = false
+				}
+			}
+			if allClosed {
+				http.Error(w, "intake closed", http.StatusServiceUnavailable)
+				return
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if resp.Rejected > 0 {
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusTooManyRequests)
+		} else {
+			w.WriteHeader(http.StatusAccepted)
+		}
+		json.NewEncoder(w).Encode(resp)
+	})
+}
+
+// splitBatch parses a newline-delimited body into log lines, tolerating
+// CRLF and dropping empty lines.
+func splitBatch(body []byte) []string {
+	raw := strings.Split(string(body), "\n")
+	lines := make([]string, 0, len(raw))
+	for _, l := range raw {
+		l = strings.TrimSuffix(l, "\r")
+		if l == "" {
+			continue
+		}
+		lines = append(lines, l)
+	}
+	return lines
+}

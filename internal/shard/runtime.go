@@ -1,0 +1,573 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"logsynergy/internal/broker"
+	"logsynergy/internal/core"
+	"logsynergy/internal/drain"
+	"logsynergy/internal/embed"
+	"logsynergy/internal/fault"
+	"logsynergy/internal/lei"
+	"logsynergy/internal/obs"
+	"logsynergy/internal/pipeline"
+)
+
+// Config assembles a sharded runtime. Shards, Dir, Detector, Interp,
+// Embedder and Sink are required; zero fields take the defaults
+// documented on each.
+type Config struct {
+	// Shards is the partition count (default 1).
+	Shards int
+	// Dir is the runtime root; partition i owns the WAL directory Dir/p<i>.
+	Dir string
+	// KeyFunc extracts the stream key from a raw line (default
+	// DefaultKeyFunc: the first whitespace-delimited token).
+	KeyFunc func(line string) string
+	// Group is the consumer-group name each partition's pipeline reads as
+	// (default "detector").
+	Group string
+	// CommitEvery is how many fed lines may elapse between a partition's
+	// state persist + offset commit (default 256; 1 commits after every
+	// line). Partitions additionally commit whenever they catch up with
+	// their backlog and on graceful shutdown.
+	CommitEvery int
+	// Vnodes overrides the partitioner's virtual-node count (default
+	// DefaultVirtualNodes).
+	Vnodes int
+	// Broker is the per-partition broker template; Dir, Metrics and
+	// Faults are overridden per partition.
+	Broker broker.Config
+	// Pipeline is the per-partition pipeline template; Metrics and Faults
+	// are overridden per partition.
+	Pipeline pipeline.Config
+	// Detector is the trained base detector. Each partition scores with
+	// the shared (read-only) model and its own clone of the event table.
+	Detector *core.Detector
+	// Interp is the inner interpreter, wrapped by the shared singleflight
+	// InterpCache.
+	Interp lei.Interpreter
+	// Embedder is shared across partitions (it memoizes whole-text
+	// vectors, so hot templates embed once process-wide).
+	Embedder *embed.Embedder
+	// Sink receives every partition's anomaly reports through the
+	// order-preserving fan-in (per-key order is the per-partition
+	// delivery order; the fan-in serializes cross-partition delivery).
+	Sink pipeline.Sink
+	// Metrics is the runtime-level registry for shared components: the
+	// interp cache, the router, the fan-in (nil = obs.Default()).
+	Metrics *obs.Registry
+	// ShardMetrics supplies partition i's registry (nil = a fresh
+	// isolated registry per partition). Per-partition pipeline and broker
+	// metrics land here; Snapshot() exposes them both merged and under a
+	// shard<i>. prefix.
+	ShardMetrics func(i int) *obs.Registry
+	// ShardFaults supplies partition i's fault-injection registry,
+	// consulted by both that partition's broker and its pipeline (nil =
+	// nothing injected). Chaos tests use it to break exactly one shard.
+	ShardFaults func(i int) *fault.Registry
+	// OnWindow, when set, observes every scored window: partition index,
+	// stream key, event-id sequence, score, and whether detection
+	// terminally failed. The equivalence harness uses it to capture
+	// per-key score sequences.
+	OnWindow func(shard int, key string, seq []int, score float64, abandoned bool)
+}
+
+// withDefaults fills zero fields.
+func (c Config) withDefaults() Config {
+	if c.Shards <= 0 {
+		c.Shards = 1
+	}
+	if c.KeyFunc == nil {
+		c.KeyFunc = DefaultKeyFunc
+	}
+	if c.Group == "" {
+		c.Group = "detector"
+	}
+	if c.CommitEvery <= 0 {
+		c.CommitEvery = 256
+	}
+	if c.Metrics == nil {
+		c.Metrics = obs.Default()
+	}
+	return c
+}
+
+// Runtime is the assembled sharded detection runtime: N partition
+// workers, each tailing its own WAL through its own pipeline, a
+// consistent-hash router in front, and a fan-in sink behind.
+type Runtime struct {
+	cfg   Config
+	part  *Partitioner
+	cache *InterpCache
+	reg   *obs.Registry
+	parts []*partition
+
+	faninMu      sync.Mutex
+	faninTotal   *obs.Counter
+	routedLines  *obs.Counter
+	rejectedByBP *obs.Counter
+}
+
+// partition is one shard: broker, consumer, pipeline, keyed windower,
+// worker goroutine, and resume bookkeeping.
+type partition struct {
+	idx    int
+	dir    string
+	group  string
+	bk     *broker.Broker
+	cons   *broker.Consumer
+	reg    *obs.Registry
+	pipe   *pipeline.Pipeline
+	keyed  *pipeline.Keyed
+	keyFor func(string) string
+
+	commitEvery   int
+	ackBase       uint64 // committed offset when the consumer opened
+	restored      uint64 // offsets ≤ restored are already reflected in restored tails
+	consumed      uint64 // highest offset handed to this worker
+	lastSaved     uint64 // Consumed value at the last state persist
+	lastCommitted uint64 // broker offset at the last successful Commit
+	sinceCommit   int
+
+	commitErrs *obs.Counter
+
+	idle   atomic.Bool
+	killed atomic.Bool
+	done   chan struct{}
+
+	errMu sync.Mutex
+	err   error
+}
+
+// Open builds the runtime at cfg.Dir: per-partition WAL directories are
+// created (or recovered — torn tails truncated, offsets loaded, window
+// tails restored), partition pipelines are assembled around clones of
+// the detector's event table, and one worker per partition starts
+// tailing its consumer group.
+func Open(cfg Config) (*Runtime, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Dir == "" {
+		return nil, errors.New("shard: Config.Dir is required")
+	}
+	if cfg.Detector == nil || cfg.Interp == nil || cfg.Embedder == nil || cfg.Sink == nil {
+		return nil, errors.New("shard: Detector, Interp, Embedder and Sink are required")
+	}
+	rt := &Runtime{
+		cfg:          cfg,
+		part:         NewPartitionerVnodes(cfg.Shards, cfg.Vnodes),
+		reg:          cfg.Metrics,
+		faninTotal:   cfg.Metrics.Counter("shard.fanin_reports_total"),
+		routedLines:  cfg.Metrics.Counter("shard.routed_lines_total"),
+		rejectedByBP: cfg.Metrics.Counter("shard.rejected_lines_total"),
+	}
+	rt.cache = NewInterpCache(cfg.Interp, cfg.Metrics)
+	cfg.Metrics.Gauge("shard.partitions").Set(int64(cfg.Shards))
+
+	for i := 0; i < cfg.Shards; i++ {
+		pt, err := rt.openPartition(i)
+		if err != nil {
+			rt.closePartitions()
+			return nil, fmt.Errorf("shard: opening partition %d: %w", i, err)
+		}
+		rt.parts = append(rt.parts, pt)
+	}
+	for _, pt := range rt.parts {
+		go pt.run()
+	}
+	return rt, nil
+}
+
+// openPartition assembles one shard (no worker started yet).
+func (rt *Runtime) openPartition(i int) (*partition, error) {
+	cfg := rt.cfg
+	dir := filepath.Join(cfg.Dir, fmt.Sprintf("p%d", i))
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	reg := obs.NewRegistry()
+	if cfg.ShardMetrics != nil {
+		if r := cfg.ShardMetrics(i); r != nil {
+			reg = r
+		}
+	}
+	var faults *fault.Registry
+	if cfg.ShardFaults != nil {
+		faults = cfg.ShardFaults(i)
+	}
+
+	bcfg := cfg.Broker
+	bcfg.Dir = dir
+	bcfg.Metrics = reg
+	bcfg.Faults = faults
+	bk, err := broker.Open(bcfg)
+	if err != nil {
+		return nil, err
+	}
+
+	// Each partition scores with the shared read-only model but owns its
+	// event-table clone and a parser replayed from the offline templates,
+	// so online extension never crosses shard boundaries.
+	det := core.NewDetector(cfg.Detector.Model, cfg.Detector.Table.Clone())
+	det.Now = cfg.Detector.Now
+	parser := drain.NewDefault()
+	for _, in := range det.Table.Interps {
+		parser.Parse(in.Template)
+	}
+
+	pcfg := cfg.Pipeline
+	pcfg.Metrics = reg
+	pcfg.Faults = faults
+	pt := &partition{
+		idx:         i,
+		dir:         dir,
+		group:       cfg.Group,
+		bk:          bk,
+		reg:         reg,
+		keyFor:      cfg.KeyFunc,
+		commitEvery: cfg.CommitEvery,
+		commitErrs:  reg.Counter("shard.commit_errors_total"),
+		done:        make(chan struct{}),
+	}
+	pt.pipe = pipeline.New(pcfg, parser, det, rt.cache, cfg.Embedder, &faninSink{rt: rt, shard: i})
+	pt.keyed = pipeline.NewKeyed(pt.pipe)
+	if cfg.OnWindow != nil {
+		shardIdx := i
+		pt.keyed.OnWindow = func(key string, seq []int, score float64, abandoned bool) {
+			cfg.OnWindow(shardIdx, key, seq, score, abandoned)
+		}
+	}
+
+	st, err := loadState(statePath(dir))
+	if err != nil {
+		bk.Close()
+		return nil, err
+	}
+	pt.keyed.Restore(st.Tails)
+	pt.restored = st.Consumed
+	pt.consumed = st.Consumed
+	pt.lastSaved = st.Consumed
+
+	cons, err := bk.Consumer(cfg.Group)
+	if err != nil {
+		bk.Close()
+		return nil, err
+	}
+	cons.AutoCommit = false // the worker commits explicitly, tails first
+	pt.cons = cons
+	pt.ackBase = cons.Position() - 1
+	pt.lastCommitted = pt.ackBase
+	if pt.consumed < pt.ackBase {
+		// A state file older than the committed offset (e.g. wiped) —
+		// never ack backwards.
+		pt.consumed = pt.ackBase
+		pt.restored = pt.ackBase
+		pt.lastSaved = pt.ackBase
+	}
+	return pt, nil
+}
+
+// run is the partition worker: tail the consumer, demultiplex by key,
+// feed the keyed pipeline, and commit (state file, then offsets) on the
+// configured cadence, whenever the backlog drains, and at end of stream.
+func (pt *partition) run() {
+	defer close(pt.done)
+	for {
+		if pt.caughtUp() {
+			pt.flushCommit()
+			pt.idle.Store(true)
+		}
+		line, ok := pt.cons.Next()
+		if !ok {
+			break
+		}
+		pt.idle.Store(false)
+		off := pt.cons.Position() - 1
+		if off > pt.consumed {
+			pt.consumed = off
+		}
+		if off <= pt.restored {
+			// Redelivered record already reflected in the restored window
+			// tails; feeding it again would double-count the window phase.
+			continue
+		}
+		pt.keyed.Feed(pt.keyFor(line), line)
+		pt.sinceCommit++
+		if pt.sinceCommit >= pt.commitEvery {
+			pt.flushCommit()
+		}
+	}
+	if !pt.killed.Load() {
+		// End of stream (intake closed and backlog drained, or consumer
+		// failure): flush the pending batch and commit this partition's
+		// offset — every partition commits its own offset on shutdown,
+		// not just the last one to drain.
+		pt.flushCommit()
+	}
+	if err := pt.cons.Err(); err != nil {
+		pt.setErr(err)
+	}
+	pt.idle.Store(true)
+}
+
+// caughtUp reports whether the worker has consumed everything appended.
+func (pt *partition) caughtUp() bool {
+	return pt.cons.Position() >= pt.bk.NextOffset()
+}
+
+// flushCommit scores pending windows, persists the resume state, and
+// commits the consumer offset — in that order, so a crash between the
+// two leaves the offset behind the tails (the worker skips the
+// redelivered prefix on restart). Commit failures are counted and
+// retried on the next cadence; consumption continues (at-least-once).
+func (pt *partition) flushCommit() {
+	pt.keyed.Flush()
+	pt.sinceCommit = 0
+	if pt.consumed == pt.lastSaved && pt.consumed == pt.lastCommitted {
+		return
+	}
+	if pt.consumed != pt.lastSaved {
+		st := partitionState{Consumed: pt.consumed, Tails: pt.keyed.Tails()}
+		if err := saveState(statePath(pt.dir), st); err != nil {
+			pt.commitErrs.Inc()
+			pt.setErr(err)
+			return
+		}
+		pt.lastSaved = pt.consumed
+	}
+	// The state file can be up to date while the broker offset trails it —
+	// e.g. a restart that skipped a redelivered prefix. Commit the offset
+	// whenever it lags what the tails already reflect.
+	pt.cons.Ack(pt.consumed - pt.ackBase)
+	if err := pt.cons.Commit(); err != nil {
+		pt.commitErrs.Inc()
+		pt.setErr(err)
+		return
+	}
+	pt.lastCommitted = pt.consumed
+}
+
+// setErr records the first worker error.
+func (pt *partition) setErr(err error) {
+	pt.errMu.Lock()
+	if pt.err == nil {
+		pt.err = err
+	}
+	pt.errMu.Unlock()
+}
+
+// workerErr returns the recorded worker error, if any.
+func (pt *partition) workerErr() error {
+	pt.errMu.Lock()
+	defer pt.errMu.Unlock()
+	return pt.err
+}
+
+// finished reports whether the worker goroutine has exited.
+func (pt *partition) finished() bool {
+	select {
+	case <-pt.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// drained reports whether this partition has nothing left to do: its
+// worker exited, or it is idle (flushed + committed) with an empty
+// backlog.
+func (pt *partition) drained() bool {
+	if pt.finished() {
+		return true
+	}
+	return pt.idle.Load() && pt.bk.Lag(pt.group) == 0 && pt.caughtUp()
+}
+
+// faninSink delivers one partition's reports into the shared sink,
+// serialized across partitions. Per-key report order needs no extra
+// work: a key is pinned to one partition, and that partition delivers
+// its reports in window-completion order on a single goroutine.
+type faninSink struct {
+	rt    *Runtime
+	shard int
+}
+
+// Notify implements pipeline.Sink.
+func (f *faninSink) Notify(r *core.Report) {
+	f.rt.faninMu.Lock()
+	defer f.rt.faninMu.Unlock()
+	f.rt.faninTotal.Inc()
+	f.rt.cfg.Sink.Notify(r)
+}
+
+// TryNotify implements pipeline.FallibleSink, propagating delivery
+// errors (and thus retries, breakers and spill) when the merged sink
+// reports them.
+func (f *faninSink) TryNotify(r *core.Report) error {
+	f.rt.faninMu.Lock()
+	defer f.rt.faninMu.Unlock()
+	if fs, ok := f.rt.cfg.Sink.(pipeline.FallibleSink); ok {
+		if err := fs.TryNotify(r); err != nil {
+			return err
+		}
+		f.rt.faninTotal.Inc()
+		return nil
+	}
+	f.rt.faninTotal.Inc()
+	f.rt.cfg.Sink.Notify(r)
+	return nil
+}
+
+// Shards returns the partition count.
+func (rt *Runtime) Shards() int { return rt.cfg.Shards }
+
+// Partitioner exposes the key → partition mapping (diagnostics, tests).
+func (rt *Runtime) Partitioner() *Partitioner { return rt.part }
+
+// Cache exposes the shared interpretation cache.
+func (rt *Runtime) Cache() *InterpCache { return rt.cache }
+
+// PartitionFor returns the partition index owning key.
+func (rt *Runtime) PartitionFor(key string) int { return rt.part.Partition(key) }
+
+// ShardStats returns partition i's pipeline stats.
+func (rt *Runtime) ShardStats(i int) pipeline.Stats { return rt.parts[i].pipe.Stats() }
+
+// Stats sums pipeline stats across every partition.
+func (rt *Runtime) Stats() pipeline.Stats {
+	var total pipeline.Stats
+	for _, pt := range rt.parts {
+		s := pt.pipe.Stats()
+		total.LinesCollected += s.LinesCollected
+		total.LinesDropped += s.LinesDropped
+		total.SequencesFormed += s.SequencesFormed
+		total.PatternHits += s.PatternHits
+		total.PatternMisses += s.PatternMisses
+		total.PatternEvictions += s.PatternEvictions
+		total.Anomalies += s.Anomalies
+		total.NewEvents += s.NewEvents
+		total.Retries += s.Retries
+		total.Degraded += s.Degraded
+		total.Spilled += s.Spilled
+		total.SpillDropped += s.SpillDropped
+		total.BreakerOpens += s.BreakerOpens
+		total.SinkErrors += s.SinkErrors
+		total.ParseFailures += s.ParseFailures
+		total.DetectFailures += s.DetectFailures
+	}
+	return total
+}
+
+// Committed returns partition i's committed consumer offset.
+func (rt *Runtime) Committed(i int) uint64 { return rt.parts[i].bk.Committed(rt.cfg.Group) }
+
+// Snapshot merges the runtime registry with every partition's registry.
+// Each partition's counters and gauges additionally appear under a
+// shard<i>. prefix, so a scrape shows both fleet totals and per-shard
+// breakdowns.
+func (rt *Runtime) Snapshot() obs.Snapshot {
+	merged := rt.reg.Snapshot()
+	for i, pt := range rt.parts {
+		s := pt.reg.Snapshot()
+		merged = merged.Merge(s)
+		prefix := fmt.Sprintf("shard%d.", i)
+		for k, v := range s.Counters {
+			merged.Counters[prefix+k] = v
+		}
+		for k, v := range s.Gauges {
+			merged.Gauges[prefix+k] = v
+		}
+	}
+	return merged
+}
+
+// Drain blocks until every partition is drained — its worker exited, or
+// it is idle with an empty backlog and a committed offset — or ctx ends.
+// Appends arriving during Drain extend the wait.
+func (rt *Runtime) Drain(ctx context.Context) error {
+	for {
+		all := true
+		for _, pt := range rt.parts {
+			if !pt.drained() {
+				all = false
+				break
+			}
+		}
+		if all {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(2 * time.Millisecond):
+		}
+	}
+}
+
+// CloseIntake stops accepting appends on every partition. Workers drain
+// their backlogs, flush, commit, and exit — the first half of a graceful
+// shutdown.
+func (rt *Runtime) CloseIntake() {
+	for _, pt := range rt.parts {
+		pt.bk.CloseIntake()
+	}
+}
+
+// Close shuts the runtime down gracefully: intake closes, every worker
+// drains and commits its own partition's offset, then consumers and
+// brokers close. It returns the first error encountered.
+func (rt *Runtime) Close() error {
+	rt.CloseIntake()
+	for _, pt := range rt.parts {
+		<-pt.done
+	}
+	var firstErr error
+	keep := func(err error) {
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	for _, pt := range rt.parts {
+		keep(pt.workerErr())
+	}
+	keep(rt.closePartitions())
+	return firstErr
+}
+
+// Kill simulates a crash: every worker stops without flushing or
+// committing, and every broker drops its handles with no final fsync or
+// offset persist. Whatever the last flushCommit persisted is what the
+// next Open resumes from.
+func (rt *Runtime) Kill() {
+	for _, pt := range rt.parts {
+		pt.killed.Store(true)
+	}
+	for _, pt := range rt.parts {
+		pt.bk.Kill()
+	}
+	for _, pt := range rt.parts {
+		<-pt.done
+		pt.cons.Close()
+	}
+}
+
+// closePartitions releases consumers and brokers (idempotent).
+func (rt *Runtime) closePartitions() error {
+	var firstErr error
+	for _, pt := range rt.parts {
+		if pt.cons != nil {
+			pt.cons.Close()
+		}
+		if err := pt.bk.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}

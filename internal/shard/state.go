@@ -1,0 +1,77 @@
+package shard
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"logsynergy/internal/pipeline"
+)
+
+// Each partition persists a small resume file beside its WAL segments:
+// the broker offset its window state reflects, plus every key's window
+// tail (raw lines + slide counter). Together with the broker's committed
+// consumer offset this makes restart resumption exact, not merely
+// at-least-once: the tails rebuild each key's window phase, and the
+// Consumed watermark tells the worker which redelivered records are
+// already reflected in those tails and must be skipped.
+//
+// Write ordering is tails-then-offset: saveState runs before the broker
+// offset commit, so a crash between the two leaves the offset behind the
+// tails — the worker then skips the redelivered prefix up to Consumed.
+// The reverse order would double-feed lines into restored windows.
+
+// stateFileName is the resume file inside a partition's WAL directory.
+const stateFileName = "shard-state.json"
+
+// partitionState is the serialized resume state.
+type partitionState struct {
+	Version int `json:"version"`
+	// Consumed is the highest broker offset reflected in Tails (0 = none).
+	Consumed uint64 `json:"consumed"`
+	// Tails maps stream key → window tail at the Consumed watermark.
+	Tails map[string]pipeline.WindowTail `json:"tails,omitempty"`
+}
+
+// statePath renders the resume-file path for a partition directory.
+func statePath(dir string) string { return filepath.Join(dir, stateFileName) }
+
+// loadState reads a partition's resume state; a missing file is a fresh
+// partition. Corruption is refused loudly — silently starting from zero
+// would double-feed every restored tail.
+func loadState(path string) (partitionState, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return partitionState{Version: 1}, nil
+	}
+	if err != nil {
+		return partitionState{}, fmt.Errorf("shard: reading state: %w", err)
+	}
+	var st partitionState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return partitionState{}, fmt.Errorf("shard: corrupt state file %s: %w", path, err)
+	}
+	if st.Version > 1 {
+		return partitionState{}, fmt.Errorf("shard: state file version %d is newer than supported (1)", st.Version)
+	}
+	st.Version = 1
+	return st, nil
+}
+
+// saveState persists the resume state atomically (temp file + rename).
+func saveState(path string, st partitionState) error {
+	st.Version = 1
+	data, err := json.Marshal(st)
+	if err != nil {
+		return fmt.Errorf("shard: encoding state: %w", err)
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("shard: writing state: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("shard: installing state: %w", err)
+	}
+	return nil
+}
