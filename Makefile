@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race bench bench-broker bench-broker-smoke bench-shard bench-shard-smoke chaos cover fuzz-smoke verify
+.PHONY: build test vet race bench bench-broker bench-broker-smoke bench-shard bench-shard-smoke chaos cover fuzz-smoke rebalance-test verify
 
 build:
 	$(GO) build ./...
@@ -46,6 +46,13 @@ bench-shard:
 bench-shard-smoke:
 	BENCH_SHARD_OUT=$(CURDIR)/BENCH_shard.json BENCH_SHARD_SMOKE=1 $(GO) test -run TestBenchShardReport -count=1 ./internal/shard/
 
+# Rebalance tier: the N→N+1 shard-growth equivalence proof under the
+# race detector — exact key handoff (window tails, template groups,
+# pattern verdicts), crash injection on both sides of the commit point,
+# copy-mode rollback, and the runtime's layout-stamp refusal.
+rebalance-test:
+	$(GO) test -race -count=1 -run 'TestRebalance|TestRuntimeRefusesLayoutMismatch' ./internal/shard/
+
 # Chaos tier: the fault-injection framework and the deterministic chaos
 # suites (seeded fault schedules, breakers, spill, leak checks; broker
 # crash-recovery replay) under the race detector. Fast — it uses the
@@ -72,4 +79,4 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzParse -fuzztime 10s ./internal/drain/
 	$(GO) test -run '^$$' -fuzz FuzzSlide -fuzztime 10s ./internal/window/
 
-verify: vet test chaos bench-broker-smoke bench-shard-smoke race
+verify: vet test chaos rebalance-test bench-broker-smoke bench-shard-smoke race

@@ -56,6 +56,8 @@ func main() {
 		err = runDetect(os.Args[2:])
 	case "serve":
 		err = runServe(os.Args[2:])
+	case "rebalance":
+		err = runRebalance(os.Args[2:])
 	case "interpret":
 		err = runInterpret(os.Args[2:])
 	case "eval":
@@ -71,7 +73,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: logsynergy <train|detect|serve|eval|interpret> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: logsynergy <train|detect|serve|rebalance|eval|interpret> [flags]")
 }
 
 // applyThreadsEnv configures the tensor worker pool from the

@@ -1,0 +1,55 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"logsynergy/internal/shard"
+)
+
+// runRebalance re-partitions a quiesced sharded broker directory from N
+// to M shards, moving each relocated key's window tail, template groups
+// and pattern-library verdicts to its new partition:
+//
+//	logsynergy rebalance -from 3 -to 4 -broker-dir /var/lib/logsynergy
+//
+// The detector must be stopped (WAL fully drained and committed) —
+// rebalance refuses an unquiesced layout. With -to-dir the rebalanced
+// layout is written to a fresh directory and the original is kept as a
+// rollback; without it the layout is rewritten in place (crash-safe: an
+// interrupted run is rolled forward or back on the next open).
+func runRebalance(args []string) error {
+	fs := flag.NewFlagSet("rebalance", flag.ExitOnError)
+	from := fs.Int("from", 0, "current partition count")
+	to := fs.Int("to", 0, "target partition count")
+	brokerDir := fs.String("broker-dir", "", "WAL directory holding the current layout (the shard runtime root)")
+	toDir := fs.String("to-dir", "", "write the rebalanced layout here instead of in place (keeps -broker-dir as rollback)")
+	group := fs.String("group", "detector", "broker consumer group checked for quiescence")
+	quiet := fs.Bool("quiet", false, "suppress the summary line")
+	fs.Parse(args)
+	if *brokerDir == "" {
+		return fmt.Errorf("rebalance requires -broker-dir")
+	}
+	if *from <= 0 || *to <= 0 {
+		return fmt.Errorf("rebalance requires positive -from and -to partition counts")
+	}
+
+	rep, err := shard.RebalanceGroup(*brokerDir, *toDir, *from, *to, *group)
+	if err != nil {
+		return err
+	}
+	if *quiet {
+		return nil
+	}
+	if rep.AlreadyBalanced {
+		fmt.Printf("layout in %s already at %d partitions; nothing moved\n", rep.Dir, rep.To)
+		return nil
+	}
+	perKey := "-"
+	if rep.MovedKeys > 0 {
+		perKey = fmt.Sprintf("%.0fµs/key", float64(rep.Duration.Microseconds())/float64(rep.MovedKeys))
+	}
+	fmt.Printf("rebalanced %d -> %d partitions in %s: moved %d keys (%d tail lines) in %v (%s)\n",
+		rep.From, rep.To, rep.Dir, rep.MovedKeys, rep.MovedLines, rep.Duration, perKey)
+	return nil
+}

@@ -1,0 +1,41 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunRebalanceFlagValidation(t *testing.T) {
+	if err := runRebalance([]string{"-from", "2", "-to", "3"}); err == nil {
+		t.Fatal("missing -broker-dir accepted")
+	}
+	dir := t.TempDir()
+	if err := runRebalance([]string{"-broker-dir", dir, "-to", "3"}); err == nil {
+		t.Fatal("missing -from accepted")
+	}
+	if err := runRebalance([]string{"-broker-dir", dir, "-from", "2"}); err == nil {
+		t.Fatal("missing -to accepted")
+	}
+	if err := runRebalance([]string{"-broker-dir", dir, "-from", "2", "-to", "2"}); err == nil {
+		t.Fatal("from == to accepted")
+	}
+}
+
+func TestRunRebalanceEmptyLayout(t *testing.T) {
+	// An empty root (no partitions have run yet) rebalances trivially:
+	// fresh stamped states appear for the target layout and a re-run is
+	// a no-op.
+	dir := t.TempDir()
+	if err := runRebalance([]string{"-broker-dir", dir, "-from", "1", "-to", "2", "-quiet"}); err != nil {
+		t.Fatalf("runRebalance: %v", err)
+	}
+	for _, p := range []string{"p0", "p1"} {
+		if _, err := os.Stat(filepath.Join(dir, p, "shard-state.json")); err != nil {
+			t.Fatalf("partition %s has no stamped state: %v", p, err)
+		}
+	}
+	if err := runRebalance([]string{"-broker-dir", dir, "-from", "1", "-to", "2", "-quiet"}); err != nil {
+		t.Fatalf("re-run over the installed layout: %v", err)
+	}
+}

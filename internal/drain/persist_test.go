@@ -50,6 +50,56 @@ func TestSaveLoadStateRoundTrip(t *testing.T) {
 	}
 }
 
+func TestExportImportRoundTrip(t *testing.T) {
+	p := NewDefault()
+	msgs := []string{
+		"gc freed 123456 bytes",
+		"cache hit key 0xdeadbeef",
+		"replica sync offset 99 ok",
+	}
+	for _, m := range msgs {
+		p.Parse(m)
+	}
+	events := p.Export()
+	if len(events) != p.NumEvents() {
+		t.Fatalf("exported %d events, parser has %d", len(events), p.NumEvents())
+	}
+	for i, ev := range events {
+		if ev.ID != i {
+			t.Fatalf("exported id %d at position %d", ev.ID, i)
+		}
+	}
+
+	p2 := NewDefault()
+	if err := p2.Import(events); err != nil {
+		t.Fatal(err)
+	}
+	// Known shapes map to the same ids; new shapes continue the id space.
+	for _, m := range msgs {
+		if a, b := p.Parse(m), p2.Parse(m); a.EventID != b.EventID {
+			t.Fatalf("%q: ids diverge %d vs %d", m, a.EventID, b.EventID)
+		}
+	}
+	if m := p2.Parse("an entirely new structural shape"); m.EventID != len(events) {
+		t.Fatalf("imported parser minted id %d for a new shape, want %d", m.EventID, len(events))
+	}
+}
+
+func TestImportRefusesNonEmptyParser(t *testing.T) {
+	p := NewDefault()
+	p.Parse("some message shape")
+	if err := p.Import([]SavedEvent{{ID: 0, Template: "x y"}}); err == nil {
+		t.Fatal("importing into a non-empty parser must error")
+	}
+}
+
+func TestImportRefusesNonContiguousIDs(t *testing.T) {
+	p := NewDefault()
+	if err := p.Import([]SavedEvent{{ID: 3, Template: "a b"}}); err == nil {
+		t.Fatal("expected id continuity error")
+	}
+}
+
 func TestLoadStateRejectsGarbage(t *testing.T) {
 	if _, err := LoadState(bytes.NewReader([]byte("nope")), DefaultConfig()); err == nil {
 		t.Fatal("expected decode error")

@@ -156,6 +156,30 @@ func (k *Keyed) Tails() map[string]WindowTail {
 	return out
 }
 
+// TakeTails removes and returns the window state of every key belongs
+// selects — the donor half of a key handoff (shard rebalancing): the
+// returned map is a Tails-shaped snapshot another Keyed can Restore,
+// while this Keyed forgets the keys entirely so it can never score them
+// again. Like Tails, the snapshot is only consistent when no completed
+// windows are pending — call Flush first. Selected keys whose state is
+// empty are dropped without appearing in the result.
+func (k *Keyed) TakeTails(belongs func(key string) bool) map[string]WindowTail {
+	out := make(map[string]WindowTail)
+	for key, kw := range k.keys {
+		if !belongs(key) {
+			continue
+		}
+		if len(kw.lines) > 0 || kw.sincePrev > 0 {
+			out[key] = WindowTail{
+				Lines:     append([]string(nil), kw.lines...),
+				SincePrev: kw.sincePrev,
+			}
+		}
+		delete(k.keys, key)
+	}
+	return out
+}
+
 // Restore rebuilds window state from a Tails snapshot by re-parsing the
 // saved lines (keys in sorted order, so event-table extension is
 // deterministic). Restored lines never complete a window — they were all

@@ -32,6 +32,7 @@ package pipeline
 import (
 	"container/list"
 	"context"
+	"fmt"
 	"sync"
 	"time"
 
@@ -229,6 +230,44 @@ func (p *PatternLibrary) StoreKey(key string, score float64) (evicted bool) {
 	return false
 }
 
+// PatternEntry is one exported pattern-library verdict: the event-id
+// sequence and its cached score. Event ids are only meaningful alongside
+// the parser state that assigned them, so an entry moved between
+// processes (or shards) must be translated through both parsers' template
+// lists first.
+type PatternEntry struct {
+	Seq   []int   `json:"seq"`
+	Score float64 `json:"score"`
+}
+
+// Export snapshots every cached verdict, least recently used first, so
+// importing the slice in order rebuilds both the verdicts and the LRU
+// order exactly.
+func (p *PatternLibrary) Export() []PatternEntry {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]PatternEntry, 0, len(p.entries))
+	for el := p.order.Back(); el != nil; el = el.Prev() {
+		le := el.Value.(*libEntry)
+		seq, ok := parsePatternKey(le.key)
+		if !ok {
+			continue
+		}
+		out = append(out, PatternEntry{Seq: seq, Score: le.score})
+	}
+	return out
+}
+
+// Import stores every entry in order, respecting Cap and LRU eviction.
+// Combined with Export's least-recent-first ordering this restores the
+// library bit-for-bit; on a smaller Cap the oldest entries evict first,
+// exactly as if they had been stored live.
+func (p *PatternLibrary) Import(entries []PatternEntry) {
+	for _, e := range entries {
+		p.Store(e.Seq, e.Score)
+	}
+}
+
 // Size returns the number of cached patterns.
 func (p *PatternLibrary) Size() int {
 	p.mu.Lock()
@@ -401,6 +440,34 @@ func (p *Pipeline) Stats() Stats {
 
 // Library exposes the pattern library (diagnostics).
 func (p *Pipeline) Library() *PatternLibrary { return p.library }
+
+// Parser exposes the drain parser (state export, diagnostics).
+func (p *Pipeline) Parser() *drain.Parser { return p.parser }
+
+// SyncTable extends the detector's event table to cover every template
+// the parser currently knows, in event-id order, interpreting and
+// embedding each exactly as online discovery would. Call it after
+// importing a persisted parser state and before feeding any line:
+// imported ids have no table rows yet, and letting the feed path extend
+// the table lazily would mis-assign vectors whenever ids arrive out of
+// order (parseLine grows the table with the template of the line at
+// hand, which is only correct when ids appear in discovery order).
+func (p *Pipeline) SyncTable() error {
+	table := p.detector.Table
+	for _, ev := range p.parser.Events() {
+		if ev.ID < table.Len() {
+			continue
+		}
+		in := p.interpret(ev.Template)
+		if err := p.guard(PointEmbed, 0, func() error {
+			table.Extend(in, p.embedder)
+			return nil
+		}); err != nil {
+			return fmt.Errorf("pipeline: extending event table for restored event %d: %w", ev.ID, err)
+		}
+	}
+	return nil
+}
 
 // bufLine is one collected line in flight between the collector and the
 // parser, tagged with its 1-based position in the source stream so the

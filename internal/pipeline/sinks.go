@@ -91,6 +91,25 @@ func patternKey(ids []int) string {
 	return b.String()
 }
 
+// parsePatternKey inverts patternKey. It reports false for keys not in
+// the rendered format (defensive: the library only ever stores keys it
+// rendered itself).
+func parsePatternKey(key string) ([]int, bool) {
+	if key == "" {
+		return nil, false
+	}
+	parts := strings.Split(key, ",")
+	seq := make([]int, len(parts))
+	for i, s := range parts {
+		n, err := strconv.Atoi(s)
+		if err != nil {
+			return nil, false
+		}
+		seq[i] = n
+	}
+	return seq, true
+}
+
 // RateLimitSink caps alert delivery at burst per window, dropping the
 // excess (paging channels like SMS have hard provider limits).
 type RateLimitSink struct {

@@ -127,13 +127,20 @@ func hashKey(s string) uint64 {
 
 // DefaultKeyFunc extracts the stream key from a raw log line: the first
 // whitespace-delimited token (the source-system/stream id a collection
-// tier stamps onto each shipped line). Lines with no delimiter are their
-// own key — they still route stably.
+// tier stamps onto each shipped line). Leading whitespace is skipped
+// first — a line indented by its shipper must key on its first real
+// token, not on the empty string (which would funnel every padded line
+// from every system onto one partition). Lines with no token after the
+// padding are their own key — they still route stably.
 func DefaultKeyFunc(line string) string {
-	for i := 0; i < len(line); i++ {
+	start := 0
+	for start < len(line) && (line[start] == ' ' || line[start] == '\t') {
+		start++
+	}
+	for i := start; i < len(line); i++ {
 		if line[i] == ' ' || line[i] == '\t' {
-			return line[:i]
+			return line[start:i]
 		}
 	}
-	return line
+	return line[start:]
 }

@@ -154,6 +154,14 @@ func TestDefaultKeyFunc(t *testing.T) {
 		"":                       "",
 		"key trailing space ":    "key",
 		"7001 [ERR] engine: oom": "7001",
+		// Leading whitespace must not produce an empty key: that would
+		// route every indented line from every system to one partition.
+		" sysC padded line":       "sysC",
+		"\t\tsysD tab padded":     "sysD",
+		"  \t mixed pad one":      "mixed",
+		"   ":                     "",
+		"\tlonekey":               "lonekey",
+		"  spaced-nodelim-token ": "spaced-nodelim-token",
 	}
 	for line, want := range cases {
 		if got := DefaultKeyFunc(line); got != want {

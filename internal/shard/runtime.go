@@ -128,6 +128,7 @@ type partition struct {
 	pipe   *pipeline.Pipeline
 	keyed  *pipeline.Keyed
 	keyFor func(string) string
+	layout int // shard count this partition was opened under (persisted stamp)
 
 	commitEvery   int
 	ackBase       uint64 // committed offset when the consumer opened
@@ -159,6 +160,12 @@ func Open(cfg Config) (*Runtime, error) {
 	}
 	if cfg.Detector == nil || cfg.Interp == nil || cfg.Embedder == nil || cfg.Sink == nil {
 		return nil, errors.New("shard: Detector, Interp, Embedder and Sink are required")
+	}
+	// Finish any rebalance that crashed mid-install: a committed manifest
+	// rolls forward to the new layout, an uncommitted one rolls back to
+	// the old. Either way every partition opens on one consistent layout.
+	if err := recoverRebalance(cfg.Dir); err != nil {
+		return nil, err
 	}
 	rt := &Runtime{
 		cfg:          cfg,
@@ -212,14 +219,36 @@ func (rt *Runtime) openPartition(i int) (*partition, error) {
 		return nil, err
 	}
 
+	st, err := loadState(statePath(dir))
+	if err != nil {
+		bk.Close()
+		return nil, err
+	}
+	if st.Partitions != 0 && st.Partitions != cfg.Shards {
+		bk.Close()
+		return nil, fmt.Errorf("shard: partition %s was laid out for %d shards but the runtime is opening %d; "+
+			"run `logsynergy rebalance -from %d -to %d` over the broker directory first",
+			dir, st.Partitions, cfg.Shards, st.Partitions, cfg.Shards)
+	}
+
 	// Each partition scores with the shared read-only model but owns its
-	// event-table clone and a parser replayed from the offline templates,
-	// so online extension never crosses shard boundaries.
+	// event-table clone and its own parser, so online extension never
+	// crosses shard boundaries. A v2 state file carries the parser's full
+	// template groups (offline seeds plus everything the stream taught it)
+	// — import them verbatim so restored ids keep their meaning. Legacy
+	// state carries none; replay the offline templates as before.
 	det := core.NewDetector(cfg.Detector.Model, cfg.Detector.Table.Clone())
 	det.Now = cfg.Detector.Now
 	parser := drain.NewDefault()
-	for _, in := range det.Table.Interps {
-		parser.Parse(in.Template)
+	if len(st.Events) > 0 {
+		if err := parser.Import(st.Events); err != nil {
+			bk.Close()
+			return nil, fmt.Errorf("restoring parser state: %w", err)
+		}
+	} else {
+		for _, in := range det.Table.Interps {
+			parser.Parse(in.Template)
+		}
 	}
 
 	pcfg := cfg.Pipeline
@@ -232,6 +261,7 @@ func (rt *Runtime) openPartition(i int) (*partition, error) {
 		bk:          bk,
 		reg:         reg,
 		keyFor:      cfg.KeyFunc,
+		layout:      cfg.Shards,
 		commitEvery: cfg.CommitEvery,
 		commitErrs:  reg.Counter("shard.commit_errors_total"),
 		done:        make(chan struct{}),
@@ -245,11 +275,17 @@ func (rt *Runtime) openPartition(i int) (*partition, error) {
 		}
 	}
 
-	st, err := loadState(statePath(dir))
-	if err != nil {
-		bk.Close()
-		return nil, err
+	// Sync the event table before touching any line: imported event ids
+	// can be out of discovery order relative to the table (a rebalance
+	// splices groups from other partitions), and lazy extension in the
+	// feed path would mis-assign their vectors.
+	if len(st.Events) > 0 {
+		if err := pt.pipe.SyncTable(); err != nil {
+			bk.Close()
+			return nil, err
+		}
 	}
+	pt.pipe.Library().Import(st.Patterns)
 	pt.keyed.Restore(st.Tails)
 	pt.restored = st.Consumed
 	pt.consumed = st.Consumed
@@ -334,7 +370,13 @@ func (pt *partition) flushCommit() {
 		return
 	}
 	if pt.consumed != pt.lastSaved {
-		st := partitionState{Consumed: pt.consumed, Tails: pt.keyed.Tails()}
+		st := partitionState{
+			Partitions: pt.layout,
+			Consumed:   pt.consumed,
+			Tails:      pt.keyed.Tails(),
+			Events:     pt.pipe.Parser().Export(),
+			Patterns:   pt.pipe.Library().Export(),
+		}
 		if err := saveState(statePath(pt.dir), st); err != nil {
 			pt.commitErrs.Inc()
 			pt.setErr(err)

@@ -5,7 +5,9 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 
+	"logsynergy/internal/drain"
 	"logsynergy/internal/pipeline"
 )
 
@@ -21,17 +23,36 @@ import (
 // offset commit, so a crash between the two leaves the offset behind the
 // tails — the worker then skips the redelivered prefix up to Consumed.
 // The reverse order would double-feed lines into restored windows.
+//
+// Version 2 adds what a key handoff between partitions needs: the
+// partition-count stamp (so a runtime opened at the wrong shard count
+// refuses instead of silently misrouting keys), the parser's template
+// groups, and the pattern library's cached verdicts. Version-1 files
+// (and version-0, the pre-versioning layout) still load: they simply
+// carry no events or patterns and no layout stamp to verify.
 
 // stateFileName is the resume file inside a partition's WAL directory.
 const stateFileName = "shard-state.json"
 
+// stateVersion is the current resume-file format.
+const stateVersion = 2
+
 // partitionState is the serialized resume state.
 type partitionState struct {
 	Version int `json:"version"`
+	// Partitions is the shard count the partition was laid out for
+	// (0 = unstamped legacy file, accepted against any layout).
+	Partitions int `json:"partitions,omitempty"`
 	// Consumed is the highest broker offset reflected in Tails (0 = none).
 	Consumed uint64 `json:"consumed"`
 	// Tails maps stream key → window tail at the Consumed watermark.
 	Tails map[string]pipeline.WindowTail `json:"tails,omitempty"`
+	// Events are the drain parser's template groups in id order — the id
+	// space the Patterns sequences refer to.
+	Events []drain.SavedEvent `json:"events,omitempty"`
+	// Patterns are the pattern library's cached verdicts, least recently
+	// used first.
+	Patterns []pipeline.PatternEntry `json:"patterns,omitempty"`
 }
 
 // statePath renders the resume-file path for a partition directory.
@@ -39,39 +60,104 @@ func statePath(dir string) string { return filepath.Join(dir, stateFileName) }
 
 // loadState reads a partition's resume state; a missing file is a fresh
 // partition. Corruption is refused loudly — silently starting from zero
-// would double-feed every restored tail.
+// would double-feed every restored tail. Stale temp files from an
+// interrupted saveState are swept here: they are by construction
+// incomplete and the real file (if any) is the durable truth.
 func loadState(path string) (partitionState, error) {
+	sweepStaleTemp(path)
 	data, err := os.ReadFile(path)
 	if os.IsNotExist(err) {
-		return partitionState{Version: 1}, nil
+		return partitionState{Version: stateVersion}, nil
 	}
 	if err != nil {
 		return partitionState{}, fmt.Errorf("shard: reading state: %w", err)
+	}
+	if len(data) == 0 {
+		return partitionState{}, fmt.Errorf("shard: corrupt state file %s: zero length", path)
 	}
 	var st partitionState
 	if err := json.Unmarshal(data, &st); err != nil {
 		return partitionState{}, fmt.Errorf("shard: corrupt state file %s: %w", path, err)
 	}
-	if st.Version > 1 {
-		return partitionState{}, fmt.Errorf("shard: state file version %d is newer than supported (1)", st.Version)
+	if st.Version > stateVersion {
+		return partitionState{}, fmt.Errorf("shard: state file version %d is newer than supported (%d)", st.Version, stateVersion)
 	}
-	st.Version = 1
+	st.Version = stateVersion
 	return st, nil
 }
 
-// saveState persists the resume state atomically (temp file + rename).
+// sweepStaleTemp removes saveState temp files left behind by a crash
+// between write and rename. Temp names are randomized (os.CreateTemp),
+// so the sweep matches the prefix rather than one fixed name.
+func sweepStaleTemp(path string) {
+	dir, base := filepath.Split(path)
+	if dir == "" {
+		dir = "."
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if name != base && strings.HasPrefix(name, base+".tmp") {
+			os.Remove(filepath.Join(dir, name))
+		}
+	}
+}
+
+// saveState persists the resume state atomically and durably: a
+// randomized temp file in the same directory, fsynced before the rename,
+// and the directory fsynced after it so the rename itself survives a
+// power cut. A failed install leaves the previous good file untouched.
 func saveState(path string, st partitionState) error {
-	st.Version = 1
+	st.Version = stateVersion
 	data, err := json.Marshal(st)
 	if err != nil {
 		return fmt.Errorf("shard: encoding state: %w", err)
 	}
-	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+	dir, base := filepath.Split(path)
+	if dir == "" {
+		dir = "."
+	}
+	tmp, err := os.CreateTemp(dir, base+".tmp*")
+	if err != nil {
+		return fmt.Errorf("shard: creating state temp file: %w", err)
+	}
+	tmpName := tmp.Name()
+	cleanup := func() { tmp.Close(); os.Remove(tmpName) }
+	if _, err := tmp.Write(append(data, '\n')); err != nil {
+		cleanup()
 		return fmt.Errorf("shard: writing state: %w", err)
 	}
-	if err := os.Rename(tmp, path); err != nil {
+	if err := tmp.Sync(); err != nil {
+		cleanup()
+		return fmt.Errorf("shard: syncing state: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("shard: closing state temp file: %w", err)
+	}
+	if err := os.Chmod(tmpName, 0o644); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("shard: setting state file mode: %w", err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
 		return fmt.Errorf("shard: installing state: %w", err)
+	}
+	return syncDir(dir)
+}
+
+// syncDir fsyncs a directory so a just-renamed entry is durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("shard: opening state dir for sync: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("shard: syncing state dir: %w", err)
 	}
 	return nil
 }

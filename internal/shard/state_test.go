@@ -1,0 +1,169 @@
+package shard
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"logsynergy/internal/drain"
+	"logsynergy/internal/pipeline"
+)
+
+func TestStateRoundTripV2(t *testing.T) {
+	path := statePath(t.TempDir())
+	want := partitionState{
+		Partitions: 3,
+		Consumed:   41,
+		Tails: map[string]pipeline.WindowTail{
+			"7001": {Lines: []string{"a b c", "d e f"}, SincePrev: 2},
+		},
+		Events: []drain.SavedEvent{
+			{ID: 0, Template: "a b <*>", Example: "a b c", Count: 7},
+			{ID: 1, Template: "d e f", Example: "d e f", Count: 1},
+		},
+		Patterns: []pipeline.PatternEntry{
+			{Seq: []int{0, 1, 0}, Score: 0.25},
+			{Seq: []int{1, 1, 1}, Score: 0.75},
+		},
+	}
+	if err := saveState(path, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := loadState(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Version != stateVersion || got.Partitions != 3 || got.Consumed != 41 {
+		t.Fatalf("header mismatch: %+v", got)
+	}
+	if len(got.Tails) != 1 || got.Tails["7001"].SincePrev != 2 || len(got.Tails["7001"].Lines) != 2 {
+		t.Fatalf("tails mismatch: %+v", got.Tails)
+	}
+	if len(got.Events) != 2 || got.Events[1].Template != "d e f" || got.Events[0].Count != 7 {
+		t.Fatalf("events mismatch: %+v", got.Events)
+	}
+	if len(got.Patterns) != 2 || got.Patterns[0].Score != 0.25 || len(got.Patterns[1].Seq) != 3 {
+		t.Fatalf("patterns mismatch: %+v", got.Patterns)
+	}
+}
+
+func TestLoadStateMissingFileIsFresh(t *testing.T) {
+	st, err := loadState(statePath(t.TempDir()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Version != stateVersion || st.Consumed != 0 || len(st.Tails) != 0 {
+		t.Fatalf("fresh state not empty: %+v", st)
+	}
+}
+
+// A zero-length state file is a torn write, not a fresh partition:
+// loading it silently would drop the Consumed watermark and double-feed
+// every restored tail on the next run.
+func TestLoadStateRefusesZeroLengthFile(t *testing.T) {
+	path := statePath(t.TempDir())
+	if err := os.WriteFile(path, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadState(path); err == nil || !strings.Contains(err.Error(), "zero length") {
+		t.Fatalf("want zero-length error, got %v", err)
+	}
+}
+
+// Pre-versioning files (no "version" field → 0) and version-1 files (no
+// partition stamp, events or patterns) must still load.
+func TestLoadStateAcceptsLegacyVersions(t *testing.T) {
+	for name, body := range map[string]string{
+		"version-0":  `{"consumed":9,"tails":{"k":{"lines":["x y"],"since_prev":1}}}`,
+		"version-1":  `{"version":1,"consumed":9,"tails":{"k":{"lines":["x y"],"since_prev":1}}}`,
+		"null-tails": `{"version":1,"consumed":9,"tails":null}`,
+	} {
+		t.Run(name, func(t *testing.T) {
+			path := statePath(t.TempDir())
+			if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			st, err := loadState(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.Consumed != 9 {
+				t.Fatalf("consumed %d, want 9", st.Consumed)
+			}
+			if st.Partitions != 0 {
+				t.Fatalf("legacy file grew a partition stamp: %d", st.Partitions)
+			}
+		})
+	}
+}
+
+func TestLoadStateRefusesFutureVersion(t *testing.T) {
+	path := statePath(t.TempDir())
+	if err := os.WriteFile(path, []byte(`{"version":99}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadState(path); err == nil {
+		t.Fatal("want version error")
+	}
+}
+
+// A crash between saveState's write and rename leaves a temp file behind;
+// loadState must sweep it and return the last durably installed state.
+func TestLoadStateSweepsStaleTemp(t *testing.T) {
+	dir := t.TempDir()
+	path := statePath(dir)
+	if err := saveState(path, partitionState{Consumed: 5}); err != nil {
+		t.Fatal(err)
+	}
+	stale := path + ".tmp123456"
+	if err := os.WriteFile(stale, []byte(`{"version":2,"consumed":999`), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	st, err := loadState(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Consumed != 5 {
+		t.Fatalf("consumed %d, want 5 (the installed state)", st.Consumed)
+	}
+	if _, err := os.Stat(stale); !os.IsNotExist(err) {
+		t.Fatalf("stale temp file survived the sweep: %v", err)
+	}
+}
+
+// A failed install must not corrupt anything: the error surfaces, the
+// temp file is removed, and a previously installed good state in the
+// same directory still loads.
+func TestSaveStateFailedInstallKeepsPreviousGoodState(t *testing.T) {
+	dir := t.TempDir()
+	good := statePath(dir)
+	if err := saveState(good, partitionState{Consumed: 7}); err != nil {
+		t.Fatal(err)
+	}
+	// Renaming a file over an existing directory fails, exercising the
+	// install-failure path.
+	blocked := filepath.Join(dir, "blocked-target")
+	if err := os.Mkdir(blocked, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := saveState(blocked, partitionState{Consumed: 8}); err == nil {
+		t.Fatal("want rename failure")
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp") {
+			t.Fatalf("temp file %s left behind after failed install", e.Name())
+		}
+	}
+	st, err := loadState(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Consumed != 7 {
+		t.Fatalf("good state damaged: %+v", st)
+	}
+}
