@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race bench bench-broker bench-broker-smoke bench-shard bench-shard-smoke chaos cover fuzz-smoke rebalance-test verify
+.PHONY: build test vet race bench bench-broker bench-broker-smoke bench-shard bench-shard-smoke chaos cover fuzz-smoke rebalance-test live-rebalance-test verify
 
 build:
 	$(GO) build ./...
@@ -53,6 +53,17 @@ bench-shard-smoke:
 rebalance-test:
 	$(GO) test -race -count=1 -run 'TestRebalance|TestRuntimeRefusesLayoutMismatch' ./internal/shard/
 
+# Live-rebalance tier: the N→N+1 growth-under-traffic proof under the
+# race detector — per-key score/alert equivalence against the unsharded
+# reference while traffic flows through the cutover, zero detection
+# stall on non-moving keys, double-write duplicate skipping across a
+# redelivery crash, and seeded crash injection at every per-key cutover
+# phase (each must resume on exactly one layout per key). Includes the
+# CLI/admin surface (`logsynergy rebalance -live`).
+live-rebalance-test:
+	$(GO) test -race -count=1 -run 'TestLiveRebalance|TestOfflineRebalanceRefusesLiveJournal' ./internal/shard/
+	$(GO) test -race -count=1 -run 'TestRunRebalanceLive|TestAdminRebalance' ./cmd/logsynergy/
+
 # Chaos tier: the fault-injection framework and the deterministic chaos
 # suites (seeded fault schedules, breakers, spill, leak checks; broker
 # crash-recovery replay) under the race detector. Fast — it uses the
@@ -63,14 +74,18 @@ chaos:
 	$(GO) test -race -count=1 ./internal/broker/
 
 # Cover tier: the full suite with coverage, a per-package summary, and
-# a floor on the sharded runtime (its equivalence suite is the proof the
-# roadmap leans on, so its coverage must not rot).
+# floors on the sharded runtime and the pipeline core (their equivalence
+# and chaos suites are the proofs the roadmap leans on, so their
+# coverage must not rot).
 cover:
 	$(GO) test -count=1 -cover -coverprofile=cover.out ./...
 	@$(GO) tool cover -func=cover.out | tail -n 1
 	@pct=$$($(GO) tool cover -func=cover.out | awk '$$1 ~ /^logsynergy\/internal\/shard\// {gsub(/%/,"",$$3); s+=$$3; n++} END {if (n) printf "%.1f", s/n; else print "0"}'); \
 	echo "internal/shard mean function coverage: $$pct%"; \
 	awk -v p="$$pct" 'BEGIN {exit !(p+0 >= 70)}' || { echo "FAIL: internal/shard coverage $$pct% is below the 70% floor"; exit 1; }
+	@pct=$$($(GO) tool cover -func=cover.out | awk '$$1 ~ /^logsynergy\/internal\/pipeline\// {gsub(/%/,"",$$3); s+=$$3; n++} END {if (n) printf "%.1f", s/n; else print "0"}'); \
+	echo "internal/pipeline mean function coverage: $$pct%"; \
+	awk -v p="$$pct" 'BEGIN {exit !(p+0 >= 70)}' || { echo "FAIL: internal/pipeline coverage $$pct% is below the 70% floor"; exit 1; }
 
 # Fuzz-smoke tier: a short randomized pass over the parser and window
 # fuzz targets (the checked-in seed corpora always run as part of
@@ -79,4 +94,4 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzParse -fuzztime 10s ./internal/drain/
 	$(GO) test -run '^$$' -fuzz FuzzSlide -fuzztime 10s ./internal/window/
 
-verify: vet test chaos rebalance-test bench-broker-smoke bench-shard-smoke race
+verify: vet test chaos rebalance-test live-rebalance-test bench-broker-smoke bench-shard-smoke race

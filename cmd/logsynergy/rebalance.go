@@ -1,49 +1,122 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
 
 	"logsynergy/internal/shard"
 )
 
-// runRebalance re-partitions a quiesced sharded broker directory from N
-// to M shards, moving each relocated key's window tail, template groups
-// and pattern-library verdicts to its new partition:
+// runRebalance re-partitions a sharded broker directory from N to M
+// shards, moving each relocated key's window tail, template groups and
+// pattern-library verdicts to its new partition:
 //
 //	logsynergy rebalance -from 3 -to 4 -broker-dir /var/lib/logsynergy
 //
-// The detector must be stopped (WAL fully drained and committed) —
-// rebalance refuses an unquiesced layout. With -to-dir the rebalanced
-// layout is written to a fresh directory and the original is kept as a
-// rollback; without it the layout is rewritten in place (crash-safe: an
-// interrupted run is rolled forward or back on the next open).
+// Offline mode requires the detector to be stopped (WAL fully drained
+// and committed) — rebalance refuses an unquiesced layout. With -to-dir
+// the rebalanced layout is written to a fresh directory and the original
+// is kept as a rollback; without it the layout is rewritten in place
+// (crash-safe: an interrupted run is rolled forward or back on the next
+// open).
+//
+// With -live the fleet keeps serving: the command asks a RUNNING
+// logsynergy serve process (via its -addr HTTP surface) to grow itself
+// one partition under traffic:
+//
+//	logsynergy rebalance -live -addr 127.0.0.1:9600 -to 4
+//
+// The call returns when the cutover has completed and the fleet is
+// serving the new layout. Live mode grows one partition per invocation.
 func runRebalance(args []string) error {
 	fs := flag.NewFlagSet("rebalance", flag.ExitOnError)
-	from := fs.Int("from", 0, "current partition count")
+	from := fs.Int("from", 0, "current partition count (offline mode)")
 	to := fs.Int("to", 0, "target partition count")
-	brokerDir := fs.String("broker-dir", "", "WAL directory holding the current layout (the shard runtime root)")
-	toDir := fs.String("to-dir", "", "write the rebalanced layout here instead of in place (keeps -broker-dir as rollback)")
-	group := fs.String("group", "detector", "broker consumer group checked for quiescence")
+	brokerDir := fs.String("broker-dir", "", "WAL directory holding the current layout (the shard runtime root; offline mode)")
+	toDir := fs.String("to-dir", "", "write the rebalanced layout here instead of in place (keeps -broker-dir as rollback; offline mode)")
+	group := fs.String("group", "detector", "broker consumer group checked for quiescence (offline mode)")
+	live := fs.Bool("live", false, "grow a serving fleet in place through its admin endpoint; traffic keeps flowing")
+	addr := fs.String("addr", "", "HTTP address (host:port) of the serving fleet, for -live")
+	timeout := fs.Duration("timeout", 10*time.Minute, "how long to wait for a -live cutover to complete")
 	quiet := fs.Bool("quiet", false, "suppress the summary line")
 	fs.Parse(args)
+
+	if *live {
+		if *addr == "" {
+			return fmt.Errorf("rebalance -live needs a serving fleet: pass -addr host:port of a running `logsynergy serve -shards N` process")
+		}
+		if *brokerDir != "" || *toDir != "" {
+			return fmt.Errorf("rebalance -live operates on the serving fleet's own directory; drop -broker-dir/-to-dir")
+		}
+		if *to <= 0 {
+			return fmt.Errorf("rebalance requires a positive -to partition count")
+		}
+		rep, err := liveRebalanceRequest(*addr, *to, *timeout)
+		if err != nil {
+			return err
+		}
+		printRebalanceReport(rep, *quiet)
+		return nil
+	}
+
 	if *brokerDir == "" {
-		return fmt.Errorf("rebalance requires -broker-dir")
+		return fmt.Errorf("rebalance requires -broker-dir (or -live -addr against a serving fleet)")
 	}
 	if *from <= 0 || *to <= 0 {
 		return fmt.Errorf("rebalance requires positive -from and -to partition counts")
 	}
-
 	rep, err := shard.RebalanceGroup(*brokerDir, *toDir, *from, *to, *group)
 	if err != nil {
 		return err
 	}
-	if *quiet {
-		return nil
+	printRebalanceReport(rep, *quiet)
+	return nil
+}
+
+// liveRebalanceRequest asks the serving fleet at addr to grow to `to`
+// partitions and waits for the cutover to complete.
+func liveRebalanceRequest(addr string, to int, timeout time.Duration) (*shard.RebalanceReport, error) {
+	if !strings.Contains(addr, "://") {
+		addr = "http://" + addr
+	}
+	u, err := url.Parse(addr)
+	if err != nil {
+		return nil, fmt.Errorf("rebalance -addr %q: %w", addr, err)
+	}
+	u.Path = "/admin/rebalance"
+	u.RawQuery = "to=" + strconv.Itoa(to)
+	client := &http.Client{Timeout: timeout}
+	resp, err := client.Post(u.String(), "text/plain", nil)
+	if err != nil {
+		return nil, fmt.Errorf("reaching the serving fleet: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return nil, fmt.Errorf("serving fleet refused the rebalance (%s): %s", resp.Status, strings.TrimSpace(string(body)))
+	}
+	var rep shard.RebalanceReport
+	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+		return nil, fmt.Errorf("parsing rebalance report: %w", err)
+	}
+	return &rep, nil
+}
+
+// printRebalanceReport renders the summary line both modes share.
+func printRebalanceReport(rep *shard.RebalanceReport, quiet bool) {
+	if quiet {
+		return
 	}
 	if rep.AlreadyBalanced {
 		fmt.Printf("layout in %s already at %d partitions; nothing moved\n", rep.Dir, rep.To)
-		return nil
+		return
 	}
 	perKey := "-"
 	if rep.MovedKeys > 0 {
@@ -51,5 +124,4 @@ func runRebalance(args []string) error {
 	}
 	fmt.Printf("rebalanced %d -> %d partitions in %s: moved %d keys (%d tail lines) in %v (%s)\n",
 		rep.From, rep.To, rep.Dir, rep.MovedKeys, rep.MovedLines, rep.Duration, perKey)
-	return nil
 }

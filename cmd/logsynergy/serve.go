@@ -2,6 +2,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"expvar"
 	"flag"
 	"fmt"
@@ -10,6 +11,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"sync"
 	"syscall"
@@ -433,8 +435,9 @@ func runServeSharded(opts shardServeOptions) error {
 }
 
 // newShardServeMux wires the sharded serve surface: /metrics serves the
-// fleet-merged snapshot, /ingest routes to shards, and the debug pages
-// match single-broker mode.
+// fleet-merged snapshot, /ingest routes to shards, /admin/rebalance
+// grows the fleet live (POST, ?to=N), and the debug pages match
+// single-broker mode.
 func newShardServeMux(rt *shard.Runtime, maxBatchBytes int64) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
@@ -442,6 +445,28 @@ func newShardServeMux(rt *shard.Runtime, maxBatchBytes int64) *http.ServeMux {
 		rt.Snapshot().WriteText(w)
 	})
 	mux.Handle("/ingest", rt.IngestHandler(maxBatchBytes))
+	mux.HandleFunc("/admin/rebalance", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			w.Header().Set("Allow", http.MethodPost)
+			http.Error(w, "rebalance accepts POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		to, err := strconv.Atoi(r.URL.Query().Get("to"))
+		if err != nil || to <= 0 {
+			http.Error(w, "rebalance requires a positive ?to=<partitions>", http.StatusBadRequest)
+			return
+		}
+		// Blocks until the cutover completes: intake keeps flowing the
+		// whole time, so a long-poll here is the honest contract — the 200
+		// means the fleet IS serving the new layout.
+		rep, err := rt.LiveRebalance(to)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusConflict)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(rep)
+	})
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

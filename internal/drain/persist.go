@@ -66,6 +66,48 @@ func (p *Parser) Import(events []SavedEvent) error {
 	return nil
 }
 
+// Merge splices exported events from another parser into this one, which
+// may already hold live groups — the online half of a key handoff, where
+// the destination parser keeps serving its own streams while a moved
+// key's history arrives. Events whose template this parser already knows
+// keep the local group (the donor's count is not re-added: the merge must
+// be idempotent so a crashed cutover can re-apply it); unknown templates
+// are appended at the next local id. The returned map translates every
+// donor id to its local id, so pattern verdicts and window sequences
+// captured in the donor's id space can follow the key across.
+func (p *Parser) Merge(events []SavedEvent) (map[int]int, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	byTemplate := make(map[string]*Event, len(p.events))
+	for _, ev := range p.events {
+		byTemplate[ev.Template] = ev
+	}
+	translate := make(map[int]int, len(events))
+	for _, se := range events {
+		if ev, ok := byTemplate[se.Template]; ok {
+			translate[se.ID] = ev.ID
+			continue
+		}
+		tokens := strings.Fields(se.Template)
+		if len(tokens) == 0 {
+			tokens = []string{""}
+		}
+		ev := &Event{
+			ID:       len(p.events),
+			Template: se.Template,
+			Example:  se.Example,
+			Count:    se.Count,
+			tokens:   tokens,
+		}
+		leaf := p.route(tokens)
+		leaf.groups = append(leaf.groups, ev)
+		p.events = append(p.events, ev)
+		byTemplate[se.Template] = ev
+		translate[se.ID] = ev.ID
+	}
+	return translate, nil
+}
+
 // SaveState serializes the parser's template groups as JSON. The routing
 // tree itself is not stored: it is rebuilt deterministically from the
 // templates on load.

@@ -156,6 +156,24 @@ func (k *Keyed) Tails() map[string]WindowTail {
 	return out
 }
 
+// Tail snapshots a single key's window state without disturbing it — the
+// capture half of a live key handoff, where the donor partition keeps
+// serving every other key while this one's tail is staged for splicing.
+// Like Tails, the snapshot is only consistent when no completed windows
+// are pending — call Flush first. A key with no state (never seen, or
+// empty buffer at a window boundary) returns ok=false with a zero tail,
+// which Restore treats as a fresh key.
+func (k *Keyed) Tail(key string) (WindowTail, bool) {
+	kw := k.keys[key]
+	if kw == nil || (len(kw.lines) == 0 && kw.sincePrev == 0) {
+		return WindowTail{}, false
+	}
+	return WindowTail{
+		Lines:     append([]string(nil), kw.lines...),
+		SincePrev: kw.sincePrev,
+	}, true
+}
+
 // TakeTails removes and returns the window state of every key belongs
 // selects — the donor half of a key handoff (shard rebalancing): the
 // returned map is a Tails-shaped snapshot another Keyed can Restore,

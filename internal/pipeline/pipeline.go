@@ -268,6 +268,19 @@ func (p *PatternLibrary) Import(entries []PatternEntry) {
 	}
 }
 
+// Contains reports whether a verdict for the pattern is cached, without
+// refreshing its LRU position — the dedup check a live splice needs:
+// importing a donor's verdict for a pattern the destination already
+// caches must neither overwrite the destination's verdict nor promote it
+// as if it had just been used.
+func (p *PatternLibrary) Contains(eventIDs []int) bool {
+	key := patternKey(eventIDs)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	_, ok := p.entries[key]
+	return ok
+}
+
 // Size returns the number of cached patterns.
 func (p *PatternLibrary) Size() int {
 	p.mu.Lock()

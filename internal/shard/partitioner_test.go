@@ -146,6 +146,107 @@ func TestPartitionerConstruction(t *testing.T) {
 	NewPartitioner(0)
 }
 
+// Table-driven remap fractions for the directions the growth test does
+// not cover: shrink (N→N−1) and multi-step (N→N+2) transitions. Shrink
+// is growth's mirror — exactly the keys that live on the removed
+// partition move, ~1/N of the population — and a multi-step remap is
+// the union of its single steps, ~1/(N+1)+1/(N+2). The golden moved-key
+// sets are pinned: these exact keys were computed once and must never
+// change, because an offline rebalance plans its key handoffs from the
+// same rings a restarted runtime rebuilds from scratch.
+func TestPartitionerRemapFractionsTable(t *testing.T) {
+	keys := randomKeys(4, 10000)
+	cases := []struct {
+		name     string
+		from, to int
+		maxFrac  float64
+		// golden pins the moved keys among sys0..sys23 as "key:from->to".
+		golden []string
+	}{
+		{
+			name: "shrink 3to2", from: 3, to: 2, maxFrac: 1.6 / 3,
+			golden: []string{"sys2:2->1", "sys3:2->0", "sys4:2->0", "sys6:2->0",
+				"sys9:2->1", "sys12:2->1", "sys13:2->1", "sys22:2->0"},
+		},
+		{
+			name: "shrink 4to3", from: 4, to: 3, maxFrac: 1.6 / 4,
+			golden: []string{"sys3:3->2", "sys7:3->1", "sys10:3->0",
+				"sys12:3->2", "sys18:3->0", "sys23:3->0"},
+		},
+		{
+			name: "grow 2to4", from: 2, to: 4, maxFrac: 1.6 * (1.0/3 + 1.0/4),
+			golden: []string{"sys2:1->2", "sys3:0->3", "sys4:0->2", "sys6:0->2",
+				"sys7:1->3", "sys9:1->2", "sys10:0->3", "sys12:1->3",
+				"sys13:1->2", "sys18:0->3", "sys22:0->2", "sys23:0->3"},
+		},
+		{
+			name: "grow 3to5", from: 3, to: 5, maxFrac: 1.6 * (1.0/4 + 1.0/5),
+			golden: []string{"sys3:2->3", "sys6:2->4", "sys7:1->3", "sys10:0->3",
+				"sys12:2->3", "sys18:0->3", "sys23:0->3"},
+		},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			a, b := NewPartitioner(tc.from), NewPartitioner(tc.to)
+			moved := 0
+			for _, k := range keys {
+				pa, pb := a.Partition(k), b.Partition(k)
+				if pa == pb {
+					continue
+				}
+				moved++
+				if tc.to < tc.from {
+					// Shrink removes the top partitions; only their keys may
+					// move, and survivors keep their exact index.
+					if pa < tc.to {
+						t.Fatalf("key %q moved %d->%d but partition %d survives the shrink", k, pa, pb, pa)
+					}
+				} else if pb < tc.from {
+					// Growth only adds partitions; a key may not migrate
+					// between pre-existing ones.
+					t.Fatalf("key %q moved %d->%d, between two pre-growth partitions", k, pa, pb)
+				}
+			}
+			frac := float64(moved) / float64(len(keys))
+			if frac > tc.maxFrac {
+				t.Fatalf("%d->%d moved %.4f of keys, want <= %.4f", tc.from, tc.to, frac, tc.maxFrac)
+			}
+			if frac == 0 {
+				t.Fatalf("%d->%d moved no keys; the remap comparison is vacuous", tc.from, tc.to)
+			}
+
+			var got []string
+			for i := 0; i < 24; i++ {
+				k := fmt.Sprintf("sys%d", i)
+				if pa, pb := a.Partition(k), b.Partition(k); pa != pb {
+					got = append(got, fmt.Sprintf("%s:%d->%d", k, pa, pb))
+				}
+			}
+			if len(got) != len(tc.golden) {
+				t.Fatalf("golden moved set changed:\n got %v\nwant %v", got, tc.golden)
+			}
+			for i := range got {
+				if got[i] != tc.golden[i] {
+					t.Fatalf("golden moved set changed at %d:\n got %v\nwant %v", i, got, tc.golden)
+				}
+			}
+		})
+	}
+
+	// Composition: the multi-step moved set is exactly the union of its
+	// single growth steps (a key moved by 2→3 may move again in 3→4, but
+	// no key outside the step unions can move).
+	p2, p3, p4 := NewPartitioner(2), NewPartitioner(3), NewPartitioner(4)
+	for _, k := range keys {
+		direct := p2.Partition(k) != p4.Partition(k)
+		stepwise := p2.Partition(k) != p3.Partition(k) || p3.Partition(k) != p4.Partition(k)
+		if direct && !stepwise {
+			t.Fatalf("key %q moves in 2->4 but in neither 2->3 nor 3->4", k)
+		}
+	}
+}
+
 func TestDefaultKeyFunc(t *testing.T) {
 	cases := map[string]string{
 		"sysA rest of the line":  "sysA",

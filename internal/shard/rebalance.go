@@ -144,6 +144,15 @@ func rebalanceRun(o rebalanceOpts) (*RebalanceReport, error) {
 		}
 		root = o.newDir
 	}
+	// A live cutover owns the directory until its journal is gone; an
+	// offline rebalance running under it would splice from tails the
+	// serving runtime is still moving.
+	if j, err := loadJournal(root); err != nil {
+		return nil, err
+	} else if j != nil {
+		return nil, fmt.Errorf("shard: %s has a live cutover to %d partitions in progress (%s present); "+
+			"reopen the runtime at %d shards to let it finish before rebalancing offline", root, j.To, liveJournalName, j.To)
+	}
 	// Finish whatever a previous attempt left behind before reading any
 	// state: roll a committed rebalance forward, discard an uncommitted
 	// one.
@@ -351,41 +360,65 @@ func mergeEventSpaces(baseEvents []drain.SavedEvent, basePatterns []pipeline.Pat
 		seen[seqKey(pe.Seq)] = true
 	}
 	for _, d := range donors {
-		translate := make(map[int]int, len(d.Events))
-		for _, ev := range d.Events {
-			if id, ok := idByTemplate[ev.Template]; ok {
-				translate[ev.ID] = id
-				events[id].Count += ev.Count
-				continue
-			}
-			id := len(events)
-			events = append(events, drain.SavedEvent{ID: id, Template: ev.Template, Example: ev.Example, Count: ev.Count})
-			idByTemplate[ev.Template] = id
-			translate[ev.ID] = id
-		}
-		for _, pe := range d.Patterns {
-			seq := make([]int, len(pe.Seq))
-			ok := true
-			for j, id := range pe.Seq {
-				nid, has := translate[id]
-				if !has {
-					ok = false
-					break
-				}
-				seq[j] = nid
-			}
-			if !ok {
-				continue
-			}
+		var translate map[int]int
+		events, translate = mergeDonorEvents(events, idByTemplate, d.Events)
+		patterns = append(patterns, translatePatterns(d.Patterns, translate, func(seq []int) bool {
 			k := seqKey(seq)
 			if seen[k] {
-				continue
+				return true
 			}
 			seen[k] = true
-			patterns = append(patterns, pipeline.PatternEntry{Seq: seq, Score: pe.Score})
-		}
+			return false
+		})...)
 	}
 	return events, patterns
+}
+
+// mergeDonorEvents folds one donor's template groups into a merged event
+// slice, returning the extended slice and the donor-id → merged-id
+// translation. idByTemplate is updated in place so successive donors
+// share one template namespace. Known templates keep the merged id
+// (counts sum); new ones append at the next id.
+func mergeDonorEvents(events []drain.SavedEvent, idByTemplate map[string]int, donor []drain.SavedEvent) ([]drain.SavedEvent, map[int]int) {
+	translate := make(map[int]int, len(donor))
+	for _, ev := range donor {
+		if id, ok := idByTemplate[ev.Template]; ok {
+			translate[ev.ID] = id
+			events[id].Count += ev.Count
+			continue
+		}
+		id := len(events)
+		events = append(events, drain.SavedEvent{ID: id, Template: ev.Template, Example: ev.Example, Count: ev.Count})
+		idByTemplate[ev.Template] = id
+		translate[ev.ID] = id
+	}
+	return events, translate
+}
+
+// translatePatterns maps donor pattern verdicts through an id
+// translation, dropping entries whose sequence cannot be fully
+// translated and those dup reports as already present (the receiver's
+// own verdict wins). Order — and therefore donor LRU order — is
+// preserved.
+func translatePatterns(entries []pipeline.PatternEntry, translate map[int]int, dup func(seq []int) bool) []pipeline.PatternEntry {
+	out := make([]pipeline.PatternEntry, 0, len(entries))
+	for _, pe := range entries {
+		seq := make([]int, len(pe.Seq))
+		ok := true
+		for j, id := range pe.Seq {
+			nid, has := translate[id]
+			if !has {
+				ok = false
+				break
+			}
+			seq[j] = nid
+		}
+		if !ok || dup(seq) {
+			continue
+		}
+		out = append(out, pipeline.PatternEntry{Seq: seq, Score: pe.Score})
+	}
+	return out
 }
 
 // seqKey renders an event-id sequence as a dedup key.
@@ -475,44 +508,65 @@ func discardStagedStates(root string) error {
 	return nil
 }
 
-// writeManifest durably installs the commit record (temp + fsync +
-// rename + directory fsync).
+// writeManifest durably installs the commit record.
 func writeManifest(root string, m rebalanceManifest) error {
-	data, err := json.Marshal(m)
+	return writeJSONFile(filepath.Join(root, rebalanceManifestName), m)
+}
+
+// writeJSONFile durably installs a small JSON control file (temp in the
+// same directory + fsync + rename + directory fsync) — the shared write
+// path for the offline rebalance manifest, the live-cutover journal, and
+// staged per-key splice files. A failure leaves any previous file
+// untouched.
+func writeJSONFile(path string, v any) error {
+	data, err := json.Marshal(v)
 	if err != nil {
-		return fmt.Errorf("shard: encoding rebalance manifest: %w", err)
+		return fmt.Errorf("shard: encoding %s: %w", filepath.Base(path), err)
 	}
-	tmp, err := os.CreateTemp(root, rebalanceManifestName+".tmp*")
+	dir, base := filepath.Split(path)
+	if dir == "" {
+		dir = "."
+	}
+	tmp, err := os.CreateTemp(dir, base+".tmp*")
 	if err != nil {
-		return fmt.Errorf("shard: creating manifest temp file: %w", err)
+		return fmt.Errorf("shard: creating temp file for %s: %w", base, err)
 	}
 	tmpName := tmp.Name()
 	if _, err := tmp.Write(append(data, '\n')); err != nil {
 		tmp.Close()
 		os.Remove(tmpName)
-		return fmt.Errorf("shard: writing rebalance manifest: %w", err)
+		return fmt.Errorf("shard: writing %s: %w", base, err)
 	}
 	if err := tmp.Sync(); err != nil {
 		tmp.Close()
 		os.Remove(tmpName)
-		return fmt.Errorf("shard: syncing rebalance manifest: %w", err)
+		return fmt.Errorf("shard: syncing %s: %w", base, err)
 	}
 	if err := tmp.Close(); err != nil {
 		os.Remove(tmpName)
-		return fmt.Errorf("shard: closing rebalance manifest: %w", err)
+		return fmt.Errorf("shard: closing %s: %w", base, err)
 	}
-	if err := os.Rename(tmpName, filepath.Join(root, rebalanceManifestName)); err != nil {
+	if err := os.Chmod(tmpName, 0o644); err != nil {
 		os.Remove(tmpName)
-		return fmt.Errorf("shard: installing rebalance manifest: %w", err)
+		return fmt.Errorf("shard: setting mode on %s: %w", base, err)
 	}
-	return syncDir(root)
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("shard: installing %s: %w", base, err)
+	}
+	return syncDir(dir)
 }
 
 // copyLayout copies every partition directory (and the offsets and
 // state files inside) from src to dst, so the rebalance can run against
 // the copy while src stays untouched as a rollback. dst must not exist
-// or be empty; a directory holding only the incomplete-copy marker (a
-// previous copy that crashed) is wiped and redone.
+// or be empty. Two kinds of crashed previous attempts are wiped and
+// redone rather than refused: a directory still holding the
+// incomplete-copy marker (the copy itself died), and a completed copy
+// whose rebalance died after staging but before its manifest — the
+// latter leaves orphaned .next files with no marker and no manifest, and
+// since the source is still the untouched rollback, the stale copy holds
+// nothing worth keeping.
 func copyLayout(src, dst string) error {
 	if entries, err := os.ReadDir(dst); err == nil {
 		marker := false
@@ -523,6 +577,10 @@ func copyLayout(src, dst string) error {
 		}
 		switch {
 		case marker:
+			if err := os.RemoveAll(dst); err != nil {
+				return fmt.Errorf("shard: clearing crashed rebalance copy %s: %w", dst, err)
+			}
+		case len(entries) > 0 && crashedPreCommitCopy(dst, entries):
 			if err := os.RemoveAll(dst); err != nil {
 				return fmt.Errorf("shard: clearing crashed rebalance copy %s: %w", dst, err)
 			}
@@ -558,6 +616,26 @@ func copyLayout(src, dst string) error {
 		return fmt.Errorf("shard: removing copy marker: %w", err)
 	}
 	return syncDir(dst)
+}
+
+// crashedPreCommitCopy reports whether dst is recognizably a rebalance
+// copy that died after staging but before its commit point: no manifest
+// at the root, every entry a partition directory, and at least one
+// orphaned staged state inside. Anything else — stray files, a present
+// manifest (recoverRebalance's job), partition dirs with no staging
+// debris — is treated as data and refused by the caller.
+func crashedPreCommitCopy(dst string, entries []os.DirEntry) bool {
+	orphaned := false
+	for _, e := range entries {
+		if !e.IsDir() || !partitionDirPattern.MatchString(e.Name()) {
+			return false
+		}
+		next := statePath(filepath.Join(dst, e.Name())) + stagedStateSuffix
+		if _, err := os.Stat(next); err == nil {
+			orphaned = true
+		}
+	}
+	return orphaned
 }
 
 // copyTree copies a directory tree, fsyncing each copied file.

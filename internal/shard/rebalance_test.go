@@ -309,6 +309,57 @@ func TestRebalanceCopyMode(t *testing.T) {
 	}
 }
 
+// Regression: a copy-mode rebalance that crashes after staging but
+// before the manifest leaves the destination with orphaned .next files,
+// no copy marker, and no manifest. The re-run used to refuse the
+// destination as "already exists and is not empty"; it must instead
+// recognize the crashed pre-commit copy, clear it, and succeed.
+func TestRebalanceCopyModeCrashBeforeManifestRetries(t *testing.T) {
+	keys := eqKeys(6)
+	lines := genEqLines(77, 900, keys)
+	ref := runReference(t, lines)
+
+	src := t.TempDir()
+	h := openHarness(t, src, 2, nil)
+	h.feed(t, lines[:500])
+	h.drain(t)
+	if err := h.rt.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	dst := filepath.Join(t.TempDir(), "grown")
+	boom := errors.New("injected crash")
+	if _, err := rebalanceRun(rebalanceOpts{oldDir: src, newDir: dst, oldN: 2, newN: 3, crash: func(phase string) error {
+		if phase == "staged" {
+			return boom
+		}
+		return nil
+	}}); !errors.Is(err, boom) {
+		t.Fatalf("crash injection: %v", err)
+	}
+	nexts, _ := filepath.Glob(filepath.Join(dst, "p*", stateFileName+stagedStateSuffix))
+	if len(nexts) == 0 {
+		t.Fatal("staged crash left no .next files in the copy; the injection missed")
+	}
+	if _, err := os.Stat(filepath.Join(dst, rebalanceManifestName)); !os.IsNotExist(err) {
+		t.Fatalf("manifest present after a pre-commit crash (stat err %v)", err)
+	}
+	if _, err := os.Stat(filepath.Join(dst, rebalanceCopyMarker)); !os.IsNotExist(err) {
+		t.Fatalf("copy marker present after a post-copy crash (stat err %v)", err)
+	}
+
+	if _, err := Rebalance(src, dst, 2, 3); err != nil {
+		t.Fatalf("re-run after a staged copy-mode crash: %v", err)
+	}
+	h2 := reopenHarness(t, dst, 3, h)
+	h2.feed(t, lines[500:])
+	h2.drain(t)
+	if err := h2.rt.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	requireEqual(t, "copy-mode crash retry", h2.result(), ref)
+}
+
 // Guard rails: unquiesced WALs, mismatched stamps and degenerate counts
 // are refused before anything is written.
 func TestRebalanceRefusals(t *testing.T) {

@@ -45,8 +45,24 @@ type PartitionResult struct {
 // partition index and the assigned offset within that partition's log.
 // A full partition returns an error wrapping broker.ErrBacklogFull that
 // names the partition; other partitions are unaffected.
+//
+// During a live cutover a moving key that has not been released yet is
+// double-written — appended to both the donor's WAL (reported partition
+// and offset) and the destination's — and acked only when both appends
+// land; a released moving key routes to the destination. Non-moving
+// keys are untouched.
 func (rt *Runtime) Append(line string) (part int, off uint64, err error) {
-	part = rt.part.Partition(rt.cfg.KeyFunc(line))
+	rt.routeMu.RLock()
+	defer rt.routeMu.RUnlock()
+	key := rt.cfg.KeyFunc(line)
+	if cut := rt.cut.Load(); cut != nil && cut.moving(key) {
+		if cut.keyPhase(key) < phaseReleased {
+			return rt.appendDouble(cut, line)
+		}
+		part = cut.newRing.Partition(key)
+	} else {
+		part = rt.part.Partition(key)
+	}
 	off, err = rt.parts[part].bk.Append(line)
 	if err != nil {
 		rt.rejectedByBP.Inc()
@@ -56,37 +72,102 @@ func (rt *Runtime) Append(line string) (part int, off uint64, err error) {
 	return part, off, nil
 }
 
+// appendDouble double-writes one unreleased moving key's line. The
+// donor's copy sits past its freeze point and is never fed — the
+// destination's copy is the one detection consumes — so the line is
+// acked only when both appends land: a donor-only copy after a
+// destination failure is simply a skipped record, and at-least-once
+// intake has the producer retry.
+func (rt *Runtime) appendDouble(cut *cutover, line string) (int, uint64, error) {
+	key := rt.cfg.KeyFunc(line)
+	donor := cut.oldRing.Partition(key)
+	dest := cut.newRing.Partition(key)
+	off, err := rt.parts[donor].bk.Append(line)
+	if err != nil {
+		rt.rejectedByBP.Inc()
+		return donor, 0, fmt.Errorf("partition %d: %w", donor, err)
+	}
+	if _, err := rt.parts[dest].bk.Append(line); err != nil {
+		rt.rejectedByBP.Inc()
+		return dest, 0, fmt.Errorf("partition %d: %w", dest, err)
+	}
+	rt.routedLines.Inc()
+	return donor, off, nil
+}
+
 // AppendBatch routes a batch of lines to their partitions, appending
 // each partition's share as one batch. Acceptance is per-partition: the
 // returned results say what each partition acked or rejected, and the
 // error (if non-nil) wraps the first partition failure. Lines for
 // healthy partitions are durably appended even when another partition
-// rejects its share.
+// rejects its share. Mid-cutover, unreleased moving keys' shares are
+// double-written (donor first, then destination; acked under the donor
+// only when both land) and released moving keys' shares route to the
+// destination.
 func (rt *Runtime) AppendBatch(lines []string) ([]PartitionResult, error) {
-	byPart := make([][]string, rt.cfg.Shards)
+	rt.routeMu.RLock()
+	defer rt.routeMu.RUnlock()
+	cut := rt.cut.Load()
+	n := len(rt.parts)
+	byPart := make([][]string, n)
+	double := make([][]string, n) // unreleased moving shares, grouped by donor
 	for _, line := range lines {
-		p := rt.part.Partition(rt.cfg.KeyFunc(line))
+		key := rt.cfg.KeyFunc(line)
+		if cut != nil && cut.moving(key) {
+			if cut.keyPhase(key) < phaseReleased {
+				d := cut.oldRing.Partition(key)
+				double[d] = append(double[d], line)
+			} else {
+				p := cut.newRing.Partition(key)
+				byPart[p] = append(byPart[p], line)
+			}
+			continue
+		}
+		p := rt.part.Partition(key)
 		byPart[p] = append(byPart[p], line)
 	}
 	var results []PartitionResult
 	var firstErr error
-	for p, share := range byPart {
-		if len(share) == 0 {
-			continue
-		}
-		res := PartitionResult{Partition: p}
-		if _, _, err := rt.parts[p].bk.AppendBatch(share); err != nil {
-			res.Rejected = len(share)
+	reject := func(res *PartitionResult, p, count int, err error) {
+		res.Rejected += count
+		if res.Error == "" {
 			res.Error = rejectionLabel(err)
-			rt.rejectedByBP.Add(int64(len(share)))
-			if firstErr == nil {
-				firstErr = fmt.Errorf("partition %d: %w", p, err)
-			}
-		} else {
-			res.Acked = len(share)
-			rt.routedLines.Add(int64(len(share)))
 		}
-		results = append(results, res)
+		rt.rejectedByBP.Add(int64(count))
+		if firstErr == nil {
+			firstErr = fmt.Errorf("partition %d: %w", p, err)
+		}
+	}
+	for p := 0; p < n; p++ {
+		res := PartitionResult{Partition: p}
+		used := false
+		if share := byPart[p]; len(share) > 0 {
+			used = true
+			if _, _, err := rt.parts[p].bk.AppendBatch(share); err != nil {
+				reject(&res, p, len(share), err)
+			} else {
+				res.Acked += len(share)
+				rt.routedLines.Add(int64(len(share)))
+			}
+		}
+		if share := double[p]; len(share) > 0 {
+			used = true
+			destIdx := cut.to - 1
+			if _, _, err := rt.parts[p].bk.AppendBatch(share); err != nil {
+				reject(&res, p, len(share), err)
+			} else if _, _, err := rt.parts[destIdx].bk.AppendBatch(share); err != nil {
+				// Donor copies landed but will never be fed (they are past
+				// the freeze point); without the destination copies the
+				// lines are not acked.
+				reject(&res, destIdx, len(share), err)
+			} else {
+				res.Acked += len(share)
+				rt.routedLines.Add(int64(len(share)))
+			}
+		}
+		if used {
+			results = append(results, res)
+		}
 	}
 	return results, firstErr
 }

@@ -5,7 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"os"
-	"path/filepath"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -110,6 +110,18 @@ type Runtime struct {
 	reg   *obs.Registry
 	parts []*partition
 
+	// routeMu guards the routing topology: part, parts, and cfg.Shards.
+	// Producers and accessors read-lock; a live cutover's flip and finish
+	// write-lock, making "freeze + journal + publish" and "restamp +
+	// journal removal + ring swap" atomic with respect to appends.
+	routeMu sync.RWMutex
+	// liveMu serializes LiveRebalance calls.
+	liveMu sync.Mutex
+	// cut is the active live cutover (nil outside one). Workers and the
+	// router load it per record; it is published after the journal is
+	// durable and cleared after the journal is removed.
+	cut atomic.Pointer[cutover]
+
 	faninMu      sync.Mutex
 	faninTotal   *obs.Counter
 	routedLines  *obs.Counter
@@ -120,6 +132,7 @@ type Runtime struct {
 // worker goroutine, and resume bookkeeping.
 type partition struct {
 	idx    int
+	rt     *Runtime
 	dir    string
 	group  string
 	bk     *broker.Broker
@@ -128,7 +141,16 @@ type partition struct {
 	pipe   *pipeline.Pipeline
 	keyed  *pipeline.Keyed
 	keyFor func(string) string
-	layout int // shard count this partition was opened under (persisted stamp)
+	layout int          // shard count this partition was opened under (persisted stamp)
+	ring   *Partitioner // ownership ring the worker checks records against
+
+	// feedMu serializes detection state (keyed windower, pipeline parser
+	// and library, consumed/save bookkeeping) between the worker — which
+	// holds it per record — and a live cutover's coordinator, which holds
+	// it to capture tails, apply splices and restamp. Lock order is
+	// routeMu before feedMu; feedMu is never held across a routeMu
+	// acquisition.
+	feedMu sync.Mutex
 
 	commitEvery   int
 	ackBase       uint64 // committed offset when the consumer opened
@@ -138,11 +160,24 @@ type partition struct {
 	lastCommitted uint64 // broker offset at the last successful Commit
 	sinceCommit   int
 
+	// spliced marks moving keys this (destination) partition has merged
+	// during a live cutover; persisted with the state so recovery knows
+	// which splices its durable tails already reflect.
+	spliced map[string]bool
+	// forceSave makes the next flushCommit persist state even when the
+	// consumed offset hasn't moved (cutover splices and restamps change
+	// state without consuming records).
+	forceSave bool
+
 	commitErrs *obs.Counter
 
 	idle   atomic.Bool
 	killed atomic.Bool
-	done   chan struct{}
+	// gated is set while the worker is parked on an unreleased moving key
+	// during a live cutover (its position is flushed and committed first,
+	// so a parked partition is as durable as a drained one).
+	gated atomic.Bool
+	done  chan struct{}
 
 	errMu sync.Mutex
 	err   error
@@ -153,6 +188,12 @@ type partition struct {
 // tails restored), partition pipelines are assembled around clones of
 // the detector's event table, and one worker per partition starts
 // tailing its consumer group.
+//
+// A root carrying a live-cutover journal resumes the interrupted cutover
+// before Open returns: the runtime must be opened at the journal's
+// target shard count, partitions open under their mid-cutover layouts,
+// committed keys roll forward from their staged splice files, and the
+// remaining keys cut over exactly as if the process had never died.
 func Open(cfg Config) (*Runtime, error) {
 	cfg = cfg.withDefaults()
 	if cfg.Dir == "" {
@@ -161,11 +202,30 @@ func Open(cfg Config) (*Runtime, error) {
 	if cfg.Detector == nil || cfg.Interp == nil || cfg.Embedder == nil || cfg.Sink == nil {
 		return nil, errors.New("shard: Detector, Interp, Embedder and Sink are required")
 	}
-	// Finish any rebalance that crashed mid-install: a committed manifest
-	// rolls forward to the new layout, an uncommitted one rolls back to
-	// the old. Either way every partition opens on one consistent layout.
-	if err := recoverRebalance(cfg.Dir); err != nil {
+	j, err := loadJournal(cfg.Dir)
+	if err != nil {
 		return nil, err
+	}
+	if j != nil {
+		if cfg.Shards != j.To {
+			return nil, fmt.Errorf("shard: %s has a live cutover to %d partitions in progress but the runtime is opening %d; "+
+				"reopen at %d shards to let the cutover finish", cfg.Dir, j.To, cfg.Shards, j.To)
+		}
+		if cfg.Vnodes != j.Vnodes {
+			return nil, fmt.Errorf("shard: %s's live cutover was computed with Vnodes=%d but the runtime is opening with %d; "+
+				"a different ring would move a different key set", cfg.Dir, j.Vnodes, cfg.Vnodes)
+		}
+		if len(j.Freeze) != j.From {
+			return nil, fmt.Errorf("shard: cutover journal records %d freeze offsets for %d donor partitions", len(j.Freeze), j.From)
+		}
+	} else {
+		// Finish any offline rebalance that crashed mid-install: a committed
+		// manifest rolls forward to the new layout, an uncommitted one rolls
+		// back to the old. Either way every partition opens on one
+		// consistent layout.
+		if err := recoverRebalance(cfg.Dir); err != nil {
+			return nil, err
+		}
 	}
 	rt := &Runtime{
 		cfg:          cfg,
@@ -178,12 +238,19 @@ func Open(cfg Config) (*Runtime, error) {
 	rt.cache = NewInterpCache(cfg.Interp, cfg.Metrics)
 	cfg.Metrics.Gauge("shard.partitions").Set(int64(cfg.Shards))
 
+	if j != nil {
+		return rt.openResuming(j)
+	}
 	for i := 0; i < cfg.Shards; i++ {
-		pt, err := rt.openPartition(i)
+		pt, err := rt.openPartitionAt(i, openOpts{})
 		if err != nil {
 			rt.closePartitions()
 			return nil, fmt.Errorf("shard: opening partition %d: %w", i, err)
 		}
+		// Without a journal there is no cutover: staged splice files and
+		// persisted Spliced markers are debris from a finish that crashed
+		// after its journal-removal commit point.
+		sweepSplices(pt.dir)
 		rt.parts = append(rt.parts, pt)
 	}
 	for _, pt := range rt.parts {
@@ -192,10 +259,76 @@ func Open(cfg Config) (*Runtime, error) {
 	return rt, nil
 }
 
-// openPartition assembles one shard (no worker started yet).
-func (rt *Runtime) openPartition(i int) (*partition, error) {
+// openResuming opens a root mid-cutover and drives the cutover to
+// completion before returning. Donors open under the journal's old
+// layout and ring; the destination opens under the new ones, keeping its
+// persisted Spliced markers. A partition stamped with either layout is
+// accepted — a crash inside the finish leaves some partitions restamped.
+func (rt *Runtime) openResuming(j *liveJournal) (*Runtime, error) {
+	oldRing := NewPartitionerVnodes(j.From, rt.cfg.Vnodes)
+	accept := func(s int) bool { return s == 0 || s == j.From || s == j.To }
+	fail := func(err error) (*Runtime, error) {
+		rt.closePartitions()
+		return nil, err
+	}
+	for i := 0; i < j.From; i++ {
+		pt, err := rt.openPartitionAt(i, openOpts{layout: j.From, ring: oldRing, acceptStamp: accept})
+		if err != nil {
+			return fail(fmt.Errorf("shard: opening partition %d: %w", i, err))
+		}
+		rt.parts = append(rt.parts, pt)
+	}
+	dest, err := rt.openPartitionAt(j.From, openOpts{layout: j.To, ring: rt.part, acceptStamp: accept, keepSpliced: true})
+	if err != nil {
+		return fail(fmt.Errorf("shard: opening cutover destination partition %d: %w", j.From, err))
+	}
+	rt.parts = append(rt.parts, dest)
+
+	cut, err := rt.resumeCutover(j)
+	if err != nil {
+		return fail(err)
+	}
+	for _, pt := range rt.parts {
+		go pt.run()
+	}
+	if _, _, err := rt.driveCutover(cut, j, liveOpts{to: j.To}); err != nil {
+		cut.interrupt()
+		rt.Kill()
+		return nil, fmt.Errorf("shard: resuming live cutover: %w", err)
+	}
+	if err := rt.finishCutover(cut); err != nil {
+		cut.interrupt()
+		rt.Kill()
+		return nil, fmt.Errorf("shard: resuming live cutover: %w", err)
+	}
+	return rt, nil
+}
+
+// openOpts parameterizes openPartitionAt for mid-cutover opens; the zero
+// value opens a partition normally under the runtime's configured layout.
+type openOpts struct {
+	// layout is the shard count to open under (0 = cfg.Shards).
+	layout int
+	// ring is the ownership ring the worker checks records against
+	// (nil = the runtime's partitioner).
+	ring *Partitioner
+	// acceptStamp, when set, overrides which persisted layout stamps are
+	// acceptable (default: 0 or layout).
+	acceptStamp func(int) bool
+	// keepSpliced loads the state's live-cutover Spliced markers.
+	keepSpliced bool
+}
+
+// openPartitionAt assembles one shard (no worker started yet).
+func (rt *Runtime) openPartitionAt(i int, o openOpts) (*partition, error) {
 	cfg := rt.cfg
-	dir := filepath.Join(cfg.Dir, fmt.Sprintf("p%d", i))
+	if o.layout == 0 {
+		o.layout = cfg.Shards
+	}
+	if o.ring == nil {
+		o.ring = rt.part
+	}
+	dir := partitionDir(cfg.Dir, i)
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
@@ -224,7 +357,11 @@ func (rt *Runtime) openPartition(i int) (*partition, error) {
 		bk.Close()
 		return nil, err
 	}
-	if st.Partitions != 0 && st.Partitions != cfg.Shards {
+	acceptable := o.acceptStamp
+	if acceptable == nil {
+		acceptable = func(s int) bool { return s == 0 || s == o.layout }
+	}
+	if !acceptable(st.Partitions) {
 		bk.Close()
 		return nil, fmt.Errorf("shard: partition %s was laid out for %d shards but the runtime is opening %d; "+
 			"run `logsynergy rebalance -from %d -to %d` over the broker directory first",
@@ -256,12 +393,14 @@ func (rt *Runtime) openPartition(i int) (*partition, error) {
 	pcfg.Faults = faults
 	pt := &partition{
 		idx:         i,
+		rt:          rt,
 		dir:         dir,
 		group:       cfg.Group,
 		bk:          bk,
 		reg:         reg,
 		keyFor:      cfg.KeyFunc,
-		layout:      cfg.Shards,
+		layout:      o.layout,
+		ring:        o.ring,
 		commitEvery: cfg.CommitEvery,
 		commitErrs:  reg.Counter("shard.commit_errors_total"),
 		done:        make(chan struct{}),
@@ -290,6 +429,12 @@ func (rt *Runtime) openPartition(i int) (*partition, error) {
 	pt.restored = st.Consumed
 	pt.consumed = st.Consumed
 	pt.lastSaved = st.Consumed
+	if o.keepSpliced && st.Cutover != nil && len(st.Cutover.Spliced) > 0 {
+		pt.spliced = make(map[string]bool, len(st.Cutover.Spliced))
+		for _, k := range st.Cutover.Spliced {
+			pt.spliced[k] = true
+		}
+	}
 
 	cons, err := bk.Consumer(cfg.Group)
 	if err != nil {
@@ -313,11 +458,16 @@ func (rt *Runtime) openPartition(i int) (*partition, error) {
 // run is the partition worker: tail the consumer, demultiplex by key,
 // feed the keyed pipeline, and commit (state file, then offsets) on the
 // configured cadence, whenever the backlog drains, and at end of stream.
+// During a live cutover the worker additionally parks before unreleased
+// moving keys (destination side) and skips double-written and
+// foreign-owned records (both sides).
 func (pt *partition) run() {
 	defer close(pt.done)
 	for {
 		if pt.caughtUp() {
+			pt.feedMu.Lock()
 			pt.flushCommit()
+			pt.feedMu.Unlock()
 			pt.idle.Store(true)
 		}
 		line, ok := pt.cons.Next()
@@ -325,32 +475,100 @@ func (pt *partition) run() {
 			break
 		}
 		pt.idle.Store(false)
+		key := pt.keyFor(line)
+		if !pt.awaitRelease(key) {
+			// Shut down while parked mid-cutover: the record was never
+			// consumed, so the resumed cutover redelivers it.
+			break
+		}
 		off := pt.cons.Position() - 1
+		pt.feedMu.Lock()
 		if off > pt.consumed {
 			pt.consumed = off
 		}
 		if off <= pt.restored {
 			// Redelivered record already reflected in the restored window
 			// tails; feeding it again would double-count the window phase.
+			pt.feedMu.Unlock()
 			continue
 		}
-		pt.keyed.Feed(pt.keyFor(line), line)
+		if !pt.shouldFeed(key, off) {
+			// Double-written (the destination's WAL copy is the one that
+			// counts) or no longer owned after a finished cutover.
+			pt.feedMu.Unlock()
+			continue
+		}
+		pt.keyed.Feed(key, line)
 		pt.sinceCommit++
 		if pt.sinceCommit >= pt.commitEvery {
 			pt.flushCommit()
 		}
+		pt.feedMu.Unlock()
 	}
 	if !pt.killed.Load() {
 		// End of stream (intake closed and backlog drained, or consumer
 		// failure): flush the pending batch and commit this partition's
 		// offset — every partition commits its own offset on shutdown,
 		// not just the last one to drain.
+		pt.feedMu.Lock()
 		pt.flushCommit()
+		pt.feedMu.Unlock()
 	}
 	if err := pt.cons.Err(); err != nil {
 		pt.setErr(err)
 	}
 	pt.idle.Store(true)
+}
+
+// shouldFeed decides whether a consumed record enters detection. Called
+// under feedMu. A donor mid-cutover feeds a moving key only below its
+// freeze point — records at or above it are double-written, and the
+// destination's copy is authoritative. Outside that case the ownership
+// ring decides: a record whose key no longer routes here (a
+// double-written donor copy redelivered after the cutover finished, or
+// a brand-new moving key that only ever double-wrote) is skipped.
+func (pt *partition) shouldFeed(key string, off uint64) bool {
+	if cut := pt.rt.cut.Load(); cut != nil && pt.idx < cut.from && cut.moving(key) {
+		return off < cut.freeze[pt.idx]
+	}
+	return pt.ring.Partition(key) == pt.idx
+}
+
+// awaitRelease gates the destination's consumer during a live cutover:
+// a record for a moving key that has not been released yet parks the
+// worker until the key releases, the cutover finishes, or the runtime
+// shuts down (false = stop without consuming the record). The worker
+// flushes and commits before parking, so a crash while parked resumes
+// with nothing to replay.
+func (pt *partition) awaitRelease(key string) bool {
+	cut := pt.rt.cut.Load()
+	if cut == nil || pt.idx != cut.to-1 || !cut.moving(key) {
+		return true
+	}
+	cut.mu.Lock()
+	if cut.finished || cut.phase[key] >= phaseReleased {
+		closed := cut.closed
+		cut.mu.Unlock()
+		return !closed
+	}
+	if cut.closed {
+		cut.mu.Unlock()
+		return false
+	}
+	cut.mu.Unlock()
+
+	pt.feedMu.Lock()
+	pt.flushCommit()
+	pt.feedMu.Unlock()
+	pt.gated.Store(true)
+	defer pt.gated.Store(false)
+
+	cut.mu.Lock()
+	defer cut.mu.Unlock()
+	for !cut.finished && !cut.closed && cut.phase[key] < phaseReleased {
+		cut.cond.Wait()
+	}
+	return !cut.closed
 }
 
 // caughtUp reports whether the worker has consumed everything appended.
@@ -363,26 +581,29 @@ func (pt *partition) caughtUp() bool {
 // two leaves the offset behind the tails (the worker skips the
 // redelivered prefix on restart). Commit failures are counted and
 // retried on the next cadence; consumption continues (at-least-once).
-func (pt *partition) flushCommit() {
+// Called under feedMu.
+func (pt *partition) flushCommit() error {
 	pt.keyed.Flush()
 	pt.sinceCommit = 0
-	if pt.consumed == pt.lastSaved && pt.consumed == pt.lastCommitted {
-		return
+	if pt.consumed == pt.lastSaved && pt.consumed == pt.lastCommitted && !pt.forceSave {
+		return nil
 	}
-	if pt.consumed != pt.lastSaved {
+	if pt.consumed != pt.lastSaved || pt.forceSave {
 		st := partitionState{
 			Partitions: pt.layout,
 			Consumed:   pt.consumed,
 			Tails:      pt.keyed.Tails(),
 			Events:     pt.pipe.Parser().Export(),
 			Patterns:   pt.pipe.Library().Export(),
+			Cutover:    pt.cutoverRecord(),
 		}
 		if err := saveState(statePath(pt.dir), st); err != nil {
 			pt.commitErrs.Inc()
 			pt.setErr(err)
-			return
+			return err
 		}
 		pt.lastSaved = pt.consumed
+		pt.forceSave = false
 	}
 	// The state file can be up to date while the broker offset trails it —
 	// e.g. a restart that skipped a redelivered prefix. Commit the offset
@@ -391,9 +612,24 @@ func (pt *partition) flushCommit() {
 	if err := pt.cons.Commit(); err != nil {
 		pt.commitErrs.Inc()
 		pt.setErr(err)
-		return
+		return err
 	}
 	pt.lastCommitted = pt.consumed
+	return nil
+}
+
+// cutoverRecord renders the partition's live-cutover state record
+// (nil outside a cutover). Called under feedMu.
+func (pt *partition) cutoverRecord() *cutoverState {
+	if len(pt.spliced) == 0 {
+		return nil
+	}
+	keys := make([]string, 0, len(pt.spliced))
+	for k := range pt.spliced {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return &cutoverState{Spliced: keys}
 }
 
 // setErr records the first worker error.
@@ -468,24 +704,43 @@ func (f *faninSink) TryNotify(r *core.Report) error {
 }
 
 // Shards returns the partition count.
-func (rt *Runtime) Shards() int { return rt.cfg.Shards }
+func (rt *Runtime) Shards() int {
+	rt.routeMu.RLock()
+	defer rt.routeMu.RUnlock()
+	return rt.cfg.Shards
+}
 
 // Partitioner exposes the key → partition mapping (diagnostics, tests).
-func (rt *Runtime) Partitioner() *Partitioner { return rt.part }
+func (rt *Runtime) Partitioner() *Partitioner {
+	rt.routeMu.RLock()
+	defer rt.routeMu.RUnlock()
+	return rt.part
+}
 
 // Cache exposes the shared interpretation cache.
 func (rt *Runtime) Cache() *InterpCache { return rt.cache }
 
 // PartitionFor returns the partition index owning key.
-func (rt *Runtime) PartitionFor(key string) int { return rt.part.Partition(key) }
+func (rt *Runtime) PartitionFor(key string) int {
+	rt.routeMu.RLock()
+	defer rt.routeMu.RUnlock()
+	return rt.part.Partition(key)
+}
+
+// partitions snapshots the partition slice under the route lock.
+func (rt *Runtime) partitions() []*partition {
+	rt.routeMu.RLock()
+	defer rt.routeMu.RUnlock()
+	return rt.parts
+}
 
 // ShardStats returns partition i's pipeline stats.
-func (rt *Runtime) ShardStats(i int) pipeline.Stats { return rt.parts[i].pipe.Stats() }
+func (rt *Runtime) ShardStats(i int) pipeline.Stats { return rt.partitions()[i].pipe.Stats() }
 
 // Stats sums pipeline stats across every partition.
 func (rt *Runtime) Stats() pipeline.Stats {
 	var total pipeline.Stats
-	for _, pt := range rt.parts {
+	for _, pt := range rt.partitions() {
 		s := pt.pipe.Stats()
 		total.LinesCollected += s.LinesCollected
 		total.LinesDropped += s.LinesDropped
@@ -508,7 +763,7 @@ func (rt *Runtime) Stats() pipeline.Stats {
 }
 
 // Committed returns partition i's committed consumer offset.
-func (rt *Runtime) Committed(i int) uint64 { return rt.parts[i].bk.Committed(rt.cfg.Group) }
+func (rt *Runtime) Committed(i int) uint64 { return rt.partitions()[i].bk.Committed(rt.cfg.Group) }
 
 // Snapshot merges the runtime registry with every partition's registry.
 // Each partition's counters and gauges additionally appear under a
@@ -516,7 +771,7 @@ func (rt *Runtime) Committed(i int) uint64 { return rt.parts[i].bk.Committed(rt.
 // breakdowns.
 func (rt *Runtime) Snapshot() obs.Snapshot {
 	merged := rt.reg.Snapshot()
-	for i, pt := range rt.parts {
+	for i, pt := range rt.partitions() {
 		s := pt.reg.Snapshot()
 		merged = merged.Merge(s)
 		prefix := fmt.Sprintf("shard%d.", i)
@@ -532,12 +787,14 @@ func (rt *Runtime) Snapshot() obs.Snapshot {
 
 // Drain blocks until every partition is drained — its worker exited, or
 // it is idle with an empty backlog and a committed offset — or ctx ends.
-// Appends arriving during Drain extend the wait.
+// Appends arriving during Drain extend the wait; a partition gated on an
+// unreleased moving key mid-cutover counts as drained once parked (its
+// position is committed).
 func (rt *Runtime) Drain(ctx context.Context) error {
 	for {
 		all := true
-		for _, pt := range rt.parts {
-			if !pt.drained() {
+		for _, pt := range rt.partitions() {
+			if !pt.drained() && !pt.gated.Load() {
 				all = false
 				break
 			}
@@ -557,17 +814,23 @@ func (rt *Runtime) Drain(ctx context.Context) error {
 // their backlogs, flush, commit, and exit — the first half of a graceful
 // shutdown.
 func (rt *Runtime) CloseIntake() {
-	for _, pt := range rt.parts {
+	for _, pt := range rt.partitions() {
 		pt.bk.CloseIntake()
 	}
 }
 
 // Close shuts the runtime down gracefully: intake closes, every worker
 // drains and commits its own partition's offset, then consumers and
-// brokers close. It returns the first error encountered.
+// brokers close. It returns the first error encountered. Closing mid
+// live-cutover is safe: parked workers wake and exit without consuming,
+// the journal stays in place, and the next Open resumes the cutover.
 func (rt *Runtime) Close() error {
 	rt.CloseIntake()
-	for _, pt := range rt.parts {
+	if cut := rt.cut.Load(); cut != nil {
+		cut.interrupt()
+	}
+	parts := rt.partitions()
+	for _, pt := range parts {
 		<-pt.done
 	}
 	var firstErr error
@@ -576,7 +839,7 @@ func (rt *Runtime) Close() error {
 			firstErr = err
 		}
 	}
-	for _, pt := range rt.parts {
+	for _, pt := range parts {
 		keep(pt.workerErr())
 	}
 	keep(rt.closePartitions())
@@ -588,13 +851,17 @@ func (rt *Runtime) Close() error {
 // offset persist. Whatever the last flushCommit persisted is what the
 // next Open resumes from.
 func (rt *Runtime) Kill() {
-	for _, pt := range rt.parts {
+	if cut := rt.cut.Load(); cut != nil {
+		cut.interrupt()
+	}
+	parts := rt.partitions()
+	for _, pt := range parts {
 		pt.killed.Store(true)
 	}
-	for _, pt := range rt.parts {
+	for _, pt := range parts {
 		pt.bk.Kill()
 	}
-	for _, pt := range rt.parts {
+	for _, pt := range parts {
 		<-pt.done
 		pt.cons.Close()
 	}
@@ -603,7 +870,7 @@ func (rt *Runtime) Kill() {
 // closePartitions releases consumers and brokers (idempotent).
 func (rt *Runtime) closePartitions() error {
 	var firstErr error
-	for _, pt := range rt.parts {
+	for _, pt := range rt.partitions() {
 		if pt.cons != nil {
 			pt.cons.Close()
 		}

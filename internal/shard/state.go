@@ -30,12 +30,22 @@ import (
 // groups, and the pattern library's cached verdicts. Version-1 files
 // (and version-0, the pre-versioning layout) still load: they simply
 // carry no events or patterns and no layout stamp to verify.
+//
+// Version 3 adds the live-cutover record: which moving keys a
+// destination partition has already had spliced in. Persisted atomically
+// with Consumed and Tails, it lets a crash mid-cutover resolve each key
+// to exactly one side — a key whose splice landed in the destination's
+// durable state is never re-spliced (which would regress its window
+// phase past records the destination already consumed), while a key
+// without the marker is re-applied from its staged splice file. The
+// record only means anything while the root's live-cutover journal
+// exists; without the journal it is stale debris and ignored on open.
 
 // stateFileName is the resume file inside a partition's WAL directory.
 const stateFileName = "shard-state.json"
 
 // stateVersion is the current resume-file format.
-const stateVersion = 2
+const stateVersion = 3
 
 // partitionState is the serialized resume state.
 type partitionState struct {
@@ -53,6 +63,18 @@ type partitionState struct {
 	// Patterns are the pattern library's cached verdicts, least recently
 	// used first.
 	Patterns []pipeline.PatternEntry `json:"patterns,omitempty"`
+	// Cutover is the live-cutover record (nil outside a cutover).
+	Cutover *cutoverState `json:"cutover,omitempty"`
+}
+
+// cutoverState is the per-partition half of a live cutover's durable
+// state (the other half is the root journal).
+type cutoverState struct {
+	// Spliced lists the moving keys whose donor tails and event spaces
+	// this destination partition has already merged, sorted. The set is
+	// written in the same atomic save as Consumed/Tails, so "spliced" and
+	// "this state reflects the splice" can never disagree.
+	Spliced []string `json:"spliced,omitempty"`
 }
 
 // statePath renders the resume-file path for a partition directory.
