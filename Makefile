@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race bench bench-broker bench-broker-smoke bench-shard bench-shard-smoke chaos cover fuzz-smoke rebalance-test live-rebalance-test verify
+.PHONY: build test vet race bench bench-broker bench-broker-smoke bench-shard bench-shard-smoke bench-cluster bench-cluster-smoke chaos cover fuzz-smoke rebalance-test live-rebalance-test cluster-test verify
 
 build:
 	$(GO) build ./...
@@ -64,6 +64,26 @@ live-rebalance-test:
 	$(GO) test -race -count=1 -run 'TestLiveRebalance|TestOfflineRebalanceRefusesLiveJournal' ./internal/shard/
 	$(GO) test -race -count=1 -run 'TestRunRebalanceLive|TestAdminRebalance' ./cmd/logsynergy/
 
+# Cluster tier: the cross-process fleet proof under the race detector —
+# manifest/lease fencing, subset nodes, the front router's rejected-line
+# accounting and Retry-After propagation, and the headline equivalence:
+# router → 2-node fleet traffic (with a mid-run node kill, health-probe
+# failover to a standby, and retry of exactly the rejected lines) must
+# match the single-process `-shards N` runtime bit for bit.
+cluster-test:
+	$(GO) test -race -count=1 ./internal/cluster/
+
+# Cluster bench tier: prices the router hop — fleet end-to-end lines/s
+# through the front router versus the single-process runtime over the
+# same corpus, writing BENCH_cluster.json. The full run enforces the
+# ≤2x overhead bound; the smoke variant shrinks the corpus and runs
+# inside `make verify`.
+bench-cluster:
+	BENCH_CLUSTER_OUT=$(CURDIR)/BENCH_cluster.json $(GO) test -run TestBenchClusterReport -count=1 -v ./internal/cluster/
+
+bench-cluster-smoke:
+	BENCH_CLUSTER_OUT=$(CURDIR)/BENCH_cluster.json BENCH_CLUSTER_SMOKE=1 $(GO) test -run TestBenchClusterReport -count=1 ./internal/cluster/
+
 # Chaos tier: the fault-injection framework and the deterministic chaos
 # suites (seeded fault schedules, breakers, spill, leak checks; broker
 # crash-recovery replay) under the race detector. Fast — it uses the
@@ -94,4 +114,4 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzParse -fuzztime 10s ./internal/drain/
 	$(GO) test -run '^$$' -fuzz FuzzSlide -fuzztime 10s ./internal/window/
 
-verify: vet test chaos rebalance-test live-rebalance-test bench-broker-smoke bench-shard-smoke race
+verify: vet test chaos rebalance-test live-rebalance-test cluster-test bench-broker-smoke bench-shard-smoke bench-cluster-smoke race

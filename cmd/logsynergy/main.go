@@ -58,6 +58,8 @@ func main() {
 		err = runServe(os.Args[2:])
 	case "rebalance":
 		err = runRebalance(os.Args[2:])
+	case "route":
+		err = runRoute(os.Args[2:])
 	case "interpret":
 		err = runInterpret(os.Args[2:])
 	case "eval":
@@ -73,7 +75,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: logsynergy <train|detect|serve|rebalance|eval|interpret> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: logsynergy <train|detect|serve|route|rebalance|eval|interpret> [flags]")
 }
 
 // applyThreadsEnv configures the tensor worker pool from the

@@ -83,6 +83,9 @@ func runServe(args []string) error {
 	backlogPolicy := fs.String("backlog-policy", "reject", "broker full-backlog policy: block | reject (reject answers 429)")
 	maxBatchBytes := fs.Int64("max-batch-bytes", broker.DefaultMaxBatchBytes, "one /ingest request body limit in bytes")
 	noRetention := fs.Bool("no-retention", false, "keep fully-consumed broker segments instead of deleting them")
+	clusterPath := fs.String("cluster", "", "cluster assignment manifest; this process serves one fleet node (requires -node)")
+	nodeName := fs.String("node", "", "this node's name in the -cluster manifest")
+	manifestWatch := fs.Duration("manifest-watch", 2*time.Second, "cluster manifest poll cadence for adopting failover reassignments (0 disables)")
 	var injectSpecs ruleList
 	fs.Var(&injectSpecs, "inject", "fault-injection rule point[:key=val,...] (repeatable; see internal/fault.ParseRule)")
 	fs.Parse(args)
@@ -108,15 +111,16 @@ func runServe(args []string) error {
 		if err != nil {
 			return err
 		}
-	} else if *brokerDir == "" {
-		// Broker mode takes traffic over /ingest, so an empty -log is not
-		// an empty stream there — only direct mode falls back to stdin.
+	} else if *brokerDir == "" && *clusterPath == "" {
+		// Broker and cluster modes take traffic over /ingest, so an empty
+		// -log is not an empty stream there — only direct mode falls back
+		// to stdin.
 		lines, err = readAllStdin()
 		if err != nil {
 			return err
 		}
 	}
-	if *brokerDir == "" && len(lines) == 0 {
+	if *brokerDir == "" && *clusterPath == "" && len(lines) == 0 {
 		return fmt.Errorf("serve: no log lines to stream")
 	}
 
@@ -166,6 +170,59 @@ func runServe(args []string) error {
 			cfg.SpillTo = alertstore.NewSink(store)
 		}
 		return cfg, cleanup, nil
+	}
+
+	if *clusterPath != "" {
+		if *nodeName == "" {
+			return fmt.Errorf("serve: -cluster requires -node <name> (this process's name in the manifest)")
+		}
+		if len(lines) > 0 {
+			return fmt.Errorf("serve: -log seeding is not supported in cluster mode; POST the lines through the front router")
+		}
+		fp, err := broker.ParseFsyncPolicy(*fsyncPolicy)
+		if err != nil {
+			return err
+		}
+		bp, err := broker.ParseFullPolicy(*backlogPolicy)
+		if err != nil {
+			return err
+		}
+		pcfg, cleanup, err := buildPipelineCfg()
+		if err != nil {
+			return err
+		}
+		defer cleanup()
+		pcfg.Metrics = nil // each partition gets its own registry
+		return runServeCluster(clusterServeOptions{
+			manifestPath: *clusterPath,
+			nodeName:     *nodeName,
+			watchEvery:   *manifestWatch,
+			runtime: shard.Config{
+				// Shards, Vnodes and Subset come from the manifest; Dir falls
+				// back to the manifest's shared-storage root when no
+				// -broker-dir is given.
+				Dir:   *brokerDir,
+				Group: *group,
+				Broker: broker.Config{
+					SegmentBytes:     *segmentBytes,
+					Fsync:            fp,
+					FsyncEvery:       *fsyncEvery,
+					MaxBacklogBytes:  *backlogBytes,
+					FullPolicy:       bp,
+					DisableRetention: *noRetention,
+				},
+				Pipeline:    pcfg,
+				Detector:    det,
+				Interp:      interp,
+				Embedder:    embedder,
+				Sink:        &printingSink{quiet: *quiet},
+				Metrics:     reg,
+				ShardFaults: func(int) *fault.Registry { return faults },
+			},
+			addr:          *addr,
+			maxBatchBytes: *maxBatchBytes,
+			linger:        *linger,
+		})
 	}
 
 	if *shards > 1 {

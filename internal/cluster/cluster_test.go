@@ -1,0 +1,812 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"logsynergy/internal/core"
+	"logsynergy/internal/embed"
+	"logsynergy/internal/lei"
+	"logsynergy/internal/obs"
+	"logsynergy/internal/pipeline"
+	"logsynergy/internal/repr"
+	"logsynergy/internal/shard"
+	"logsynergy/internal/tensor"
+)
+
+// The headline proof, one level up from the shard equivalence suite:
+// fixed-seed multi-key traffic POSTed through a front router to a
+// 2-node fleet (plus a standby) yields bit-identical per-key score
+// sequences and identical alert multisets versus a single-process
+// `-shards N` runtime over the same stream — including across a mid-run
+// node kill, health-probe death detection, epoch-bumped failover to the
+// standby, and the retry of exactly the rejected lines.
+//
+// The corpus discipline is the same as the shard suite's: canonical
+// line bodies whose parameters are all maskable and whose token counts
+// are pairwise distinct, so every body pins to exactly one Drain
+// template regardless of arrival order or which process parses it.
+
+const eqHint = "a cross-process shard fleet"
+
+var eqBodies = []string{
+	"gc freed %B%",
+	"cache hit key %H%",
+	"replica sync offset %B% ok",
+	"job %B% queued on partition %N%",
+	"query ok rows %N% in %N% ms",
+	"connection accepted from %IP% port %N% tls on",
+	"request routed route api status %N% dur %N% ms",
+	"cluster bus peer %IP% unreachable marking FAIL epoch %B% now",
+	"rpc deadline exceeded method Charge dur %N% ms budget %N% ms",
+	"disk flush wrote %B% bytes to segment %N% in %N% ms ok",
+}
+
+func eqKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = strconv.Itoa(7001 + i)
+	}
+	return keys
+}
+
+func genEqLines(seed int64, n int, keys []string) []string {
+	rng := rand.New(rand.NewSource(seed))
+	lines := make([]string, n)
+	for i := range lines {
+		body := eqBodies[rng.Intn(len(eqBodies))]
+		var b strings.Builder
+		for len(body) > 0 {
+			j := strings.IndexByte(body, '%')
+			if j < 0 {
+				b.WriteString(body)
+				break
+			}
+			k := strings.IndexByte(body[j+1:], '%')
+			if k < 0 {
+				b.WriteString(body)
+				break
+			}
+			b.WriteString(body[:j])
+			switch body[j+1 : j+1+k] {
+			case "N":
+				fmt.Fprintf(&b, "%d", rng.Intn(1000))
+			case "B":
+				fmt.Fprintf(&b, "%d", 10000+rng.Intn(99999999))
+			case "H":
+				fmt.Fprintf(&b, "0x%08x", rng.Uint32())
+			case "IP":
+				fmt.Fprintf(&b, "%d.%d.%d.%d", 10+rng.Intn(160), rng.Intn(256), rng.Intn(256), 1+rng.Intn(254))
+			}
+			body = body[j+k+2:]
+		}
+		lines[i] = keys[rng.Intn(len(keys))] + " " + b.String()
+	}
+	return lines
+}
+
+// eqEnv builds a fresh deterministic detection environment: an untrained
+// (seeded) model over an empty event table, with a pinned clock. Scores
+// only have to be deterministic functions of the per-key streams — which
+// they are: same templates → same interpretations → same embeddings →
+// same model output, in every process.
+func eqEnv() (*core.Detector, lei.Interpreter, *embed.Embedder) {
+	cfg := core.DefaultConfig()
+	m := core.NewModel(cfg, 2)
+	table := &repr.EventTable{System: "SystemX", Dim: cfg.EmbedDim, Vectors: tensor.New(0, cfg.EmbedDim)}
+	det := core.NewDetector(m, table)
+	det.Now = func() time.Time { return time.Date(2023, 9, 1, 0, 0, 0, 0, time.UTC) }
+	return det, lei.NewSimLLM(lei.Config{}), embed.New(cfg.EmbedDim)
+}
+
+type eqResult struct {
+	scores map[string][]float64
+	alerts map[string]int
+}
+
+func alertSigs(reports []*core.Report) map[string]int {
+	sigs := make(map[string]int, len(reports))
+	for _, r := range reports {
+		sig := r.System + "|" + strconv.FormatFloat(r.Score, 'x', -1, 64) + "|" + strings.Join(r.Templates, "\x1f")
+		sigs[sig]++
+	}
+	return sigs
+}
+
+func requireEqual(t *testing.T, label string, got, want eqResult) {
+	t.Helper()
+	if len(got.scores) != len(want.scores) {
+		t.Fatalf("%s: %d keys scored, reference has %d", label, len(got.scores), len(want.scores))
+	}
+	for key, wantSeq := range want.scores {
+		gotSeq := got.scores[key]
+		if len(gotSeq) != len(wantSeq) {
+			t.Fatalf("%s key %s: %d windows vs reference %d", label, key, len(gotSeq), len(wantSeq))
+		}
+		for i := range wantSeq {
+			if gotSeq[i] != wantSeq[i] {
+				t.Fatalf("%s key %s window %d: score %v != reference %v", label, key, i, gotSeq[i], wantSeq[i])
+			}
+		}
+	}
+	if len(got.alerts) != len(want.alerts) {
+		t.Fatalf("%s: %d distinct alert signatures vs reference %d", label, len(got.alerts), len(want.alerts))
+	}
+	for sig, n := range want.alerts {
+		if got.alerts[sig] != n {
+			t.Fatalf("%s: alert %q seen %d times, reference %d", label, sig[:min(len(sig), 80)], got.alerts[sig], n)
+		}
+	}
+}
+
+// runShardReference drives the single-process `-shards N` runtime over
+// the whole stream — the baseline the fleet must match bit for bit.
+func runShardReference(t *testing.T, lines []string, shards int) eqResult {
+	t.Helper()
+	det, interp, e := eqEnv()
+	sink := &pipeline.MemorySink{}
+	var mu sync.Mutex
+	scores := map[string][]float64{}
+	rt, err := shard.Open(shard.Config{
+		Shards:   shards,
+		Dir:      t.TempDir(),
+		Pipeline: pipeline.DefaultConfig(eqHint),
+		Detector: det,
+		Interp:   interp,
+		Embedder: e,
+		Sink:     sink,
+		Metrics:  obs.NewRegistry(),
+		OnWindow: func(sh int, key string, seq []int, score float64, abandoned bool) {
+			if abandoned {
+				t.Errorf("reference shard %d abandoned a window for key %q", sh, key)
+			}
+			mu.Lock()
+			scores[key] = append(scores[key], score)
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatalf("reference Open: %v", err)
+	}
+	const batch = 64
+	for i := 0; i < len(lines); i += batch {
+		end := min(i+batch, len(lines))
+		if _, err := rt.AppendBatch(lines[i:end]); err != nil {
+			t.Fatalf("reference AppendBatch: %v", err)
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := rt.Drain(ctx); err != nil {
+		t.Fatalf("reference Drain: %v", err)
+	}
+	if err := rt.Close(); err != nil {
+		t.Fatalf("reference Close: %v", err)
+	}
+	return eqResult{scores: scores, alerts: alertSigs(sink.Reports())}
+}
+
+// fleetNode is one node process stand-in: a cluster.Node behind a real
+// HTTP listener, with score/alert capture.
+type fleetNode struct {
+	node   *Node
+	srv    *httptest.Server
+	sink   *pipeline.MemorySink
+	mu     sync.Mutex
+	scores map[string][]float64
+}
+
+func (fn *fleetNode) result() eqResult {
+	fn.mu.Lock()
+	defer fn.mu.Unlock()
+	scores := make(map[string][]float64, len(fn.scores))
+	for k, v := range fn.scores {
+		scores[k] = append([]float64(nil), v...)
+	}
+	return eqResult{scores: scores, alerts: alertSigs(fn.sink.Reports())}
+}
+
+// startFleetNode opens name's slice of the fleet on ln. The runtime Dir
+// comes from the manifest's shared-storage root.
+func startFleetNode(t *testing.T, manifestPath, name string, ln net.Listener) *fleetNode {
+	t.Helper()
+	fn := &fleetNode{sink: &pipeline.MemorySink{}, scores: map[string][]float64{}}
+	det, interp, e := eqEnv()
+	n, err := StartNode(NodeConfig{
+		ManifestPath: manifestPath,
+		Name:         name,
+		Runtime: shard.Config{
+			Pipeline: pipeline.DefaultConfig(eqHint),
+			Detector: det,
+			Interp:   interp,
+			Embedder: e,
+			Sink:     fn.sink,
+			Metrics:  obs.NewRegistry(),
+			OnWindow: func(sh int, key string, seq []int, score float64, abandoned bool) {
+				if abandoned {
+					t.Errorf("node %s shard %d abandoned a window for key %q", name, sh, key)
+				}
+				fn.mu.Lock()
+				fn.scores[key] = append(fn.scores[key], score)
+				fn.mu.Unlock()
+			},
+		},
+	})
+	if err != nil {
+		t.Fatalf("StartNode(%s): %v", name, err)
+	}
+	fn.node = n
+	fn.srv = &httptest.Server{Listener: ln, Config: &http.Server{Handler: n.Handler()}}
+	fn.srv.Start()
+	return fn
+}
+
+func localListener(t *testing.T) net.Listener {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	return ln
+}
+
+// postLines POSTs a newline-delimited batch to a router URL and decodes
+// the RouteResponse.
+func postLines(t *testing.T, url string, lines []string) (int, RouteResponse) {
+	t.Helper()
+	resp, err := http.Post(url+"/ingest", "text/plain", strings.NewReader(strings.Join(lines, "\n")))
+	if err != nil {
+		t.Fatalf("POST /ingest: %v", err)
+	}
+	defer resp.Body.Close()
+	var rr RouteResponse
+	if err := json.NewDecoder(resp.Body).Decode(&rr); err != nil {
+		t.Fatalf("decoding route response (status %d): %v", resp.StatusCode, err)
+	}
+	return resp.StatusCode, rr
+}
+
+func TestClusterFleetEquivalenceWithFailover(t *testing.T) {
+	const shards = 4
+	keys := eqKeys(12)
+	lines := genEqLines(4242, 3000, keys)
+	ref := runShardReference(t, lines, shards)
+	if len(ref.alerts) == 0 {
+		t.Fatal("reference produced no alerts; the equivalence comparison is vacuous")
+	}
+
+	root := t.TempDir()
+	manifestPath := filepath.Join(root, "cluster.json")
+	dataDir := filepath.Join(root, "data")
+	lnA, lnB, lnS := localListener(t), localListener(t), localListener(t)
+	m := &Manifest{
+		Epoch:  1,
+		Shards: shards,
+		Dir:    dataDir,
+		Nodes: map[string]NodeSpec{
+			"a":       {Addr: lnA.Addr().String()},
+			"b":       {Addr: lnB.Addr().String()},
+			"standby": {Addr: lnS.Addr().String(), Standby: true},
+		},
+		Assignments: []string{"a", "a", "b", "b"},
+	}
+	if err := Save(manifestPath, m); err != nil {
+		t.Fatal(err)
+	}
+	epoch1 := m.Clone() // the stale view a dead node would restart with
+
+	a := startFleetNode(t, manifestPath, "a", lnA)
+	b := startFleetNode(t, manifestPath, "b", lnB)
+	s := startFleetNode(t, manifestPath, "standby", lnS)
+	defer b.srv.Close()
+	defer s.srv.Close()
+	defer b.node.Close()
+	defer s.node.Close()
+
+	if got := a.node.Runtime().Owned(); !reflect.DeepEqual(got, []int{0, 1}) {
+		t.Fatalf("node a owns %v, want [0 1]", got)
+	}
+	if got := s.node.Runtime().Owned(); len(got) != 0 {
+		t.Fatalf("standby owns %v before failover", got)
+	}
+
+	reg := obs.NewRegistry()
+	r, err := NewRouter(RouterConfig{
+		ManifestPath: manifestPath,
+		Metrics:      reg,
+		Attempts:     2,
+		FailAfter:    3,
+		Failover:     true,
+		Sleep:        func(time.Duration) {},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	rsrv := httptest.NewServer(r.Handler())
+	defer rsrv.Close()
+
+	// Phase 1: the fleet under normal traffic — every batch fully acked.
+	const batch = 100
+	const killAt = 1500
+	for i := 0; i < killAt; i += batch {
+		status, rr := postLines(t, rsrv.URL, lines[i:i+batch])
+		if status != http.StatusAccepted || rr.Rejected != 0 {
+			t.Fatalf("batch at %d: status %d, %d rejected (%+v)", i, status, rr.Rejected, rr.Partitions)
+		}
+		if rr.Epoch != 1 {
+			t.Fatalf("batch at %d routed under epoch %d", i, rr.Epoch)
+		}
+	}
+
+	// Kill node a. The drain first pins the capture bookkeeping (the same
+	// discipline as the shard crash suite): everything a acked is either
+	// committed — so the standby will not re-detect it — or still in the
+	// WAL tail the standby resumes exactly. Kill drops the WAL handles
+	// with no graceful close, and the server goes down with it.
+	drainCtx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	if err := a.node.Drain(drainCtx); err != nil {
+		cancel()
+		t.Fatalf("draining node a before the kill: %v", err)
+	}
+	cancel()
+	a.node.Runtime().Kill()
+	a.srv.Close()
+
+	// Phase 2: the next batch partially fails — node b's share is acked,
+	// node a's share is rejected with the exact request-order indices.
+	status, rr := postLines(t, rsrv.URL, lines[killAt:killAt+batch])
+	if status != http.StatusTooManyRequests {
+		t.Fatalf("post-kill batch: status %d, want 429", status)
+	}
+	if rr.Rejected == 0 || rr.Rejected != len(rr.RejectedLines) {
+		t.Fatalf("post-kill batch: %d rejected but %d rejected-line indices", rr.Rejected, len(rr.RejectedLines))
+	}
+	if rr.Acked+rr.Rejected != batch {
+		t.Fatalf("post-kill batch: acked %d + rejected %d != %d", rr.Acked, rr.Rejected, batch)
+	}
+	for _, p := range rr.Partitions {
+		if p.Rejected > 0 && p.Node != "a" {
+			t.Fatalf("partition %d rejected on node %q; only a is dead", p.Partition, p.Node)
+		}
+	}
+	retry := make([]string, 0, len(rr.RejectedLines))
+	for _, idx := range rr.RejectedLines {
+		retry = append(retry, lines[killAt+idx])
+	}
+
+	// The health probe detects the death (the failed ingest attempts
+	// already fed the breaker) and fails over to the standby.
+	var probed ProbeResult
+	for _, pr := range r.ProbeOnce() {
+		if pr.Node == "a" {
+			probed = pr
+		}
+	}
+	if probed.Alive || !probed.FailedOver {
+		t.Fatalf("probe of dead node a: %+v", probed)
+	}
+	if got := r.Manifest().Epoch; got != 2 {
+		t.Fatalf("router epoch %d after failover, want 2", got)
+	}
+	if got := s.node.Epoch(); got != 2 {
+		t.Fatalf("standby epoch %d after failover, want 2", got)
+	}
+	if got := s.node.Runtime().Owned(); !reflect.DeepEqual(got, []int{0, 1}) {
+		t.Fatalf("standby owns %v after failover, want [0 1]", got)
+	}
+	snap := reg.Snapshot()
+	if snap.Counters["cluster.failovers_total"] != 1 || snap.Counters["cluster.router_node_down_total"] != 1 {
+		t.Fatalf("failover counters: %+v", snap.Counters)
+	}
+
+	// Fencing: the dead node restarting with its stale epoch-1 manifest
+	// must be refused — its partitions are leased at epoch 2 now.
+	if _, err := StartNode(NodeConfig{Manifest: epoch1, Name: "a", Runtime: shard.Config{
+		Pipeline: pipeline.DefaultConfig(eqHint),
+	}}); err == nil || !strings.Contains(err.Error(), "newer") {
+		t.Fatalf("stale node a restart: %v", err)
+	}
+
+	// Phase 3: retry exactly the rejected lines, then the rest of the
+	// stream — all of it now routing a's old partitions to the standby.
+	status, rr = postLines(t, rsrv.URL, retry)
+	if status != http.StatusAccepted || rr.Rejected != 0 {
+		t.Fatalf("retry after failover: status %d, %d rejected", status, rr.Rejected)
+	}
+	if rr.Epoch != 2 {
+		t.Fatalf("retry routed under epoch %d, want 2", rr.Epoch)
+	}
+	for i := killAt + batch; i < len(lines); i += batch {
+		end := min(i+batch, len(lines))
+		status, rr := postLines(t, rsrv.URL, lines[i:end])
+		if status != http.StatusAccepted || rr.Rejected != 0 {
+			t.Fatalf("batch at %d after failover: status %d, %d rejected", i, status, rr.Rejected)
+		}
+	}
+
+	for _, fn := range []*fleetNode{b, s} {
+		ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+		if err := fn.node.Drain(ctx); err != nil {
+			cancel()
+			t.Fatalf("draining node %s: %v", fn.node.Name(), err)
+		}
+		cancel()
+	}
+
+	// The federated scrape: fleet totals plus per-node series, with the
+	// dead node contributing only node.a.up 0.
+	mresp, err := http.Get(rsrv.URL + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	mbody, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	metrics := string(mbody)
+	for _, want := range []string{"node.a.up 0", "node.b.up 1", "node.standby.up 1", "node.b.shard.routed_lines_total", "cluster.failovers_total 1"} {
+		if !strings.Contains(metrics, want) {
+			t.Fatalf("federated /metrics missing %q:\n%s", want, metrics)
+		}
+	}
+
+	// The verdict: per-key scores and alert multisets, ordered a → standby
+	// (a's captures strictly precede the standby's for the keys that moved)
+	// and merged with b's disjoint keys, must match the single-process
+	// reference bit for bit — zero acknowledged loss, zero duplication.
+	merged := eqResult{scores: map[string][]float64{}, alerts: map[string]int{}}
+	for _, fn := range []*fleetNode{a, s, b} {
+		res := fn.result()
+		for k, v := range res.scores {
+			merged.scores[k] = append(merged.scores[k], v...)
+		}
+		for sig, n := range res.alerts {
+			merged.alerts[sig] += n
+		}
+	}
+	requireEqual(t, "fleet", merged, ref)
+}
+
+// A subset node serves exactly its assigned partitions: keys owned
+// elsewhere are rejected with ErrNotAssigned, and /healthz reports only
+// the owned partitions' lag.
+func TestClusterNodeServesOnlyAssignedPartitions(t *testing.T) {
+	m := &Manifest{
+		Epoch:  1,
+		Shards: 2,
+		Nodes: map[string]NodeSpec{
+			"a": {Addr: "127.0.0.1:1001"},
+			"b": {Addr: "127.0.0.1:1002"},
+		},
+		Assignments: []string{"a", "b"},
+	}
+	det, interp, e := eqEnv()
+	dir := t.TempDir()
+	n, err := StartNode(NodeConfig{
+		Manifest: m,
+		Name:     "a",
+		Runtime: shard.Config{
+			Dir:      dir,
+			Pipeline: pipeline.DefaultConfig(eqHint),
+			Detector: det,
+			Interp:   interp,
+			Embedder: e,
+			Sink:     &pipeline.MemorySink{},
+			Metrics:  obs.NewRegistry(),
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+
+	rt := n.Runtime()
+	if got := rt.Owned(); !reflect.DeepEqual(got, []int{0}) {
+		t.Fatalf("node a owns %v, want [0]", got)
+	}
+
+	// Find one key per partition; the ring spans both even though only
+	// one is open here.
+	keyFor := map[int]string{}
+	for i := 0; len(keyFor) < 2; i++ {
+		k := strconv.Itoa(9000 + i)
+		keyFor[rt.PartitionFor(k)] = k
+	}
+	if _, _, err := rt.Append(keyFor[0] + " gc freed 12345"); err != nil {
+		t.Fatalf("append to owned partition: %v", err)
+	}
+	if _, _, err := rt.Append(keyFor[1] + " gc freed 12345"); !errors.Is(err, shard.ErrNotAssigned) {
+		t.Fatalf("append to unowned partition: %v, want ErrNotAssigned", err)
+	}
+
+	h := n.Health()
+	if h.Shards != 2 || len(h.Partitions) != 1 || h.Partitions[0].Partition != 0 {
+		t.Fatalf("health: %+v", h)
+	}
+
+	// The lease landed before the open.
+	l, err := readLease(shard.PartitionDir(dir, 0))
+	if err != nil || l == nil || l.Node != "a" || l.Epoch != 1 {
+		t.Fatalf("lease: %+v, %v", l, err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := n.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Satellite: per-partition Retry-After propagation. A node rejecting
+// with 429 + Retry-After surfaces the hint per partition and as the
+// response-wide max, and bumps cluster.router_retry_after_total.
+func TestClusterRouterRetryAfterPropagation(t *testing.T) {
+	const shards = 2
+	ring := shard.NewPartitioner(shards)
+	keyFor := map[int]string{}
+	for i := 0; len(keyFor) < shards; i++ {
+		k := strconv.Itoa(5000 + i)
+		keyFor[ring.Partition(k)] = k
+	}
+
+	// Node "full" (partition 0) answers 429 with a retry hint; node "ok"
+	// (partition 1) acks everything.
+	full := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		body, _ := io.ReadAll(req.Body)
+		n := len(strings.Split(strings.TrimSpace(string(body)), "\n"))
+		w.Header().Set("Retry-After", "7")
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusTooManyRequests)
+		json.NewEncoder(w).Encode(shard.IngestResponse{
+			Rejected:   n,
+			Partitions: []shard.PartitionResult{{Partition: 0, Rejected: n, Error: "backlog full"}},
+		})
+	}))
+	defer full.Close()
+	ok := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		body, _ := io.ReadAll(req.Body)
+		n := len(strings.Split(strings.TrimSpace(string(body)), "\n"))
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusAccepted)
+		json.NewEncoder(w).Encode(shard.IngestResponse{
+			Acked:      n,
+			Partitions: []shard.PartitionResult{{Partition: 1, Acked: n}},
+		})
+	}))
+	defer ok.Close()
+
+	m := &Manifest{
+		Epoch:  1,
+		Shards: shards,
+		Nodes: map[string]NodeSpec{
+			"full": {Addr: full.URL},
+			"ok":   {Addr: ok.URL},
+		},
+		Assignments: []string{"full", "ok"},
+	}
+	reg := obs.NewRegistry()
+	r, err := NewRouter(RouterConfig{Manifest: m, Metrics: reg, Sleep: func(time.Duration) {}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	rsrv := httptest.NewServer(r.Handler())
+	defer rsrv.Close()
+
+	batch := []string{
+		keyFor[1] + " line one",
+		keyFor[0] + " line two",
+		keyFor[1] + " line three",
+		keyFor[0] + " line four",
+		keyFor[0] + " line five",
+	}
+	resp, err := http.Post(rsrv.URL+"/ingest", "text/plain", strings.NewReader(strings.Join(batch, "\n")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "7" {
+		t.Fatalf("Retry-After header %q, want 7", got)
+	}
+	var rr RouteResponse
+	if err := json.NewDecoder(resp.Body).Decode(&rr); err != nil {
+		t.Fatal(err)
+	}
+	if rr.RetryAfterSeconds != 7 {
+		t.Fatalf("RetryAfterSeconds %d, want 7", rr.RetryAfterSeconds)
+	}
+	if !reflect.DeepEqual(rr.RejectedLines, []int{1, 3, 4}) {
+		t.Fatalf("RejectedLines %v, want [1 3 4]", rr.RejectedLines)
+	}
+	if rr.Acked != 2 || rr.Rejected != 3 {
+		t.Fatalf("acked %d rejected %d", rr.Acked, rr.Rejected)
+	}
+	for _, p := range rr.Partitions {
+		switch p.Partition {
+		case 0:
+			if p.Node != "full" || p.Rejected != 3 || p.Error != "backlog full" || p.RetryAfterSeconds != 7 {
+				t.Fatalf("partition 0 row: %+v", p)
+			}
+		case 1:
+			if p.Node != "ok" || p.Acked != 2 || p.RetryAfterSeconds != 0 {
+				t.Fatalf("partition 1 row: %+v", p)
+			}
+		}
+	}
+	snap := reg.Snapshot()
+	if snap.Counters["cluster.router_retry_after_total"] != 1 {
+		t.Fatalf("router_retry_after_total %d, want 1", snap.Counters["cluster.router_retry_after_total"])
+	}
+	if snap.Counters["cluster.router_rejected_lines_total"] != 3 || snap.Counters["cluster.router_routed_lines_total"] != 2 {
+		t.Fatalf("line counters: %+v", snap.Counters)
+	}
+}
+
+// Transport-level failures retry with seeded backoff and succeed within
+// the attempt budget; a 429 is a verdict, never retried internally.
+func TestClusterRouterRetriesTransientFailures(t *testing.T) {
+	var mu sync.Mutex
+	calls := 0
+	flaky := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		mu.Lock()
+		calls++
+		n := calls
+		mu.Unlock()
+		if n <= 2 {
+			http.Error(w, "transient", http.StatusInternalServerError)
+			return
+		}
+		body, _ := io.ReadAll(req.Body)
+		c := len(strings.Split(strings.TrimSpace(string(body)), "\n"))
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusAccepted)
+		json.NewEncoder(w).Encode(shard.IngestResponse{
+			Acked:      c,
+			Partitions: []shard.PartitionResult{{Partition: 0, Acked: c}},
+		})
+	}))
+	defer flaky.Close()
+
+	m := &Manifest{
+		Epoch:       1,
+		Shards:      1,
+		Nodes:       map[string]NodeSpec{"only": {Addr: flaky.URL}},
+		Assignments: []string{"only"},
+	}
+	reg := obs.NewRegistry()
+	r, err := NewRouter(RouterConfig{Manifest: m, Metrics: reg, Attempts: 3, Sleep: func(time.Duration) {}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	rr := r.RouteBatch([]string{"k1 hello world", "k2 hello again"})
+	if rr.Rejected != 0 || rr.Acked != 2 {
+		t.Fatalf("flaky node: acked %d rejected %d", rr.Acked, rr.Rejected)
+	}
+	if got := reg.Snapshot().Counters["cluster.router_retries_total"]; got != 2 {
+		t.Fatalf("router_retries_total %d, want 2", got)
+	}
+}
+
+// A router restart (or a second router) picks up an epoch-bumped
+// manifest via Reload; a stale file is a no-op.
+func TestClusterRouterReload(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "cluster.json")
+	m := testManifest()
+	if err := Save(path, m); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewRouter(RouterConfig{ManifestPath: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	// Same epoch on disk: nothing changes.
+	if err := r.Reload(); err != nil {
+		t.Fatal(err)
+	}
+	if r.Manifest().Epoch != 1 {
+		t.Fatalf("epoch %d after stale reload", r.Manifest().Epoch)
+	}
+
+	nm, err := m.Reassign("a", "standby")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Save(path, nm); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Reload(); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Manifest(); got.Epoch != 2 || got.NodeFor(0) != "standby" {
+		t.Fatalf("reloaded manifest: epoch %d, p0 -> %q", got.Epoch, got.NodeFor(0))
+	}
+
+	// A shard-count change is a layout change, not a reload.
+	bad := nm.Clone()
+	bad.Epoch++
+	bad.Shards = 8
+	bad.Assignments = append([]string(nil), "a", "a", "b", "b", "a", "a", "b", "b")
+	if err := Save(path, bad); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Reload(); err == nil || !strings.Contains(err.Error(), "shard count") {
+		t.Fatalf("shard-count reload: %v", err)
+	}
+}
+
+// A manifest whose shard count disagrees with the on-disk shard layout
+// is refused by the runtime's layout stamp when the node opens.
+func TestClusterNodeRefusesLayoutMismatch(t *testing.T) {
+	dir := t.TempDir()
+	// Lay down a 2-shard layout with enough traffic to persist the
+	// per-partition layout stamps.
+	det, interp, e := eqEnv()
+	rt, err := shard.Open(shard.Config{
+		Shards:   2,
+		Dir:      dir,
+		Pipeline: pipeline.DefaultConfig(eqHint),
+		Detector: det,
+		Interp:   interp,
+		Embedder: e,
+		Sink:     &pipeline.MemorySink{},
+		Metrics:  obs.NewRegistry(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.AppendBatch(genEqLines(5, 400, eqKeys(6))); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := rt.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A 4-shard manifest over the same directory must be refused.
+	m := &Manifest{
+		Epoch:       1,
+		Shards:      4,
+		Dir:         dir,
+		Nodes:       map[string]NodeSpec{"a": {Addr: "127.0.0.1:1001"}},
+		Assignments: []string{"a", "a", "a", "a"},
+	}
+	det2, interp2, e2 := eqEnv()
+	if _, err := StartNode(NodeConfig{Manifest: m, Name: "a", Runtime: shard.Config{
+		Pipeline: pipeline.DefaultConfig(eqHint),
+		Detector: det2,
+		Interp:   interp2,
+		Embedder: e2,
+		Sink:     &pipeline.MemorySink{},
+		Metrics:  obs.NewRegistry(),
+	}}); err == nil {
+		t.Fatal("4-shard manifest opened a 2-shard layout")
+	} else if _, statErr := os.Stat(filepath.Join(dir, "p0", "shard-state.json")); statErr != nil {
+		t.Fatalf("layout probe: %v (and state file missing: %v)", err, statErr)
+	}
+}

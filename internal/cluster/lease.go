@@ -1,0 +1,88 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Partition leases fence partition ownership across processes on shared
+// storage. Before a node opens a partition it stakes cluster-lease.json
+// in the partition directory: {epoch, node}. The rules make "no
+// partition served by two nodes in the same epoch" a local file check
+// rather than a distributed agreement:
+//
+//   - a lease from a NEWER epoch refuses the open outright — a node
+//     holding a stale manifest (e.g. the dead node restarting after a
+//     failover bumped the epoch) cannot re-open partitions that were
+//     reassigned out from under it;
+//   - a lease from the SAME epoch held by a DIFFERENT node refuses the
+//     open — the manifest assigns each partition exactly once per epoch,
+//     so this only happens on operator error (two nodes configured with
+//     the same assignments);
+//   - the same node re-staking its own epoch is an idempotent restart;
+//   - an OLDER epoch's lease is superseded and overwritten.
+//
+// The lease is written with the same fsynced temp+rename discipline as
+// the manifest, so a torn write cannot forge ownership.
+
+// leaseFileName is the fence file inside a partition's WAL directory.
+const leaseFileName = "cluster-lease.json"
+
+// partitionLease is the serialized fence.
+type partitionLease struct {
+	Version int    `json:"version"`
+	Epoch   uint64 `json:"epoch"`
+	Node    string `json:"node"`
+}
+
+// leasePath renders the lease path for a partition directory.
+func leasePath(dir string) string { return filepath.Join(dir, leaseFileName) }
+
+// readLease loads a partition's lease; a missing file returns nil.
+func readLease(dir string) (*partitionLease, error) {
+	data, err := os.ReadFile(leasePath(dir))
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("cluster: reading lease: %w", err)
+	}
+	var l partitionLease
+	if err := json.Unmarshal(data, &l); err != nil {
+		return nil, fmt.Errorf("cluster: corrupt lease %s: %w", leasePath(dir), err)
+	}
+	return &l, nil
+}
+
+// acquireLease stakes node's claim on the partition directory at epoch,
+// applying the fencing rules above. The directory is created if needed
+// (a standby adopting a partition whose WAL dir it has never opened).
+func acquireLease(dir string, epoch uint64, node string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("cluster: creating partition dir: %w", err)
+	}
+	cur, err := readLease(dir)
+	if err != nil {
+		return err
+	}
+	if cur != nil {
+		if cur.Epoch > epoch {
+			return fmt.Errorf("cluster: partition %s is leased by %q at epoch %d, newer than this manifest's epoch %d; "+
+				"reload the current manifest", dir, cur.Node, cur.Epoch, epoch)
+		}
+		if cur.Epoch == epoch && cur.Node != node {
+			return fmt.Errorf("cluster: partition %s is already leased by %q in epoch %d; "+
+				"two nodes must never serve one partition in the same epoch", dir, cur.Node, epoch)
+		}
+		if cur.Epoch == epoch && cur.Node == node {
+			return nil // idempotent restart
+		}
+	}
+	data, err := json.Marshal(partitionLease{Version: 1, Epoch: epoch, Node: node})
+	if err != nil {
+		return fmt.Errorf("cluster: encoding lease: %w", err)
+	}
+	return atomicWriteFile(leasePath(dir), append(data, '\n'))
+}

@@ -1,0 +1,186 @@
+package cluster
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// testManifest builds a valid 4-partition, 3-node manifest.
+func testManifest() *Manifest {
+	return &Manifest{
+		Epoch:  1,
+		Shards: 4,
+		Nodes: map[string]NodeSpec{
+			"a":       {Addr: "127.0.0.1:1001"},
+			"b":       {Addr: "127.0.0.1:1002"},
+			"standby": {Addr: "127.0.0.1:1003", Standby: true},
+		},
+		Assignments: []string{"a", "a", "b", "b"},
+	}
+}
+
+func TestClusterManifestStampAndValidate(t *testing.T) {
+	m := testManifest()
+	if err := m.Stamp(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Checksum == "" || m.Version != ManifestVersion {
+		t.Fatalf("stamp left checksum %q version %d", m.Checksum, m.Version)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatalf("stamped manifest invalid: %v", err)
+	}
+
+	// Hand-edits without restamping must be caught.
+	edited := m.Clone()
+	edited.Assignments[0] = "b"
+	if err := edited.Validate(); err == nil || !strings.Contains(err.Error(), "checksum") {
+		t.Fatalf("edited manifest validated: %v", err)
+	}
+
+	// A hand-authored manifest may omit the checksum entirely.
+	bare := testManifest()
+	if err := bare.Validate(); err != nil {
+		t.Fatalf("checksum-free manifest invalid: %v", err)
+	}
+
+	bad := []func(*Manifest){
+		func(m *Manifest) { m.Epoch = 0 },
+		func(m *Manifest) { m.Shards = 0 },
+		func(m *Manifest) { m.Nodes = nil },
+		func(m *Manifest) { m.Assignments = m.Assignments[:2] },
+		func(m *Manifest) { m.Assignments[3] = "ghost" },
+		func(m *Manifest) { m.Nodes["a"] = NodeSpec{} },
+		func(m *Manifest) { m.Version = ManifestVersion + 1 },
+	}
+	for i, mutate := range bad {
+		mm := testManifest()
+		mutate(mm)
+		if err := mm.Validate(); err == nil {
+			t.Errorf("mutation %d validated", i)
+		}
+	}
+}
+
+func TestClusterManifestPartitionsOfAndStandbys(t *testing.T) {
+	m := testManifest()
+	if got := m.PartitionsOf("a"); !reflect.DeepEqual(got, []int{0, 1}) {
+		t.Fatalf("PartitionsOf(a) = %v", got)
+	}
+	got := m.PartitionsOf("standby")
+	if got == nil || len(got) != 0 {
+		t.Fatalf("PartitionsOf(standby) = %#v, want empty non-nil", got)
+	}
+	if got := m.Standbys(); !reflect.DeepEqual(got, []string{"standby"}) {
+		t.Fatalf("Standbys() = %v", got)
+	}
+	if got := m.Standbys("standby"); len(got) != 0 {
+		t.Fatalf("Standbys(skip standby) = %v", got)
+	}
+	if m.NodeFor(2) != "b" || m.NodeFor(7) != "" {
+		t.Fatalf("NodeFor: %q %q", m.NodeFor(2), m.NodeFor(7))
+	}
+}
+
+func TestClusterManifestReassign(t *testing.T) {
+	m := testManifest()
+	if err := m.Stamp(); err != nil {
+		t.Fatal(err)
+	}
+	nm, err := m.Reassign("a", "standby")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nm.Epoch != m.Epoch+1 {
+		t.Fatalf("epoch %d after reassign, want %d", nm.Epoch, m.Epoch+1)
+	}
+	if !reflect.DeepEqual(nm.Assignments, []string{"standby", "standby", "b", "b"}) {
+		t.Fatalf("assignments %v", nm.Assignments)
+	}
+	if err := nm.Validate(); err != nil {
+		t.Fatalf("reassigned manifest invalid: %v", err)
+	}
+	// The original is untouched.
+	if !reflect.DeepEqual(m.Assignments, []string{"a", "a", "b", "b"}) || m.Epoch != 1 {
+		t.Fatalf("Reassign mutated the source: %v epoch %d", m.Assignments, m.Epoch)
+	}
+
+	if _, err := m.Reassign("a", "ghost"); err == nil {
+		t.Fatal("reassign to unknown node succeeded")
+	}
+	if _, err := m.Reassign("a", "a"); err == nil {
+		t.Fatal("reassign to self succeeded")
+	}
+	if _, err := m.Reassign("standby", "a"); err == nil {
+		t.Fatal("reassigning a node that owns nothing succeeded")
+	}
+}
+
+func TestClusterManifestSaveLoadRoundtrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "cluster.json")
+	m := testManifest()
+	if err := Save(path, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, m) {
+		t.Fatalf("roundtrip mismatch:\n got %+v\nwant %+v", got, m)
+	}
+
+	// A truncated file must not validate.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); err == nil {
+		t.Fatal("half a manifest loaded")
+	}
+}
+
+func TestClusterLeaseFencing(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "p0")
+
+	// Fresh acquisition creates the directory and the lease.
+	if err := acquireLease(dir, 1, "a"); err != nil {
+		t.Fatal(err)
+	}
+	l, err := readLease(dir)
+	if err != nil || l == nil || l.Epoch != 1 || l.Node != "a" {
+		t.Fatalf("lease after acquire: %+v, %v", l, err)
+	}
+
+	// Idempotent restart of the same node at the same epoch.
+	if err := acquireLease(dir, 1, "a"); err != nil {
+		t.Fatalf("idempotent re-acquire: %v", err)
+	}
+
+	// Another node in the same epoch is the invariant violation.
+	if err := acquireLease(dir, 1, "b"); err == nil || !strings.Contains(err.Error(), "same epoch") {
+		t.Fatalf("same-epoch steal: %v", err)
+	}
+
+	// A newer epoch supersedes the old lease.
+	if err := acquireLease(dir, 2, "standby"); err != nil {
+		t.Fatalf("newer-epoch takeover: %v", err)
+	}
+
+	// The old owner with its stale manifest cannot re-open.
+	if err := acquireLease(dir, 1, "a"); err == nil || !strings.Contains(err.Error(), "newer") {
+		t.Fatalf("stale re-open: %v", err)
+	}
+
+	// A missing lease reads as nil, not an error.
+	if l, err := readLease(filepath.Join(t.TempDir(), "empty")); err != nil || l != nil {
+		t.Fatalf("missing lease: %+v, %v", l, err)
+	}
+}

@@ -1,0 +1,279 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+
+	"logsynergy/internal/obs"
+	"logsynergy/internal/shard"
+)
+
+// NodeConfig assembles one cluster node.
+type NodeConfig struct {
+	// ManifestPath is the cluster.json location; Refresh re-reads it.
+	// Optional when Manifest is supplied and Refresh is never used.
+	ManifestPath string
+	// Manifest, when set, is used instead of loading ManifestPath at
+	// start (tests build manifests in memory).
+	Manifest *Manifest
+	// Name is this node's name in the manifest.
+	Name string
+	// Runtime is the shard runtime template: Detector, Interp, Embedder,
+	// Sink, Broker and Pipeline configs come from here. Shards, Vnodes
+	// and Subset are overridden from the manifest; Dir falls back to the
+	// manifest's shared-storage root when empty.
+	Runtime shard.Config
+	// MaxBatchBytes bounds one /ingest request body (<= 0 selects the
+	// broker default).
+	MaxBatchBytes int64
+}
+
+// Node is one host's slice of the fleet: a subset shard runtime over the
+// partitions the manifest assigns to it, plus the HTTP surface the front
+// router talks to (/ingest, /healthz, /metrics, /metrics.json,
+// /admin/refresh).
+type Node struct {
+	cfg  NodeConfig
+	name string
+	rt   *shard.Runtime
+	reg  *obs.Registry
+
+	mu sync.Mutex // guards m (the manifest view) across Refresh
+	m  *Manifest
+
+	refreshes *obs.Counter
+	adoptions *obs.Counter
+}
+
+// StartNode validates the manifest, stakes epoch leases on the node's
+// assigned partitions, and opens the subset shard runtime over them —
+// crash recovery included, exactly as a single-process restart would.
+func StartNode(cfg NodeConfig) (*Node, error) {
+	if cfg.Name == "" {
+		return nil, fmt.Errorf("cluster: NodeConfig.Name is required")
+	}
+	m := cfg.Manifest
+	if m == nil {
+		if cfg.ManifestPath == "" {
+			return nil, fmt.Errorf("cluster: NodeConfig needs a Manifest or a ManifestPath")
+		}
+		var err error
+		m, err = Load(cfg.ManifestPath)
+		if err != nil {
+			return nil, err
+		}
+	} else if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if _, ok := m.Nodes[cfg.Name]; !ok {
+		return nil, fmt.Errorf("cluster: node %q is not in the manifest (nodes: %v)", cfg.Name, m.NodeNames())
+	}
+
+	rcfg := cfg.Runtime
+	if rcfg.Dir == "" {
+		rcfg.Dir = m.Dir
+	}
+	if rcfg.Dir == "" {
+		return nil, fmt.Errorf("cluster: no runtime directory (set Runtime.Dir or the manifest's dir)")
+	}
+	rcfg.Shards = m.Shards
+	rcfg.Vnodes = m.Vnodes
+	own := m.PartitionsOf(cfg.Name)
+	rcfg.Subset = own
+	if rcfg.Metrics == nil {
+		rcfg.Metrics = obs.NewRegistry()
+	}
+
+	// Fence before open: a partition whose lease belongs to a newer epoch
+	// (we hold a stale manifest) or to another node in this epoch refuses
+	// here, before any WAL handle is taken.
+	for _, p := range own {
+		if err := acquireLease(shard.PartitionDir(rcfg.Dir, p), m.Epoch, cfg.Name); err != nil {
+			return nil, err
+		}
+	}
+
+	rt, err := shard.Open(rcfg)
+	if err != nil {
+		return nil, err
+	}
+	n := &Node{
+		cfg:       cfg,
+		name:      cfg.Name,
+		rt:        rt,
+		reg:       rcfg.Metrics,
+		m:         m,
+		refreshes: rcfg.Metrics.Counter("cluster.node_refreshes_total"),
+		adoptions: rcfg.Metrics.Counter("cluster.node_adoptions_total"),
+	}
+	rcfg.Metrics.Gauge("cluster.node_epoch").Set(int64(m.Epoch))
+	return n, nil
+}
+
+// Runtime exposes the node's shard runtime (tests, shutdown plumbing).
+func (n *Node) Runtime() *shard.Runtime { return n.rt }
+
+// Name returns the node's manifest name.
+func (n *Node) Name() string { return n.name }
+
+// Epoch returns the manifest epoch the node is currently serving under.
+func (n *Node) Epoch() uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.m.Epoch
+}
+
+// Manifest returns the node's current manifest view.
+func (n *Node) Manifest() *Manifest {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.m
+}
+
+// RefreshReport says what a manifest refresh changed.
+type RefreshReport struct {
+	// Epoch is the manifest epoch after the refresh.
+	Epoch uint64 `json:"epoch"`
+	// Stale is true when the on-disk manifest was no newer than the
+	// node's view (nothing changed).
+	Stale bool `json:"stale,omitempty"`
+	// Adopted lists partitions newly opened by this refresh (failover
+	// handed them to us), ascending.
+	Adopted []int `json:"adopted,omitempty"`
+}
+
+// Refresh re-reads the manifest and adopts any partitions a newer epoch
+// assigns to this node: each is leased at the new epoch and opened via
+// the shard runtime's crash-recovery path (WAL replay + exact tail
+// resume), which is what makes failover lose nothing that was ever
+// acknowledged. Partitions the node already serves stay untouched —
+// ownership is only ever taken from a node by its death, not revoked
+// from a live one mid-epoch. A manifest with the same or older epoch is
+// a no-op.
+func (n *Node) Refresh() (RefreshReport, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.refreshes.Inc()
+	if n.cfg.ManifestPath == "" {
+		return RefreshReport{Epoch: n.m.Epoch, Stale: true}, fmt.Errorf("cluster: node has no manifest path to refresh from")
+	}
+	m, err := Load(n.cfg.ManifestPath)
+	if err != nil {
+		return RefreshReport{Epoch: n.m.Epoch, Stale: true}, err
+	}
+	if m.Epoch <= n.m.Epoch {
+		return RefreshReport{Epoch: n.m.Epoch, Stale: true}, nil
+	}
+	if m.Shards != n.m.Shards {
+		return RefreshReport{Epoch: n.m.Epoch, Stale: true},
+			fmt.Errorf("cluster: manifest epoch %d changes the shard count %d -> %d; a layout change needs a rebalance and a fleet restart, not a refresh",
+				m.Epoch, n.m.Shards, m.Shards)
+	}
+	if _, ok := m.Nodes[n.name]; !ok {
+		return RefreshReport{Epoch: n.m.Epoch, Stale: true},
+			fmt.Errorf("cluster: manifest epoch %d no longer lists node %q", m.Epoch, n.name)
+	}
+	rep := RefreshReport{Epoch: m.Epoch}
+	dir := n.cfg.Runtime.Dir
+	if dir == "" {
+		dir = m.Dir
+	}
+	for _, p := range m.PartitionsOf(n.name) {
+		// Re-stake partitions we keep at the new epoch and adopt the new
+		// ones; either way the lease lands before any WAL handle moves.
+		if err := acquireLease(shard.PartitionDir(dir, p), m.Epoch, n.name); err != nil {
+			return rep, err
+		}
+		if !n.rt.Owns(p) {
+			if err := n.rt.AdoptPartition(p); err != nil {
+				return rep, err
+			}
+			n.adoptions.Inc()
+			rep.Adopted = append(rep.Adopted, p)
+		}
+	}
+	sort.Ints(rep.Adopted)
+	n.m = m
+	n.reg.Gauge("cluster.node_epoch").Set(int64(m.Epoch))
+	return rep, nil
+}
+
+// HealthReport is the /healthz body: liveness plus per-partition
+// lag/backlog, and the epoch the node serves under (the router treats a
+// node reporting an older epoch than the manifest as not yet refreshed,
+// never as dead).
+type HealthReport struct {
+	Node       string                  `json:"node"`
+	Status     string                  `json:"status"`
+	Epoch      uint64                  `json:"epoch"`
+	Shards     int                     `json:"shards"`
+	Partitions []shard.PartitionHealth `json:"partitions"`
+}
+
+// Health renders the node's current health report.
+func (n *Node) Health() HealthReport {
+	n.mu.Lock()
+	epoch, shards := n.m.Epoch, n.m.Shards
+	n.mu.Unlock()
+	return HealthReport{
+		Node:       n.name,
+		Status:     "ok",
+		Epoch:      epoch,
+		Shards:     shards,
+		Partitions: n.rt.Health(),
+	}
+}
+
+// Handler returns the node's HTTP surface:
+//
+//	POST /ingest         the sharded intake over this node's partitions
+//	                     (keys owned elsewhere answer with a per-
+//	                     partition "not assigned" rejection)
+//	GET  /healthz        liveness + per-partition lag/backlog JSON
+//	GET  /metrics        text metrics (runtime-merged, shard<i>. prefixed)
+//	GET  /metrics.json   JSON snapshot for the router's federated scrape
+//	POST /admin/refresh  re-read the manifest, adopt newly-assigned
+//	                     partitions (the router pokes this after a
+//	                     failover installs a new epoch)
+func (n *Node) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/ingest", n.rt.IngestHandler(n.cfg.MaxBatchBytes))
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(n.Health())
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		n.rt.Snapshot().WriteText(w)
+	})
+	mux.Handle("/metrics.json", obs.SnapshotJSONHandler(n.rt.Snapshot))
+	mux.HandleFunc("/admin/refresh", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			w.Header().Set("Allow", http.MethodPost)
+			http.Error(w, "refresh accepts POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		rep, err := n.Refresh()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusConflict)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(rep)
+	})
+	return mux
+}
+
+// Drain blocks until every owned partition has consumed, flushed and
+// committed its backlog (see shard.Runtime.Drain).
+func (n *Node) Drain(ctx context.Context) error { return n.rt.Drain(ctx) }
+
+// CloseIntake stops accepting appends on every owned partition.
+func (n *Node) CloseIntake() { n.rt.CloseIntake() }
+
+// Close shuts the node's runtime down gracefully.
+func (n *Node) Close() error { return n.rt.Close() }

@@ -1,0 +1,858 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"logsynergy/internal/broker"
+	"logsynergy/internal/fault"
+	"logsynergy/internal/obs"
+	"logsynergy/internal/shard"
+)
+
+// The front router is the fleet's single intake address: it hashes each
+// line's stream key onto the ring every process shares, groups a batch
+// into per-node shares, and POSTs each share to the owning node's
+// /ingest over pooled connections. Its contract extends the sharded
+// intake's one level up:
+//
+//	202  every line is durably in some node's partition WAL
+//	429  some share was rejected — the body carries the per-partition
+//	     breakdown, the request-order indices of the rejected lines
+//	     (retry exactly these), and the max Retry-After hint the nodes
+//	     supplied
+//	503  every routed node refused because its intake is closed
+//
+// Transient transport failures are retried with seeded-jitter backoff
+// (fault.Backoff); sustained ones feed the same per-node breaker the
+// health prober drives, so a dead node fails fast instead of eating a
+// connect timeout per batch. When failover is enabled and shared storage
+// holds the partitions, the prober answers a dead node by installing an
+// epoch-bumped manifest that hands its partitions to a standby, then
+// pokes the standby's /admin/refresh — the standby opens them through
+// crash recovery and the router routes the retried lines there.
+
+// RouterConfig assembles a front router.
+type RouterConfig struct {
+	// ManifestPath locates cluster.json; failover installs epoch bumps
+	// here. Optional when Manifest is supplied and failover is off.
+	ManifestPath string
+	// Manifest, when set, is used instead of loading ManifestPath.
+	Manifest *Manifest
+	// KeyFunc extracts the stream key from a line (default
+	// shard.DefaultKeyFunc — must match the nodes').
+	KeyFunc func(string) string
+	// Metrics receives the router's counters (nil = a fresh registry).
+	Metrics *obs.Registry
+	// MaxBatchBytes bounds one /ingest request body (<= 0 selects the
+	// broker default).
+	MaxBatchBytes int64
+	// MaxInFlight bounds concurrent node requests across all handler
+	// goroutines (default 64) — the router's backpressure.
+	MaxInFlight int
+	// Attempts is how many times one node share is tried before its lines
+	// are rejected back to the collector (default 3).
+	Attempts int
+	// Backoff shapes the delay between attempts; its Seed drives the
+	// deterministic jitter (zero value: 5ms base, 250ms cap, jitter 0.5).
+	Backoff fault.Backoff
+	// FailAfter is the consecutive-failure count that marks a node dead
+	// (default 3) — the breaker threshold shared by probes and ingest.
+	FailAfter int
+	// Failover enables automatic reassignment of a dead node's partitions
+	// to a standby (requires shared storage and a ManifestPath).
+	Failover bool
+	// RequestTimeout bounds one node /ingest round trip (default 10s).
+	RequestTimeout time.Duration
+	// ProbeTimeout bounds one /healthz or /metrics.json round trip
+	// (default 2s).
+	ProbeTimeout time.Duration
+	// Client overrides the pooled HTTP client (tests).
+	Client *http.Client
+	// Sleep overrides the retry sleep (tests; default time.Sleep).
+	Sleep func(time.Duration)
+}
+
+// withDefaults fills zero fields.
+func (c RouterConfig) withDefaults() RouterConfig {
+	if c.KeyFunc == nil {
+		c.KeyFunc = shard.DefaultKeyFunc
+	}
+	if c.Metrics == nil {
+		c.Metrics = obs.NewRegistry()
+	}
+	if c.MaxBatchBytes <= 0 {
+		c.MaxBatchBytes = broker.DefaultMaxBatchBytes
+	}
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 64
+	}
+	if c.Attempts <= 0 {
+		c.Attempts = 3
+	}
+	if c.Backoff.Base <= 0 {
+		c.Backoff.Base = 5 * time.Millisecond
+	}
+	if c.Backoff.Max <= 0 {
+		c.Backoff.Max = 250 * time.Millisecond
+	}
+	if c.Backoff.Jitter == 0 {
+		c.Backoff.Jitter = 0.5
+	}
+	if c.FailAfter <= 0 {
+		c.FailAfter = 3
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 10 * time.Second
+	}
+	if c.ProbeTimeout <= 0 {
+		c.ProbeTimeout = 2 * time.Second
+	}
+	if c.Sleep == nil {
+		c.Sleep = time.Sleep
+	}
+	return c
+}
+
+// nodeState is the router's per-node health view.
+type nodeState struct {
+	name    string
+	breaker *fault.Breaker
+	dead    atomic.Bool
+}
+
+// Router consistent-hash routes intake across the fleet and probes node
+// health. All its HTTP handling is safe for concurrent use.
+type Router struct {
+	cfg    RouterConfig
+	client *http.Client
+	sem    chan struct{} // bounded in-flight node requests
+
+	mu    sync.RWMutex // guards m, ring, nodes
+	m     *Manifest
+	ring  *shard.Partitioner
+	nodes map[string]*nodeState
+
+	stopOnce  sync.Once
+	stop      chan struct{}
+	probeDone chan struct{}
+
+	requests    *obs.Counter
+	routedLines *obs.Counter
+	rejected    *obs.Counter
+	retries     *obs.Counter
+	retryAfter  *obs.Counter
+	unreachable *obs.Counter
+	nodeDown    *obs.Counter
+	failovers   *obs.Counter
+	fleetAlive  *obs.Gauge
+	salt        atomic.Uint64
+}
+
+// NewRouter loads/validates the manifest and assembles the router. No
+// probing starts until StartProbing (or explicit ProbeOnce calls).
+func NewRouter(cfg RouterConfig) (*Router, error) {
+	cfg = cfg.withDefaults()
+	m := cfg.Manifest
+	if m == nil {
+		if cfg.ManifestPath == "" {
+			return nil, fmt.Errorf("cluster: RouterConfig needs a Manifest or a ManifestPath")
+		}
+		var err error
+		m, err = Load(cfg.ManifestPath)
+		if err != nil {
+			return nil, err
+		}
+	} else if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Failover && cfg.ManifestPath == "" {
+		return nil, fmt.Errorf("cluster: failover needs a ManifestPath to install epoch-bumped manifests at")
+	}
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{
+			Transport: &http.Transport{
+				MaxIdleConns:        4 * cfg.MaxInFlight,
+				MaxIdleConnsPerHost: cfg.MaxInFlight,
+				IdleConnTimeout:     90 * time.Second,
+			},
+		}
+	}
+	r := &Router{
+		cfg:         cfg,
+		client:      client,
+		sem:         make(chan struct{}, cfg.MaxInFlight),
+		m:           m,
+		ring:        shard.NewPartitionerVnodes(m.Shards, m.Vnodes),
+		nodes:       map[string]*nodeState{},
+		stop:        make(chan struct{}),
+		requests:    cfg.Metrics.Counter("cluster.router_requests_total"),
+		routedLines: cfg.Metrics.Counter("cluster.router_routed_lines_total"),
+		rejected:    cfg.Metrics.Counter("cluster.router_rejected_lines_total"),
+		retries:     cfg.Metrics.Counter("cluster.router_retries_total"),
+		retryAfter:  cfg.Metrics.Counter("cluster.router_retry_after_total"),
+		unreachable: cfg.Metrics.Counter("cluster.router_unreachable_total"),
+		nodeDown:    cfg.Metrics.Counter("cluster.router_node_down_total"),
+		failovers:   cfg.Metrics.Counter("cluster.failovers_total"),
+		fleetAlive:  cfg.Metrics.Gauge("cluster.nodes_alive"),
+	}
+	for name := range m.Nodes {
+		r.nodes[name] = &nodeState{
+			name: name,
+			// A long cooldown keeps a dead node dead until failover or a
+			// manifest reload resurrects the fleet view; the prober still
+			// probes it directly, and a successful probe closes the breaker.
+			breaker: &fault.Breaker{Threshold: cfg.FailAfter, Cooldown: time.Hour},
+		}
+	}
+	r.fleetAlive.Set(int64(len(m.Nodes)))
+	cfg.Metrics.Gauge("cluster.router_epoch").Set(int64(m.Epoch))
+	return r, nil
+}
+
+// Manifest returns the router's current fleet view.
+func (r *Router) Manifest() *Manifest {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.m
+}
+
+// Reload swaps in the manifest at ManifestPath if its epoch is newer
+// (another router's failover, or an operator edit). The ring is rebuilt
+// only if vnodes changed; a shard-count change is refused — that is a
+// rebalance plus fleet restart, not a reload.
+func (r *Router) Reload() error {
+	if r.cfg.ManifestPath == "" {
+		return fmt.Errorf("cluster: router has no manifest path to reload from")
+	}
+	m, err := Load(r.cfg.ManifestPath)
+	if err != nil {
+		return err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m.Epoch <= r.m.Epoch {
+		return nil
+	}
+	return r.installLocked(m)
+}
+
+// installLocked swaps the fleet view. Caller holds r.mu.
+func (r *Router) installLocked(m *Manifest) error {
+	if m.Shards != r.m.Shards {
+		return fmt.Errorf("cluster: manifest epoch %d changes the shard count %d -> %d; restart the router for a layout change",
+			m.Epoch, r.m.Shards, m.Shards)
+	}
+	if m.Vnodes != r.m.Vnodes {
+		r.ring = shard.NewPartitionerVnodes(m.Shards, m.Vnodes)
+	}
+	for name := range m.Nodes {
+		if _, ok := r.nodes[name]; !ok {
+			r.nodes[name] = &nodeState{name: name, breaker: &fault.Breaker{Threshold: r.cfg.FailAfter, Cooldown: time.Hour}}
+		}
+	}
+	r.m = m
+	r.cfg.Metrics.Gauge("cluster.router_epoch").Set(int64(m.Epoch))
+	return nil
+}
+
+// fleetView snapshots the routing topology.
+func (r *Router) fleetView() (*Manifest, *shard.Partitioner, map[string]*nodeState) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.m, r.ring, r.nodes
+}
+
+// RoutePartition is one partition's share of a routed batch.
+type RoutePartition struct {
+	Partition int    `json:"partition"`
+	Node      string `json:"node"`
+	Acked     int    `json:"acked"`
+	Rejected  int    `json:"rejected"`
+	// Error classifies the rejection ("backlog full", "closed", "node
+	// unreachable", "not assigned"), empty on success.
+	Error string `json:"error,omitempty"`
+	// RetryAfterSeconds is the node's retry hint for this partition's
+	// rejection (0 = none supplied).
+	RetryAfterSeconds int `json:"retry_after_seconds,omitempty"`
+}
+
+// RouteResponse is the JSON body of a routed /ingest answer.
+type RouteResponse struct {
+	// Acked is the number of lines durably appended fleet-wide.
+	Acked int `json:"acked"`
+	// Rejected is the number of lines the collector must retry.
+	Rejected int `json:"rejected"`
+	// Epoch is the manifest epoch the batch was routed under.
+	Epoch uint64 `json:"epoch"`
+	// RetryAfterSeconds is the max retry hint across rejecting nodes
+	// (mirrored in the Retry-After header on a 429).
+	RetryAfterSeconds int `json:"retry_after_seconds,omitempty"`
+	// Partitions breaks the batch down per partition, ascending.
+	Partitions []RoutePartition `json:"partitions,omitempty"`
+	// RejectedLines are the request-order indices (0-based, counting
+	// non-empty lines) of the lines that were not acked — the exact
+	// retry set.
+	RejectedLines []int `json:"rejected_lines,omitempty"`
+}
+
+// nodeShare is one node's slice of a batch.
+type nodeShare struct {
+	node  string
+	addr  string
+	lines []string
+	index []int // request-order index of each line
+	parts []int // owning partition of each line
+}
+
+// shareResult is the outcome of posting one share.
+type shareResult struct {
+	share *nodeShare
+	// perPart maps partition → node-reported result; nil when the node
+	// was unreachable (every line rejected).
+	perPart map[int]shard.PartitionResult
+	// retryAfter is the node's Retry-After hint in seconds (0 = none).
+	retryAfter int
+	// errLabel classifies a whole-share failure ("node unreachable",
+	// "node dead", ...), empty when perPart is authoritative.
+	errLabel string
+}
+
+// Handler returns the router's HTTP surface:
+//
+//	POST /ingest    route a newline-delimited batch across the fleet
+//	GET  /healthz   the router's own liveness + per-node fleet view
+//	GET  /metrics   federated text metrics: router + fleet totals +
+//	                node.<name>.-prefixed per-node series
+func (r *Router) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/ingest", r.handleIngest)
+	mux.HandleFunc("/healthz", r.handleHealthz)
+	mux.HandleFunc("/metrics", r.handleMetrics)
+	return mux
+}
+
+// handleIngest routes one batch.
+func (r *Router) handleIngest(w http.ResponseWriter, req *http.Request) {
+	r.requests.Inc()
+	if req.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		http.Error(w, "ingest accepts POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	if req.ContentLength > r.cfg.MaxBatchBytes {
+		http.Error(w, fmt.Sprintf("batch of %d bytes exceeds limit %d", req.ContentLength, r.cfg.MaxBatchBytes), http.StatusRequestEntityTooLarge)
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, req.Body, r.cfg.MaxBatchBytes))
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			http.Error(w, fmt.Sprintf("batch exceeds limit %d bytes", r.cfg.MaxBatchBytes), http.StatusRequestEntityTooLarge)
+			return
+		}
+		http.Error(w, "reading request body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	resp := r.RouteBatch(splitBatch(body))
+	w.Header().Set("Content-Type", "application/json")
+	switch {
+	case resp.Rejected == 0:
+		w.WriteHeader(http.StatusAccepted)
+	case resp.Acked == 0 && allClosed(resp.Partitions):
+		http.Error(w, "intake closed fleet-wide", http.StatusServiceUnavailable)
+		return
+	default:
+		hint := resp.RetryAfterSeconds
+		if hint <= 0 {
+			hint = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(hint))
+		w.WriteHeader(http.StatusTooManyRequests)
+	}
+	json.NewEncoder(w).Encode(resp)
+}
+
+// allClosed reports whether every rejection was a closed intake.
+func allClosed(parts []RoutePartition) bool {
+	any := false
+	for _, p := range parts {
+		if p.Rejected == 0 {
+			continue
+		}
+		any = true
+		if p.Error != "closed" {
+			return false
+		}
+	}
+	return any
+}
+
+// RouteBatch routes lines to their owning nodes and merges the results.
+// It is the programmatic form of POST /ingest.
+func (r *Router) RouteBatch(lines []string) RouteResponse {
+	m, ring, nodes := r.fleetView()
+	resp := RouteResponse{Epoch: m.Epoch}
+	if len(lines) == 0 {
+		return resp
+	}
+	shares := map[string]*nodeShare{}
+	for i, line := range lines {
+		p := ring.Partition(r.cfg.KeyFunc(line))
+		node := m.NodeFor(p)
+		s := shares[node]
+		if s == nil {
+			s = &nodeShare{node: node, addr: m.Nodes[node].Addr}
+			shares[node] = s
+		}
+		s.lines = append(s.lines, line)
+		s.index = append(s.index, i)
+		s.parts = append(s.parts, p)
+	}
+
+	results := make([]shareResult, 0, len(shares))
+	var wg sync.WaitGroup
+	var resMu sync.Mutex
+	for _, s := range shares {
+		s := s
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res := r.postShare(s, nodes[s.node])
+			resMu.Lock()
+			results = append(results, res)
+			resMu.Unlock()
+		}()
+	}
+	wg.Wait()
+
+	// Merge: per-partition rows (ascending) plus the exact rejected-line
+	// index set. A node share is grouped per partition on the node side,
+	// and a partition's sub-share is all-or-nothing, so "partition row
+	// has an error" ⇔ "every line of that partition in this share was
+	// rejected".
+	byPart := map[int]*RoutePartition{}
+	for _, res := range results {
+		rejectedParts := map[int]string{}
+		retryHints := map[int]int{}
+		if res.perPart == nil {
+			// Whole share failed (unreachable/dead): every partition of the
+			// share is rejected with the share-level label.
+			for _, p := range res.share.parts {
+				rejectedParts[p] = res.errLabel
+			}
+		} else {
+			for p, pr := range res.perPart {
+				if pr.Error != "" {
+					rejectedParts[p] = pr.Error
+					if res.retryAfter > 0 {
+						retryHints[p] = res.retryAfter
+					}
+				}
+			}
+		}
+		if res.retryAfter > resp.RetryAfterSeconds {
+			resp.RetryAfterSeconds = res.retryAfter
+		}
+		for j, p := range res.share.parts {
+			row := byPart[p]
+			if row == nil {
+				row = &RoutePartition{Partition: p, Node: res.share.node}
+				byPart[p] = row
+			}
+			if label, bad := rejectedParts[p]; bad {
+				row.Rejected++
+				if row.Error == "" {
+					row.Error = label
+				}
+				if hint := retryHints[p]; hint > row.RetryAfterSeconds {
+					row.RetryAfterSeconds = hint
+				}
+				resp.Rejected++
+				resp.RejectedLines = append(resp.RejectedLines, res.share.index[j])
+			} else {
+				row.Acked++
+				resp.Acked++
+			}
+		}
+	}
+	for _, row := range byPart {
+		resp.Partitions = append(resp.Partitions, *row)
+	}
+	sort.Slice(resp.Partitions, func(i, j int) bool { return resp.Partitions[i].Partition < resp.Partitions[j].Partition })
+	sort.Ints(resp.RejectedLines)
+	r.routedLines.Add(int64(resp.Acked))
+	r.rejected.Add(int64(resp.Rejected))
+	if resp.RetryAfterSeconds > 0 {
+		r.retryAfter.Inc()
+	}
+	return resp
+}
+
+// postShare delivers one node share with bounded attempts. Transport
+// errors and 5xx answers retry with seeded-jitter backoff; a 429 or 503
+// is a node-level verdict the collector must see, not retried here.
+func (r *Router) postShare(s *nodeShare, ns *nodeState) shareResult {
+	if ns == nil {
+		return shareResult{share: s, errLabel: "unknown node"}
+	}
+	if ns.dead.Load() {
+		// Fail fast: the prober owns resurrecting a dead node.
+		return shareResult{share: s, errLabel: "node dead"}
+	}
+	salt := r.salt.Add(1)
+	body := strings.Join(s.lines, "\n")
+	var lastErr error
+	for attempt := 1; attempt <= r.cfg.Attempts; attempt++ {
+		if attempt > 1 {
+			r.retries.Inc()
+			r.cfg.Sleep(r.cfg.Backoff.Delay(attempt-1, salt))
+		}
+		res, err := r.postOnce(s.addr, body)
+		if err == nil {
+			ns.breaker.Record(nil)
+			res.share = s
+			return res
+		}
+		lastErr = err
+		ns.breaker.Record(err)
+	}
+	r.unreachable.Inc()
+	_ = lastErr
+	return shareResult{share: s, errLabel: "node unreachable"}
+}
+
+// postOnce performs one /ingest round trip. A transport error or a 5xx
+// status (other than 503's explicit closed verdict) returns err for the
+// retry loop; anything else is a node verdict.
+func (r *Router) postOnce(addr, body string) (shareResult, error) {
+	r.sem <- struct{}{} // bounded in-flight backpressure
+	defer func() { <-r.sem }()
+	url := addr
+	if !strings.Contains(url, "://") {
+		url = "http://" + url
+	}
+	req, err := http.NewRequest(http.MethodPost, url+"/ingest", bytes.NewReader([]byte(body)))
+	if err != nil {
+		return shareResult{}, err
+	}
+	req.Header.Set("Content-Type", "text/plain; charset=utf-8")
+	ctx, cancel := contextWithTimeout(r.cfg.RequestTimeout)
+	defer cancel()
+	resp, err := r.client.Do(req.WithContext(ctx))
+	if err != nil {
+		return shareResult{}, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return shareResult{}, err
+	}
+	switch {
+	case resp.StatusCode == http.StatusAccepted || resp.StatusCode == http.StatusTooManyRequests:
+		var ir shard.IngestResponse
+		if err := json.Unmarshal(data, &ir); err != nil {
+			return shareResult{}, fmt.Errorf("cluster: node answered %d with an unparseable body: %w", resp.StatusCode, err)
+		}
+		res := shareResult{perPart: map[int]shard.PartitionResult{}}
+		for _, pr := range ir.Partitions {
+			res.perPart[pr.Partition] = pr
+		}
+		if resp.StatusCode == http.StatusTooManyRequests {
+			if ra, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && ra > 0 {
+				res.retryAfter = ra
+			} else {
+				res.retryAfter = 1
+			}
+		}
+		return res, nil
+	case resp.StatusCode == http.StatusServiceUnavailable:
+		// Intake closed: a deliberate verdict (shutdown), not a transport
+		// fault — reject the share as "closed" without burning retries.
+		return shareResult{errLabel: "closed"}, nil
+	default:
+		return shareResult{}, fmt.Errorf("cluster: node answered %d: %s", resp.StatusCode, strings.TrimSpace(string(data)))
+	}
+}
+
+// ProbeResult is one node's probe outcome.
+type ProbeResult struct {
+	Node  string `json:"node"`
+	Alive bool   `json:"alive"`
+	// Epoch is the epoch the node reported (0 when unreachable).
+	Epoch uint64 `json:"epoch,omitempty"`
+	// Err is the probe failure, empty when alive.
+	Err string `json:"err,omitempty"`
+	// FailedOver is set when this probe's failure triggered a manifest
+	// reassignment.
+	FailedOver bool `json:"failed_over,omitempty"`
+}
+
+// ProbeOnce probes every node's /healthz once, feeding the per-node
+// breakers. A node whose breaker opens is marked dead; with failover
+// enabled its partitions are reassigned to the first alive standby via
+// an epoch-bumped manifest install. Deterministic and synchronous — the
+// test harness calls it directly; StartProbing wraps it in a ticker.
+func (r *Router) ProbeOnce() []ProbeResult {
+	m, _, nodes := r.fleetView()
+	out := make([]ProbeResult, 0, len(m.Nodes))
+	alive := 0
+	for _, name := range m.NodeNames() {
+		ns := nodes[name]
+		pr := ProbeResult{Node: name}
+		hr, err := r.probeNode(m.Nodes[name].Addr)
+		if err == nil {
+			ns.breaker.Record(nil)
+			ns.dead.Store(false)
+			pr.Alive = true
+			pr.Epoch = hr.Epoch
+			alive++
+		} else {
+			pr.Err = err.Error()
+			ns.breaker.Record(err)
+			if ns.breaker.Open() && !ns.dead.Swap(true) {
+				r.nodeDown.Inc()
+				if r.cfg.Failover {
+					if ferr := r.failover(name); ferr == nil {
+						pr.FailedOver = true
+					} else {
+						pr.Err = fmt.Sprintf("%s (failover: %v)", pr.Err, ferr)
+					}
+				}
+			}
+		}
+		out = append(out, pr)
+	}
+	r.fleetAlive.Set(int64(alive))
+	return out
+}
+
+// probeNode GETs one node's /healthz.
+func (r *Router) probeNode(addr string) (HealthReport, error) {
+	url := addr
+	if !strings.Contains(url, "://") {
+		url = "http://" + url
+	}
+	ctx, cancel := contextWithTimeout(r.cfg.ProbeTimeout)
+	defer cancel()
+	req, err := http.NewRequest(http.MethodGet, url+"/healthz", nil)
+	if err != nil {
+		return HealthReport{}, err
+	}
+	resp, err := r.client.Do(req.WithContext(ctx))
+	if err != nil {
+		return HealthReport{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return HealthReport{}, fmt.Errorf("healthz answered %d", resp.StatusCode)
+	}
+	var hr HealthReport
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&hr); err != nil {
+		return HealthReport{}, fmt.Errorf("healthz body: %w", err)
+	}
+	return hr, nil
+}
+
+// failover reassigns dead's partitions to the first alive standby: an
+// epoch-bumped manifest is installed at ManifestPath (the single commit
+// point — a crash before the install changes nothing, after it the new
+// epoch is the truth), the router swaps its fleet view, and the standby
+// is poked over /admin/refresh so it adopts immediately rather than on
+// its next watch tick.
+func (r *Router) failover(dead string) error {
+	r.mu.Lock()
+	m := r.m
+	var successor string
+	for _, name := range m.Standbys(dead) {
+		if ns := r.nodes[name]; ns != nil && !ns.dead.Load() {
+			successor = name
+			break
+		}
+	}
+	if successor == "" {
+		r.mu.Unlock()
+		return fmt.Errorf("cluster: no alive standby to absorb %q's partitions", dead)
+	}
+	nm, err := m.Reassign(dead, successor)
+	if err != nil {
+		r.mu.Unlock()
+		return err
+	}
+	if err := Save(r.cfg.ManifestPath, nm); err != nil {
+		r.mu.Unlock()
+		return err
+	}
+	if err := r.installLocked(nm); err != nil {
+		r.mu.Unlock()
+		return err
+	}
+	addr := nm.Nodes[successor].Addr
+	r.mu.Unlock()
+	r.failovers.Inc()
+
+	// Best-effort immediate adoption; the standby's own watch loop is the
+	// backstop if this poke races its restart.
+	if err := r.pokeRefresh(addr); err != nil {
+		return fmt.Errorf("cluster: failover manifest (epoch %d) installed but refreshing standby %q failed: %w", nm.Epoch, successor, err)
+	}
+	return nil
+}
+
+// pokeRefresh POSTs a node's /admin/refresh.
+func (r *Router) pokeRefresh(addr string) error {
+	url := addr
+	if !strings.Contains(url, "://") {
+		url = "http://" + url
+	}
+	ctx, cancel := contextWithTimeout(r.cfg.RequestTimeout)
+	defer cancel()
+	req, err := http.NewRequest(http.MethodPost, url+"/admin/refresh", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := r.client.Do(req.WithContext(ctx))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("admin/refresh answered %d", resp.StatusCode)
+	}
+	return nil
+}
+
+// RouterHealth is the router's own /healthz body.
+type RouterHealth struct {
+	Status string          `json:"status"`
+	Epoch  uint64          `json:"epoch"`
+	Shards int             `json:"shards"`
+	Nodes  map[string]bool `json:"nodes"` // name → alive (per the breaker view)
+}
+
+// handleHealthz serves the router's liveness + fleet view.
+func (r *Router) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	m, _, nodes := r.fleetView()
+	h := RouterHealth{Status: "ok", Epoch: m.Epoch, Shards: m.Shards, Nodes: map[string]bool{}}
+	for name := range m.Nodes {
+		h.Nodes[name] = !nodes[name].dead.Load()
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(h)
+}
+
+// handleMetrics serves the federated scrape: the router's own registry,
+// every reachable node's snapshot merged into fleet totals, and each
+// node's snapshot again under a node.<name>. prefix. A node that cannot
+// be scraped contributes only node.<name>.up 0.
+func (r *Router) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	m, _, _ := r.fleetView()
+	merged := r.cfg.Metrics.Snapshot()
+	for _, name := range m.NodeNames() {
+		snap, err := r.scrapeNode(m.Nodes[name].Addr)
+		up := int64(1)
+		if err != nil {
+			up = 0
+		} else {
+			merged = merged.Merge(snap)
+			merged = merged.Merge(snap.Prefixed("node." + name + "."))
+		}
+		merged.Gauges["node."+name+".up"] = up
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	merged.WriteText(w)
+}
+
+// scrapeNode GETs one node's /metrics.json snapshot.
+func (r *Router) scrapeNode(addr string) (obs.Snapshot, error) {
+	url := addr
+	if !strings.Contains(url, "://") {
+		url = "http://" + url
+	}
+	ctx, cancel := contextWithTimeout(r.cfg.ProbeTimeout)
+	defer cancel()
+	req, err := http.NewRequest(http.MethodGet, url+"/metrics.json", nil)
+	if err != nil {
+		return obs.Snapshot{}, err
+	}
+	resp, err := r.client.Do(req.WithContext(ctx))
+	if err != nil {
+		return obs.Snapshot{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return obs.Snapshot{}, fmt.Errorf("metrics.json answered %d", resp.StatusCode)
+	}
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 8<<20))
+	if err != nil {
+		return obs.Snapshot{}, err
+	}
+	return obs.ParseSnapshot(data)
+}
+
+// StartProbing probes every node each interval until Close.
+func (r *Router) StartProbing(interval time.Duration) {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	r.probeDone = make(chan struct{})
+	go func() {
+		defer close(r.probeDone)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-r.stop:
+				return
+			case <-t.C:
+				r.ProbeOnce()
+			}
+		}
+	}()
+}
+
+// Close stops the probe loop and releases pooled connections.
+func (r *Router) Close() {
+	r.stopOnce.Do(func() { close(r.stop) })
+	if r.probeDone != nil {
+		<-r.probeDone
+	}
+	if t, ok := r.client.Transport.(*http.Transport); ok && t != nil {
+		t.CloseIdleConnections()
+	}
+}
+
+// contextWithTimeout is context.WithTimeout off Background — one name
+// for the router's per-request deadlines.
+func contextWithTimeout(d time.Duration) (context.Context, context.CancelFunc) {
+	return context.WithTimeout(context.Background(), d)
+}
+
+// splitBatch parses a newline-delimited body into log lines, tolerating
+// CRLF and dropping empty lines (matching the node intake's parsing, so
+// RejectedLines indices agree between router and collector).
+func splitBatch(body []byte) []string {
+	raw := strings.Split(string(body), "\n")
+	lines := make([]string, 0, len(raw))
+	for _, l := range raw {
+		l = strings.TrimSuffix(l, "\r")
+		if l == "" {
+			continue
+		}
+		lines = append(lines, l)
+	}
+	return lines
+}

@@ -21,6 +21,7 @@
 package obs
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"math"
@@ -365,9 +366,69 @@ func sortedKeys(m map[string]int64) []string {
 	return keys
 }
 
+// Prefixed returns a copy of the snapshot with every metric name
+// prefixed. It is the building block for federating scrapes across
+// processes: a front router fetches each node's JSON snapshot, merges
+// the raw copies into fleet totals and the Prefixed("node.<name>.")
+// copies into per-node breakdowns, all on one page.
+func (s Snapshot) Prefixed(prefix string) Snapshot {
+	out := Snapshot{
+		Counters:   make(map[string]int64, len(s.Counters)),
+		Gauges:     make(map[string]int64, len(s.Gauges)),
+		Histograms: make(map[string]HistogramSnapshot, len(s.Histograms)),
+	}
+	for k, v := range s.Counters {
+		out.Counters[prefix+k] = v
+	}
+	for k, v := range s.Gauges {
+		out.Gauges[prefix+k] = v
+	}
+	for k, h := range s.Histograms {
+		out.Histograms[prefix+k] = h.clone()
+	}
+	return out
+}
+
+// ParseSnapshot decodes the JSON form of a Snapshot (what JSONHandler
+// serves and expvar publishes). Nil maps are normalized to empty so the
+// result is always safe to Merge.
+func ParseSnapshot(data []byte) (Snapshot, error) {
+	var s Snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return Snapshot{}, fmt.Errorf("obs: parsing snapshot: %w", err)
+	}
+	if s.Counters == nil {
+		s.Counters = map[string]int64{}
+	}
+	if s.Gauges == nil {
+		s.Gauges = map[string]int64{}
+	}
+	if s.Histograms == nil {
+		s.Histograms = map[string]HistogramSnapshot{}
+	}
+	return s, nil
+}
+
 // WriteText renders the registry's current state (see Snapshot.WriteText).
 func (r *Registry) WriteText(w io.Writer) error {
 	return r.Snapshot().WriteText(w)
+}
+
+// SnapshotJSONHandler serves a snapshot function as JSON — the
+// machine-readable cross-process scrape surface (text /metrics stays the
+// human one). Cluster nodes mount it at /metrics.json and the front
+// router's federated scrape consumes it with ParseSnapshot.
+func SnapshotJSONHandler(snap func() Snapshot) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(snap())
+	})
+}
+
+// JSONHandler serves the registry's snapshot as JSON (see
+// SnapshotJSONHandler).
+func (r *Registry) JSONHandler() http.Handler {
+	return SnapshotJSONHandler(r.Snapshot)
 }
 
 // Handler returns the /metrics HTTP handler: the text export of the

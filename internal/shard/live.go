@@ -288,6 +288,10 @@ func (rt *Runtime) liveRebalance(o liveOpts) (*RebalanceReport, error) {
 	if rt.cut.Load() != nil {
 		return nil, errors.New("shard: a live cutover is already in progress")
 	}
+	if rt.cfg.Subset != nil {
+		return nil, errors.New("shard: live rebalance requires a runtime serving every partition; " +
+			"this one opened a subset (cluster node mode)")
+	}
 	rt.routeMu.RLock()
 	from := rt.cfg.Shards
 	oldRing := rt.part
@@ -328,6 +332,7 @@ func (rt *Runtime) liveRebalance(o liveOpts) (*RebalanceReport, error) {
 		return nil, err
 	}
 	rt.parts = append(rt.parts, dest)
+	rt.byIdx = append(rt.byIdx, dest)
 	rt.cut.Store(cut)
 	rt.routeMu.Unlock()
 	go dest.run()

@@ -438,6 +438,11 @@ func partitionDir(root string, i int) string {
 	return filepath.Join(root, fmt.Sprintf("p%d", i))
 }
 
+// PartitionDir renders partition i's WAL directory under root — the
+// cluster layer uses it to stake epoch leases in partition directories
+// before opening them.
+func PartitionDir(root string, i int) string { return partitionDir(root, i) }
+
 // partitionDirPattern matches partition directory names.
 var partitionDirPattern = regexp.MustCompile(`^p[0-9]+$`)
 

@@ -19,6 +19,12 @@ import (
 // some partition's log; 429 carries a per-partition breakdown of what
 // was acked and what must be retried.
 
+// ErrNotAssigned is returned when a line's key routes to a partition
+// this runtime does not serve (a Subset runtime in a cluster fleet).
+// The front router owns re-routing: it retries the line against the
+// node the cluster manifest currently assigns the partition to.
+var ErrNotAssigned = errors.New("shard: partition not assigned to this runtime")
+
 // IngestResponse is the JSON body of a 202 or 429 from the sharded
 // /ingest endpoint.
 type IngestResponse struct {
@@ -63,7 +69,12 @@ func (rt *Runtime) Append(line string) (part int, off uint64, err error) {
 	} else {
 		part = rt.part.Partition(key)
 	}
-	off, err = rt.parts[part].bk.Append(line)
+	pt := rt.byIdx[part]
+	if pt == nil {
+		rt.rejectedByBP.Inc()
+		return part, 0, fmt.Errorf("partition %d: %w", part, ErrNotAssigned)
+	}
+	off, err = pt.bk.Append(line)
 	if err != nil {
 		rt.rejectedByBP.Inc()
 		return part, 0, fmt.Errorf("partition %d: %w", part, err)
@@ -108,7 +119,7 @@ func (rt *Runtime) AppendBatch(lines []string) ([]PartitionResult, error) {
 	rt.routeMu.RLock()
 	defer rt.routeMu.RUnlock()
 	cut := rt.cut.Load()
-	n := len(rt.parts)
+	n := len(rt.byIdx)
 	byPart := make([][]string, n)
 	double := make([][]string, n) // unreleased moving shares, grouped by donor
 	for _, line := range lines {
@@ -143,7 +154,9 @@ func (rt *Runtime) AppendBatch(lines []string) ([]PartitionResult, error) {
 		used := false
 		if share := byPart[p]; len(share) > 0 {
 			used = true
-			if _, _, err := rt.parts[p].bk.AppendBatch(share); err != nil {
+			if rt.byIdx[p] == nil {
+				reject(&res, p, len(share), ErrNotAssigned)
+			} else if _, _, err := rt.byIdx[p].bk.AppendBatch(share); err != nil {
 				reject(&res, p, len(share), err)
 			} else {
 				res.Acked += len(share)
@@ -153,9 +166,9 @@ func (rt *Runtime) AppendBatch(lines []string) ([]PartitionResult, error) {
 		if share := double[p]; len(share) > 0 {
 			used = true
 			destIdx := cut.to - 1
-			if _, _, err := rt.parts[p].bk.AppendBatch(share); err != nil {
+			if _, _, err := rt.byIdx[p].bk.AppendBatch(share); err != nil {
 				reject(&res, p, len(share), err)
-			} else if _, _, err := rt.parts[destIdx].bk.AppendBatch(share); err != nil {
+			} else if _, _, err := rt.byIdx[destIdx].bk.AppendBatch(share); err != nil {
 				// Donor copies landed but will never be fed (they are past
 				// the freeze point); without the destination copies the
 				// lines are not acked.
@@ -179,6 +192,8 @@ func rejectionLabel(err error) string {
 		return "backlog full"
 	case errors.Is(err, broker.ErrClosed):
 		return "closed"
+	case errors.Is(err, ErrNotAssigned):
+		return "not assigned"
 	default:
 		return err.Error()
 	}

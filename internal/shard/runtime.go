@@ -42,6 +42,14 @@ type Config struct {
 	// Vnodes overrides the partitioner's virtual-node count (default
 	// DefaultVirtualNodes).
 	Vnodes int
+	// Subset, when non-nil, restricts the runtime to the named partition
+	// indices: only their WAL directories are opened and fed, and routing
+	// a key owned by an unlisted partition returns ErrNotAssigned. The
+	// ring still spans all Shards partitions, so key→partition mapping is
+	// identical across every process of a cluster fleet. nil opens every
+	// partition (the single-process default); an empty non-nil slice opens
+	// none (a standby node waiting to adopt).
+	Subset []int
 	// Broker is the per-partition broker template; Dir, Metrics and
 	// Faults are overridden per partition.
 	Broker broker.Config
@@ -109,6 +117,10 @@ type Runtime struct {
 	cache *InterpCache
 	reg   *obs.Registry
 	parts []*partition
+	// byIdx maps partition index → open partition (nil = not served by
+	// this runtime, which only happens under Config.Subset). Guarded by
+	// routeMu like parts.
+	byIdx []*partition
 
 	// routeMu guards the routing topology: part, parts, and cfg.Shards.
 	// Producers and accessors read-lock; a live cutover's flip and finish
@@ -202,11 +214,27 @@ func Open(cfg Config) (*Runtime, error) {
 	if cfg.Detector == nil || cfg.Interp == nil || cfg.Embedder == nil || cfg.Sink == nil {
 		return nil, errors.New("shard: Detector, Interp, Embedder and Sink are required")
 	}
+	if cfg.Subset != nil {
+		seen := make(map[int]bool, len(cfg.Subset))
+		for _, i := range cfg.Subset {
+			if i < 0 || i >= cfg.Shards {
+				return nil, fmt.Errorf("shard: Subset partition %d out of range for %d shards", i, cfg.Shards)
+			}
+			if seen[i] {
+				return nil, fmt.Errorf("shard: Subset lists partition %d twice", i)
+			}
+			seen[i] = true
+		}
+	}
 	j, err := loadJournal(cfg.Dir)
 	if err != nil {
 		return nil, err
 	}
 	if j != nil {
+		if cfg.Subset != nil {
+			return nil, fmt.Errorf("shard: %s has a live cutover in progress; finish it with a full runtime "+
+				"(every partition) before serving a subset", cfg.Dir)
+		}
 		if cfg.Shards != j.To {
 			return nil, fmt.Errorf("shard: %s has a live cutover to %d partitions in progress but the runtime is opening %d; "+
 				"reopen at %d shards to let the cutover finish", cfg.Dir, j.To, cfg.Shards, j.To)
@@ -239,9 +267,22 @@ func Open(cfg Config) (*Runtime, error) {
 	cfg.Metrics.Gauge("shard.partitions").Set(int64(cfg.Shards))
 
 	if j != nil {
+		rt.byIdx = make([]*partition, j.To)
 		return rt.openResuming(j)
 	}
-	for i := 0; i < cfg.Shards; i++ {
+	own := cfg.Subset
+	if own == nil {
+		own = make([]int, cfg.Shards)
+		for i := range own {
+			own[i] = i
+		}
+	} else {
+		own = append([]int(nil), own...)
+		sort.Ints(own)
+	}
+	cfg.Metrics.Gauge("shard.partitions_owned").Set(int64(len(own)))
+	rt.byIdx = make([]*partition, cfg.Shards)
+	for _, i := range own {
 		pt, err := rt.openPartitionAt(i, openOpts{})
 		if err != nil {
 			rt.closePartitions()
@@ -252,6 +293,7 @@ func Open(cfg Config) (*Runtime, error) {
 		// after its journal-removal commit point.
 		sweepSplices(pt.dir)
 		rt.parts = append(rt.parts, pt)
+		rt.byIdx[i] = pt
 	}
 	for _, pt := range rt.parts {
 		go pt.run()
@@ -277,12 +319,14 @@ func (rt *Runtime) openResuming(j *liveJournal) (*Runtime, error) {
 			return fail(fmt.Errorf("shard: opening partition %d: %w", i, err))
 		}
 		rt.parts = append(rt.parts, pt)
+		rt.byIdx[i] = pt
 	}
 	dest, err := rt.openPartitionAt(j.From, openOpts{layout: j.To, ring: rt.part, acceptStamp: accept, keepSpliced: true})
 	if err != nil {
 		return fail(fmt.Errorf("shard: opening cutover destination partition %d: %w", j.From, err))
 	}
 	rt.parts = append(rt.parts, dest)
+	rt.byIdx[j.From] = dest
 
 	cut, err := rt.resumeCutover(j)
 	if err != nil {
@@ -734,8 +778,105 @@ func (rt *Runtime) partitions() []*partition {
 	return rt.parts
 }
 
-// ShardStats returns partition i's pipeline stats.
-func (rt *Runtime) ShardStats(i int) pipeline.Stats { return rt.partitions()[i].pipe.Stats() }
+// partitionAt returns the open partition with index i, or nil when the
+// runtime does not serve it (a Subset runtime).
+func (rt *Runtime) partitionAt(i int) *partition {
+	rt.routeMu.RLock()
+	defer rt.routeMu.RUnlock()
+	if i < 0 || i >= len(rt.byIdx) {
+		return nil
+	}
+	return rt.byIdx[i]
+}
+
+// Owned returns the partition indices this runtime serves, ascending.
+// Without Config.Subset that is every partition; AdoptPartition extends
+// the set at runtime.
+func (rt *Runtime) Owned() []int {
+	rt.routeMu.RLock()
+	defer rt.routeMu.RUnlock()
+	own := make([]int, 0, len(rt.parts))
+	for i, pt := range rt.byIdx {
+		if pt != nil {
+			own = append(own, i)
+		}
+	}
+	return own
+}
+
+// Owns reports whether this runtime serves partition i.
+func (rt *Runtime) Owns(i int) bool { return rt.partitionAt(i) != nil }
+
+// ShardStats returns partition i's pipeline stats (zero when the
+// runtime does not serve partition i).
+func (rt *Runtime) ShardStats(i int) pipeline.Stats {
+	pt := rt.partitionAt(i)
+	if pt == nil {
+		return pipeline.Stats{}
+	}
+	return pt.pipe.Stats()
+}
+
+// PartitionHealth is one partition's liveness row in a /healthz body:
+// how far its consumer trails its WAL and whether its worker is idle.
+type PartitionHealth struct {
+	Partition  int    `json:"partition"`
+	Lag        uint64 `json:"lag"`
+	NextOffset uint64 `json:"next_offset"`
+	Committed  uint64 `json:"committed"`
+	Idle       bool   `json:"idle"`
+}
+
+// Health reports per-partition lag/backlog for every partition this
+// runtime serves, ascending by partition index — the payload a cluster
+// node's /healthz endpoint exposes to the front router's prober.
+func (rt *Runtime) Health() []PartitionHealth {
+	rt.routeMu.RLock()
+	defer rt.routeMu.RUnlock()
+	out := make([]PartitionHealth, 0, len(rt.parts))
+	for i, pt := range rt.byIdx {
+		if pt == nil {
+			continue
+		}
+		out = append(out, PartitionHealth{
+			Partition:  i,
+			Lag:        pt.bk.Lag(pt.group),
+			NextOffset: pt.bk.NextOffset(),
+			Committed:  pt.bk.Committed(pt.group),
+			Idle:       pt.idle.Load(),
+		})
+	}
+	return out
+}
+
+// AdoptPartition opens partition idx through the crash-recovery path —
+// WAL replay past the committed offset, window tails and parser state
+// restored from shard-state.json — and starts its worker. Cluster
+// failover uses it: a standby node adopts a dead node's partitions off
+// shared storage and resumes exactly where the dead node's last commit
+// left off. The partition must belong to the runtime's layout and not
+// already be open here; fencing against the previous owner is the
+// caller's job (the cluster layer's epoch lease).
+func (rt *Runtime) AdoptPartition(idx int) error {
+	rt.routeMu.Lock()
+	defer rt.routeMu.Unlock()
+	if idx < 0 || idx >= len(rt.byIdx) {
+		return fmt.Errorf("shard: partition %d out of range for %d shards", idx, len(rt.byIdx))
+	}
+	if rt.byIdx[idx] != nil {
+		return fmt.Errorf("shard: partition %d is already open in this runtime", idx)
+	}
+	pt, err := rt.openPartitionAt(idx, openOpts{})
+	if err != nil {
+		return fmt.Errorf("shard: adopting partition %d: %w", idx, err)
+	}
+	sweepSplices(pt.dir)
+	rt.parts = append(rt.parts, pt)
+	rt.byIdx[idx] = pt
+	rt.reg.Gauge("shard.partitions_owned").Add(1)
+	go pt.run()
+	return nil
+}
 
 // Stats sums pipeline stats across every partition.
 func (rt *Runtime) Stats() pipeline.Stats {
@@ -762,8 +903,15 @@ func (rt *Runtime) Stats() pipeline.Stats {
 	return total
 }
 
-// Committed returns partition i's committed consumer offset.
-func (rt *Runtime) Committed(i int) uint64 { return rt.partitions()[i].bk.Committed(rt.cfg.Group) }
+// Committed returns partition i's committed consumer offset (0 when the
+// runtime does not serve partition i).
+func (rt *Runtime) Committed(i int) uint64 {
+	pt := rt.partitionAt(i)
+	if pt == nil {
+		return 0
+	}
+	return pt.bk.Committed(rt.cfg.Group)
+}
 
 // Snapshot merges the runtime registry with every partition's registry.
 // Each partition's counters and gauges additionally appear under a
@@ -771,10 +919,10 @@ func (rt *Runtime) Committed(i int) uint64 { return rt.partitions()[i].bk.Commit
 // breakdowns.
 func (rt *Runtime) Snapshot() obs.Snapshot {
 	merged := rt.reg.Snapshot()
-	for i, pt := range rt.partitions() {
+	for _, pt := range rt.partitions() {
 		s := pt.reg.Snapshot()
 		merged = merged.Merge(s)
-		prefix := fmt.Sprintf("shard%d.", i)
+		prefix := fmt.Sprintf("shard%d.", pt.idx)
 		for k, v := range s.Counters {
 			merged.Counters[prefix+k] = v
 		}
