@@ -34,8 +34,10 @@ type clusterServeOptions struct {
 // partitions this node owns; only their WAL directories are opened, and
 // the node serves /ingest, /healthz, /metrics, /metrics.json and
 // /admin/refresh for the front router. With -manifest-watch the node
-// also polls the manifest and adopts partitions a newer epoch assigns to
-// it (the failover path, if the router's /admin/refresh poke was lost).
+// also polls the manifest, adopting partitions a newer epoch assigns to
+// it (the failover path, if the router's /admin/refresh poke was lost)
+// and dropping ones assigned elsewhere (the self-fence for a node that
+// was deposed while wedged).
 func runServeCluster(opts clusterServeOptions) error {
 	n, err := cluster.StartNode(cluster.NodeConfig{
 		ManifestPath:  opts.manifestPath,
@@ -78,8 +80,8 @@ func runServeCluster(opts clusterServeOptions) error {
 					rep, err := n.Refresh()
 					if err != nil {
 						fmt.Printf("cluster: manifest refresh: %v\n", err)
-					} else if len(rep.Adopted) > 0 {
-						fmt.Printf("cluster: epoch %d adopted partitions %v\n", rep.Epoch, rep.Adopted)
+					} else if len(rep.Adopted) > 0 || len(rep.Dropped) > 0 {
+						fmt.Printf("cluster: epoch %d adopted partitions %v, dropped %v\n", rep.Epoch, rep.Adopted, rep.Dropped)
 					}
 				}
 			}
@@ -123,7 +125,7 @@ func runRoute(args []string) error {
 	fs := flag.NewFlagSet("route", flag.ExitOnError)
 	manifestPath := fs.String("cluster", "cluster.json", "cluster assignment manifest")
 	addr := fs.String("addr", "localhost:9095", "HTTP listen address for /ingest, /healthz, /metrics")
-	probeEvery := fs.Duration("probe-every", time.Second, "node /healthz probe cadence (0 disables probing)")
+	probeEvery := fs.Duration("probe-every", time.Second, "node /healthz probe + manifest reload cadence (0 disables both)")
 	failAfter := fs.Int("fail-after", 3, "consecutive probe/ingest failures that mark a node dead")
 	failover := fs.Bool("failover", false, "on node death, reassign its partitions to a standby (requires shared storage)")
 	maxInFlight := fs.Int("max-inflight", 64, "bound on concurrent node requests (router backpressure)")

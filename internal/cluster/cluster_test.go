@@ -358,14 +358,15 @@ func TestClusterFleetEquivalenceWithFailover(t *testing.T) {
 	// discipline as the shard crash suite): everything a acked is either
 	// committed — so the standby will not re-detect it — or still in the
 	// WAL tail the standby resumes exactly. Kill drops the WAL handles
-	// with no graceful close, and the server goes down with it.
+	// with no graceful close and releases the partition flocks the way
+	// the OS releases a dead process's, and the server goes down with it.
 	drainCtx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
 	if err := a.node.Drain(drainCtx); err != nil {
 		cancel()
 		t.Fatalf("draining node a before the kill: %v", err)
 	}
 	cancel()
-	a.node.Runtime().Kill()
+	a.node.Kill()
 	a.srv.Close()
 
 	// Phase 2: the next batch partially fails — node b's share is acked,
@@ -548,6 +549,382 @@ func TestClusterNodeServesOnlyAssignedPartitions(t *testing.T) {
 	defer cancel()
 	if err := n.Drain(ctx); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// A deposed node fences itself off the data path: a newer epoch that
+// assigns one of its partitions elsewhere makes Refresh drop it —
+// crash-style, no further writes — and release the flock, after which
+// the new owner opens the partition via crash recovery and appends for
+// that partition answer "not assigned" on the old owner.
+func TestClusterNodeRefreshDropsDeposedPartitions(t *testing.T) {
+	root := t.TempDir()
+	path := filepath.Join(root, "cluster.json")
+	dataDir := filepath.Join(root, "data")
+	m := &Manifest{
+		Epoch:  1,
+		Shards: 2,
+		Dir:    dataDir,
+		Nodes: map[string]NodeSpec{
+			"a": {Addr: "127.0.0.1:1001"},
+			"b": {Addr: "127.0.0.1:1002"},
+		},
+		Assignments: []string{"a", "a"},
+	}
+	if err := Save(path, m); err != nil {
+		t.Fatal(err)
+	}
+	det, interp, e := eqEnv()
+	a, err := StartNode(NodeConfig{ManifestPath: path, Name: "a", Runtime: shard.Config{
+		Pipeline: pipeline.DefaultConfig(eqHint),
+		Detector: det,
+		Interp:   interp,
+		Embedder: e,
+		Sink:     &pipeline.MemorySink{},
+		Metrics:  obs.NewRegistry(),
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+
+	rt := a.Runtime()
+	keyFor := map[int]string{}
+	for i := 0; len(keyFor) < 2; i++ {
+		k := strconv.Itoa(8000 + i)
+		keyFor[rt.PartitionFor(k)] = k
+	}
+	for p := 0; p < 2; p++ {
+		if _, _, err := rt.Append(keyFor[p] + " gc freed 12345"); err != nil {
+			t.Fatalf("append to partition %d: %v", p, err)
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := a.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// Epoch 2 hands partition 1 to b.
+	m2 := m.Clone()
+	m2.Epoch = 2
+	m2.Assignments = []string{"a", "b"}
+	if err := Save(path, m2); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := a.Refresh()
+	if err != nil {
+		t.Fatalf("refresh: %v", err)
+	}
+	if rep.Epoch != 2 || !reflect.DeepEqual(rep.Dropped, []int{1}) || len(rep.Adopted) != 0 {
+		t.Fatalf("refresh report: %+v", rep)
+	}
+	if got := rt.Owned(); !reflect.DeepEqual(got, []int{0}) {
+		t.Fatalf("node a owns %v after being deposed from p1, want [0]", got)
+	}
+	if _, _, err := rt.Append(keyFor[1] + " gc freed 12345"); !errors.Is(err, shard.ErrNotAssigned) {
+		t.Fatalf("append to dropped partition: %v, want ErrNotAssigned", err)
+	}
+	if _, _, err := rt.Append(keyFor[0] + " gc freed 12345"); err != nil {
+		t.Fatalf("append to kept partition: %v", err)
+	}
+
+	// The flock is free and the record supersedable: b opens partition 1
+	// through crash recovery and holds the epoch-2 lease.
+	det2, interp2, e2 := eqEnv()
+	b, err := StartNode(NodeConfig{ManifestPath: path, Name: "b", Runtime: shard.Config{
+		Pipeline: pipeline.DefaultConfig(eqHint),
+		Detector: det2,
+		Interp:   interp2,
+		Embedder: e2,
+		Sink:     &pipeline.MemorySink{},
+		Metrics:  obs.NewRegistry(),
+	}})
+	if err != nil {
+		t.Fatalf("StartNode(b) after the drop: %v", err)
+	}
+	defer b.Close()
+	if got := b.Runtime().Owned(); !reflect.DeepEqual(got, []int{1}) {
+		t.Fatalf("node b owns %v, want [1]", got)
+	}
+	l, err := readLease(shard.PartitionDir(dataDir, 1))
+	if err != nil || l == nil || l.Node != "b" || l.Epoch != 2 {
+		t.Fatalf("p1 lease after handoff: %+v, %v", l, err)
+	}
+}
+
+// The data-path epoch fence: a share routed under a newer epoch than
+// the node serves is refused with 409 when the node cannot catch up,
+// and every /ingest answer carries the node's epoch.
+func TestClusterIngestEpochFence(t *testing.T) {
+	m := &Manifest{
+		Epoch:       1,
+		Shards:      1,
+		Nodes:       map[string]NodeSpec{"a": {Addr: "127.0.0.1:1001"}},
+		Assignments: []string{"a"},
+	}
+	det, interp, e := eqEnv()
+	n, err := StartNode(NodeConfig{Manifest: m, Name: "a", Runtime: shard.Config{
+		Dir:      t.TempDir(),
+		Pipeline: pipeline.DefaultConfig(eqHint),
+		Detector: det,
+		Interp:   interp,
+		Embedder: e,
+		Sink:     &pipeline.MemorySink{},
+		Metrics:  obs.NewRegistry(),
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+	srv := httptest.NewServer(n.Handler())
+	defer srv.Close()
+
+	post := func(epochHeader string) *http.Response {
+		t.Helper()
+		req, err := http.NewRequest(http.MethodPost, srv.URL+"/ingest", strings.NewReader("k1 gc freed 12345"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if epochHeader != "" {
+			req.Header.Set(EpochHeader, epochHeader)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+
+	// A request from the future (this node holds an in-memory manifest,
+	// so it cannot refresh) is refused: the node might no longer own the
+	// share's partitions.
+	resp := post("2")
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("newer-epoch ingest: status %d, want 409", resp.StatusCode)
+	}
+	if got := resp.Header.Get(EpochHeader); got != "1" {
+		t.Fatalf("409 answered with epoch header %q, want 1", got)
+	}
+
+	// The matching epoch and a plain unstamped collector both serve.
+	for _, h := range []string{"1", ""} {
+		resp := post(h)
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("ingest with epoch header %q: status %d, want 202", h, resp.StatusCode)
+		}
+		if got := resp.Header.Get(EpochHeader); got != "1" {
+			t.Fatalf("answer epoch header %q, want 1", got)
+		}
+	}
+
+	// A malformed header is a client error, not a served batch.
+	resp = post("not-a-number")
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad epoch header: status %d, want 400", resp.StatusCode)
+	}
+}
+
+// A router that missed an epoch bump recovers during serving: a node
+// answering "not assigned" (or from a newer epoch) triggers a manifest
+// reload, so the collector's retry routes to the current owner.
+func TestClusterRouterReloadOnStaleView(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "cluster.json")
+
+	// "old" no longer owns partition 0 and says so, answering under
+	// epoch 2; "new" acks everything.
+	oldSrv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		body, _ := io.ReadAll(req.Body)
+		c := len(strings.Split(strings.TrimSpace(string(body)), "\n"))
+		w.Header().Set(EpochHeader, "2")
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusTooManyRequests)
+		json.NewEncoder(w).Encode(shard.IngestResponse{
+			Rejected:   c,
+			Partitions: []shard.PartitionResult{{Partition: 0, Rejected: c, Error: "not assigned"}},
+		})
+	}))
+	defer oldSrv.Close()
+	newSrv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		body, _ := io.ReadAll(req.Body)
+		c := len(strings.Split(strings.TrimSpace(string(body)), "\n"))
+		w.Header().Set(EpochHeader, "2")
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusAccepted)
+		json.NewEncoder(w).Encode(shard.IngestResponse{
+			Acked:      c,
+			Partitions: []shard.PartitionResult{{Partition: 0, Acked: c}},
+		})
+	}))
+	defer newSrv.Close()
+
+	m1 := &Manifest{
+		Epoch:  1,
+		Shards: 1,
+		Nodes: map[string]NodeSpec{
+			"old": {Addr: oldSrv.URL},
+			"new": {Addr: newSrv.URL},
+		},
+		Assignments: []string{"old"},
+	}
+	if err := Save(path, m1); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewRouter(RouterConfig{ManifestPath: path, Sleep: func(time.Duration) {}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	// The epoch bump lands on disk without this router hearing about it.
+	m2 := m1.Clone()
+	m2.Epoch = 2
+	m2.Assignments = []string{"new"}
+	if err := Save(path, m2); err != nil {
+		t.Fatal(err)
+	}
+
+	rr := r.RouteBatch([]string{"k1 hello world"})
+	if rr.Rejected != 1 || len(rr.Partitions) != 1 || rr.Partitions[0].Error != "not assigned" {
+		t.Fatalf("stale-routed batch: %+v", rr)
+	}
+	if got := r.Manifest().Epoch; got != 2 {
+		t.Fatalf("router epoch %d after a not-assigned answer, want 2 (reloaded)", got)
+	}
+	rr = r.RouteBatch([]string{"k1 hello world"})
+	if rr.Rejected != 0 || rr.Acked != 1 || rr.Epoch != 2 {
+		t.Fatalf("retry after reload: %+v", rr)
+	}
+}
+
+// The send path consults the per-node breaker: once ingest failures
+// alone have opened it (no probing), further batches fail fast instead
+// of burning Attempts x RequestTimeout per batch.
+func TestClusterRouterBreakerFailsFastOnSendPath(t *testing.T) {
+	ln := localListener(t)
+	addr := ln.Addr().String()
+	ln.Close() // nobody listens: every dial is refused
+
+	m := &Manifest{
+		Epoch:       1,
+		Shards:      1,
+		Nodes:       map[string]NodeSpec{"gone": {Addr: addr}},
+		Assignments: []string{"gone"},
+	}
+	reg := obs.NewRegistry()
+	r, err := NewRouter(RouterConfig{Manifest: m, Metrics: reg, Attempts: 3, FailAfter: 2, Sleep: func(time.Duration) {}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	// First batch: the full attempt budget is burned and the breaker
+	// opens (2 failures >= FailAfter).
+	rr := r.RouteBatch([]string{"k1 hello world"})
+	if rr.Rejected != 1 || rr.Partitions[0].Error != "node unreachable" {
+		t.Fatalf("first batch: %+v", rr)
+	}
+	snap := reg.Snapshot()
+	retriesAfterFirst := snap.Counters["cluster.router_retries_total"]
+	if retriesAfterFirst != 2 {
+		t.Fatalf("retries after first batch: %d, want 2", retriesAfterFirst)
+	}
+
+	// Second batch: the open breaker short-circuits — same rejection,
+	// zero additional attempts.
+	rr = r.RouteBatch([]string{"k1 hello world"})
+	if rr.Rejected != 1 || rr.Partitions[0].Error != "node unreachable" {
+		t.Fatalf("second batch: %+v", rr)
+	}
+	snap = reg.Snapshot()
+	if got := snap.Counters["cluster.router_retries_total"]; got != retriesAfterFirst {
+		t.Fatalf("retries grew %d -> %d; the open breaker should fail fast", retriesAfterFirst, got)
+	}
+	if got := snap.Counters["cluster.router_unreachable_total"]; got != 2 {
+		t.Fatalf("unreachable_total %d, want 2", got)
+	}
+}
+
+// Manifest reloads that introduce new nodes must not race concurrent
+// routing and probing over the fleet view (the nodes map is
+// copy-on-write). Run under -race.
+func TestClusterRouterReloadDuringTrafficRace(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "cluster.json")
+	ok := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		body, _ := io.ReadAll(req.Body)
+		c := len(strings.Split(strings.TrimSpace(string(body)), "\n"))
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusAccepted)
+		json.NewEncoder(w).Encode(shard.IngestResponse{
+			Acked:      c,
+			Partitions: []shard.PartitionResult{{Partition: 0, Acked: c}},
+		})
+	}))
+	defer ok.Close()
+
+	m := &Manifest{
+		Epoch:       1,
+		Shards:      1,
+		Nodes:       map[string]NodeSpec{"n0": {Addr: ok.URL}},
+		Assignments: []string{"n0"},
+	}
+	if err := Save(path, m); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewRouter(RouterConfig{ManifestPath: path, Sleep: func(time.Duration) {}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				r.RouteBatch([]string{"k1 hello world"})
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				r.ProbeOnce()
+			}
+		}
+	}()
+	for epoch := uint64(2); epoch <= 8; epoch++ {
+		mm := m.Clone()
+		mm.Epoch = epoch
+		mm.Nodes[fmt.Sprintf("extra%d", epoch)] = NodeSpec{Addr: "127.0.0.1:1", Standby: true}
+		if err := Save(path, mm); err != nil {
+			t.Fatal(err)
+		}
+		if err := r.Reload(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if got := r.Manifest().Epoch; got != 8 {
+		t.Fatalf("router epoch %d after reloads, want 8", got)
 	}
 }
 

@@ -11,9 +11,11 @@
 //     ownership is always a new epoch, never an in-place edit.
 //   - node mode: each host opens only its assigned partitions' WAL
 //     directories (shard.Config.Subset) and serves /ingest, /healthz
-//     and /metrics for them. Before opening a partition the node stakes
-//     an epoch lease in the partition directory, so two nodes can never
-//     serve one partition in the same epoch.
+//     and /metrics for them. Before opening a partition the node takes
+//     an flock-held epoch lease in the partition directory — held for
+//     as long as it serves the partition — so two live processes can
+//     never serve one partition, and two nodes can never serve one
+//     partition in the same epoch.
 //   - a front router: consistent-hash routes /ingest batches to the
 //     owning nodes over HTTP, with per-node connection pooling, bounded
 //     in-flight backpressure, seeded-jitter retries, Retry-After

@@ -150,32 +150,61 @@ func TestClusterManifestSaveLoadRoundtrip(t *testing.T) {
 func TestClusterLeaseFencing(t *testing.T) {
 	dir := filepath.Join(t.TempDir(), "p0")
 
-	// Fresh acquisition creates the directory and the lease.
-	if err := acquireLease(dir, 1, "a"); err != nil {
+	// Fresh acquisition creates the directory, takes the flock, and
+	// stakes the record.
+	held, err := acquireLease(dir, 1, "a")
+	if err != nil {
 		t.Fatal(err)
 	}
-	l, err := readLease(dir)
-	if err != nil || l == nil || l.Epoch != 1 || l.Node != "a" {
-		t.Fatalf("lease after acquire: %+v, %v", l, err)
+	rec, err := readLease(dir)
+	if err != nil || rec == nil || rec.Epoch != 1 || rec.Node != "a" {
+		t.Fatalf("lease record after acquire: %+v, %v", rec, err)
 	}
 
-	// Idempotent restart of the same node at the same epoch.
-	if err := acquireLease(dir, 1, "a"); err != nil {
+	// While the lease is held nobody else can acquire — not even with a
+	// newer epoch. The holder is alive; fencing it out of shared storage
+	// by epoch alone would mean two concurrent writers, so the takeover
+	// must fail instead. (Distinct fds flock independently, so this
+	// models a second process.)
+	if _, err := acquireLease(dir, 2, "standby"); err == nil || !strings.Contains(err.Error(), "live process") {
+		t.Fatalf("takeover of a held lease: %v", err)
+	}
+
+	// Release — what process death does via the OS — and the idempotent
+	// restart of the same node at the same epoch succeeds.
+	if err := held.Release(); err != nil {
+		t.Fatal(err)
+	}
+	again, err := acquireLease(dir, 1, "a")
+	if err != nil {
 		t.Fatalf("idempotent re-acquire: %v", err)
 	}
+	if err := again.Release(); err != nil {
+		t.Fatal(err)
+	}
 
-	// Another node in the same epoch is the invariant violation.
-	if err := acquireLease(dir, 1, "b"); err == nil || !strings.Contains(err.Error(), "same epoch") {
+	// Another node in the same epoch is the invariant violation, even
+	// with the holder gone.
+	if _, err := acquireLease(dir, 1, "b"); err == nil || !strings.Contains(err.Error(), "same epoch") {
 		t.Fatalf("same-epoch steal: %v", err)
 	}
 
-	// A newer epoch supersedes the old lease.
-	if err := acquireLease(dir, 2, "standby"); err != nil {
+	// A newer epoch supersedes a released lease (failover after death).
+	taken, err := acquireLease(dir, 2, "standby")
+	if err != nil {
 		t.Fatalf("newer-epoch takeover: %v", err)
 	}
 
-	// The old owner with its stale manifest cannot re-open.
-	if err := acquireLease(dir, 1, "a"); err == nil || !strings.Contains(err.Error(), "newer") {
+	// The old owner with its stale manifest cannot re-open: refused by
+	// the flock while the new lease is held...
+	if _, err := acquireLease(dir, 1, "a"); err == nil || !strings.Contains(err.Error(), "newer") {
+		t.Fatalf("stale re-open against a held lease: %v", err)
+	}
+	// ...and by the epoch record after it is released.
+	if err := taken.Release(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := acquireLease(dir, 1, "a"); err == nil || !strings.Contains(err.Error(), "newer") {
 		t.Fatalf("stale re-open: %v", err)
 	}
 

@@ -6,11 +6,22 @@ import (
 	"fmt"
 	"net/http"
 	"sort"
+	"strconv"
 	"sync"
 
 	"logsynergy/internal/obs"
 	"logsynergy/internal/shard"
 )
+
+// EpochHeader carries the manifest epoch on the router↔node data path:
+// the router stamps every /ingest request with the epoch it routed
+// under, and the node answers with the epoch it serves under. A node
+// receiving a newer epoch than its own refreshes its manifest view
+// before serving (or refuses with 409 if it cannot catch up) — the
+// data-path half of fencing, so a node left behind by a failover's
+// epoch bump cannot keep acking shares for partitions it no longer
+// owns.
+const EpochHeader = "X-Cluster-Epoch"
 
 // NodeConfig assembles one cluster node.
 type NodeConfig struct {
@@ -42,16 +53,19 @@ type Node struct {
 	rt   *shard.Runtime
 	reg  *obs.Registry
 
-	mu sync.Mutex // guards m (the manifest view) across Refresh
-	m  *Manifest
+	mu     sync.Mutex // guards m and leases across Refresh
+	m      *Manifest
+	leases map[int]*Lease // held partition fences, by partition index
 
 	refreshes *obs.Counter
 	adoptions *obs.Counter
+	drops     *obs.Counter
 }
 
-// StartNode validates the manifest, stakes epoch leases on the node's
-// assigned partitions, and opens the subset shard runtime over them —
-// crash recovery included, exactly as a single-process restart would.
+// StartNode validates the manifest, acquires epoch leases (flock + epoch
+// record) on the node's assigned partitions, and opens the subset shard
+// runtime over them — crash recovery included, exactly as a
+// single-process restart would.
 func StartNode(cfg NodeConfig) (*Node, error) {
 	if cfg.Name == "" {
 		return nil, fmt.Errorf("cluster: NodeConfig.Name is required")
@@ -88,17 +102,28 @@ func StartNode(cfg NodeConfig) (*Node, error) {
 		rcfg.Metrics = obs.NewRegistry()
 	}
 
-	// Fence before open: a partition whose lease belongs to a newer epoch
-	// (we hold a stale manifest) or to another node in this epoch refuses
-	// here, before any WAL handle is taken.
+	// Fence before open: the flock refuses a partition whose owner is
+	// still alive, and the epoch record refuses a lease from a newer
+	// epoch (we hold a stale manifest) or another node's same-epoch
+	// claim — all before any WAL handle is taken.
+	leases := make(map[int]*Lease, len(own))
+	releaseAll := func() {
+		for _, l := range leases {
+			l.Release()
+		}
+	}
 	for _, p := range own {
-		if err := acquireLease(shard.PartitionDir(rcfg.Dir, p), m.Epoch, cfg.Name); err != nil {
+		l, err := acquireLease(shard.PartitionDir(rcfg.Dir, p), m.Epoch, cfg.Name)
+		if err != nil {
+			releaseAll()
 			return nil, err
 		}
+		leases[p] = l
 	}
 
 	rt, err := shard.Open(rcfg)
 	if err != nil {
+		releaseAll()
 		return nil, err
 	}
 	n := &Node{
@@ -107,8 +132,10 @@ func StartNode(cfg NodeConfig) (*Node, error) {
 		rt:        rt,
 		reg:       rcfg.Metrics,
 		m:         m,
+		leases:    leases,
 		refreshes: rcfg.Metrics.Counter("cluster.node_refreshes_total"),
 		adoptions: rcfg.Metrics.Counter("cluster.node_adoptions_total"),
+		drops:     rcfg.Metrics.Counter("cluster.node_drops_total"),
 	}
 	rcfg.Metrics.Gauge("cluster.node_epoch").Set(int64(m.Epoch))
 	return n, nil
@@ -144,16 +171,31 @@ type RefreshReport struct {
 	// Adopted lists partitions newly opened by this refresh (failover
 	// handed them to us), ascending.
 	Adopted []int `json:"adopted,omitempty"`
+	// Dropped lists partitions released by this refresh (a newer epoch
+	// assigned them elsewhere), ascending.
+	Dropped []int `json:"dropped,omitempty"`
 }
 
-// Refresh re-reads the manifest and adopts any partitions a newer epoch
-// assigns to this node: each is leased at the new epoch and opened via
-// the shard runtime's crash-recovery path (WAL replay + exact tail
-// resume), which is what makes failover lose nothing that was ever
-// acknowledged. Partitions the node already serves stay untouched —
-// ownership is only ever taken from a node by its death, not revoked
-// from a live one mid-epoch. A manifest with the same or older epoch is
-// a no-op.
+// Refresh re-reads the manifest and converges on what a newer epoch
+// assigns to this node, in fencing order:
+//
+//  1. Partitions the new epoch assigns ELSEWHERE are dropped first —
+//     the runtime closes them crash-style (no further writes to shared
+//     storage; the committed state is exactly what the new owner's
+//     crash recovery resumes) and only then releases the flock, so the
+//     new owner's acquire cannot interleave with our writes. This is
+//     how a deposed node (wedged through a failover, then recovering)
+//     fences itself off the data path.
+//  2. Partitions we keep are restaked at the new epoch (the flock never
+//     drops).
+//  3. Partitions newly assigned to us are leased and opened via the
+//     shard runtime's crash-recovery path (WAL replay + exact tail
+//     resume), which is what makes failover lose nothing that was ever
+//     acknowledged.
+//
+// A node the new manifest no longer lists owns nothing: every partition
+// is dropped and the node keeps serving as a spectator. A manifest with
+// the same or older epoch is a no-op.
 func (n *Node) Refresh() (RefreshReport, error) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
@@ -173,30 +215,52 @@ func (n *Node) Refresh() (RefreshReport, error) {
 			fmt.Errorf("cluster: manifest epoch %d changes the shard count %d -> %d; a layout change needs a rebalance and a fleet restart, not a refresh",
 				m.Epoch, n.m.Shards, m.Shards)
 	}
-	if _, ok := m.Nodes[n.name]; !ok {
-		return RefreshReport{Epoch: n.m.Epoch, Stale: true},
-			fmt.Errorf("cluster: manifest epoch %d no longer lists node %q", m.Epoch, n.name)
-	}
 	rep := RefreshReport{Epoch: m.Epoch}
 	dir := n.cfg.Runtime.Dir
 	if dir == "" {
 		dir = m.Dir
 	}
+	assigned := map[int]bool{}
 	for _, p := range m.PartitionsOf(n.name) {
-		// Re-stake partitions we keep at the new epoch and adopt the new
-		// ones; either way the lease lands before any WAL handle moves.
-		if err := acquireLease(shard.PartitionDir(dir, p), m.Epoch, n.name); err != nil {
+		assigned[p] = true
+	}
+
+	// 1. Drop what the new epoch takes away: stop writing, then unlock.
+	for p, l := range n.leases {
+		if assigned[p] {
+			continue
+		}
+		if err := n.rt.DropPartition(p); err != nil {
 			return rep, err
 		}
-		if !n.rt.Owns(p) {
-			if err := n.rt.AdoptPartition(p); err != nil {
+		l.Release()
+		delete(n.leases, p)
+		n.drops.Inc()
+		rep.Dropped = append(rep.Dropped, p)
+	}
+
+	// 2 + 3. Restake what we keep, lease and adopt what is new.
+	for _, p := range m.PartitionsOf(n.name) {
+		if l := n.leases[p]; l != nil {
+			if err := l.Restake(m.Epoch, n.name); err != nil {
 				return rep, err
 			}
-			n.adoptions.Inc()
-			rep.Adopted = append(rep.Adopted, p)
+			continue
 		}
+		l, err := acquireLease(shard.PartitionDir(dir, p), m.Epoch, n.name)
+		if err != nil {
+			return rep, err
+		}
+		if err := n.rt.AdoptPartition(p); err != nil {
+			l.Release()
+			return rep, err
+		}
+		n.leases[p] = l
+		n.adoptions.Inc()
+		rep.Adopted = append(rep.Adopted, p)
 	}
 	sort.Ints(rep.Adopted)
+	sort.Ints(rep.Dropped)
 	n.m = m
 	n.reg.Gauge("cluster.node_epoch").Set(int64(m.Epoch))
 	return rep, nil
@@ -230,18 +294,44 @@ func (n *Node) Health() HealthReport {
 
 // Handler returns the node's HTTP surface:
 //
-//	POST /ingest         the sharded intake over this node's partitions
-//	                     (keys owned elsewhere answer with a per-
-//	                     partition "not assigned" rejection)
+//	POST /ingest         the sharded intake over this node's partitions,
+//	                     epoch-fenced: a request routed under a newer
+//	                     manifest epoch (EpochHeader) makes the node
+//	                     refresh first, and is refused with 409 if the
+//	                     node cannot catch up; keys owned elsewhere
+//	                     answer with a per-partition "not assigned"
+//	                     rejection. Every answer carries the node's own
+//	                     epoch in EpochHeader so a stale router reloads.
 //	GET  /healthz        liveness + per-partition lag/backlog JSON
 //	GET  /metrics        text metrics (runtime-merged, shard<i>. prefixed)
 //	GET  /metrics.json   JSON snapshot for the router's federated scrape
 //	POST /admin/refresh  re-read the manifest, adopt newly-assigned
-//	                     partitions (the router pokes this after a
-//	                     failover installs a new epoch)
+//	                     partitions and drop deposed ones (the router
+//	                     pokes this after a failover installs a new
+//	                     epoch)
 func (n *Node) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.Handle("/ingest", n.rt.IngestHandler(n.cfg.MaxBatchBytes))
+	ingest := n.rt.IngestHandler(n.cfg.MaxBatchBytes)
+	mux.HandleFunc("/ingest", func(w http.ResponseWriter, r *http.Request) {
+		if h := r.Header.Get(EpochHeader); h != "" {
+			reqEpoch, err := strconv.ParseUint(h, 10, 64)
+			if err != nil {
+				http.Error(w, "bad "+EpochHeader+" header: "+err.Error(), http.StatusBadRequest)
+				return
+			}
+			if reqEpoch > n.Epoch() && n.cfg.ManifestPath != "" {
+				// Best-effort catch-up; the re-check below is the verdict.
+				n.Refresh()
+			}
+			if cur := n.Epoch(); reqEpoch > cur {
+				w.Header().Set(EpochHeader, strconv.FormatUint(cur, 10))
+				http.Error(w, fmt.Sprintf("cluster: node %q serves epoch %d but the request was routed under epoch %d; refusing shares it might no longer own", n.name, cur, reqEpoch), http.StatusConflict)
+				return
+			}
+		}
+		w.Header().Set(EpochHeader, strconv.FormatUint(n.Epoch(), 10))
+		ingest.ServeHTTP(w, r)
+	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		json.NewEncoder(w).Encode(n.Health())
@@ -275,5 +365,31 @@ func (n *Node) Drain(ctx context.Context) error { return n.rt.Drain(ctx) }
 // CloseIntake stops accepting appends on every owned partition.
 func (n *Node) CloseIntake() { n.rt.CloseIntake() }
 
-// Close shuts the node's runtime down gracefully.
-func (n *Node) Close() error { return n.rt.Close() }
+// releaseLeases drops every held partition fence. Called only after the
+// runtime has stopped writing.
+func (n *Node) releaseLeases() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for _, l := range n.leases {
+		l.Release()
+	}
+	n.leases = map[int]*Lease{}
+}
+
+// Close shuts the node's runtime down gracefully, then releases the
+// partition leases (in that order — the fence must outlive the last
+// write).
+func (n *Node) Close() error {
+	err := n.rt.Close()
+	n.releaseLeases()
+	return err
+}
+
+// Kill simulates process death: the runtime crashes (no final flush,
+// commit or fsync) and every partition lease is released — exactly what
+// the OS does with a dead process's flocks. The chaos and failover
+// suites use it; a real deployment never calls it.
+func (n *Node) Kill() {
+	n.rt.Kill()
+	n.releaseLeases()
+}

@@ -36,12 +36,23 @@ import (
 //
 // Transient transport failures are retried with seeded-jitter backoff
 // (fault.Backoff); sustained ones feed the same per-node breaker the
-// health prober drives, so a dead node fails fast instead of eating a
-// connect timeout per batch. When failover is enabled and shared storage
-// holds the partitions, the prober answers a dead node by installing an
+// health prober drives, and the send path consults that breaker before
+// every share, so a dead node fails fast instead of eating a connect
+// timeout per batch. When failover is enabled and shared storage holds
+// the partitions, the prober answers a dead node by installing an
 // epoch-bumped manifest that hands its partitions to a standby, then
 // pokes the standby's /admin/refresh — the standby opens them through
 // crash recovery and the router routes the retried lines there.
+//
+// Epochs fence the data path, not just the open: every share is stamped
+// with the routing epoch (EpochHeader), a node refuses shares from an
+// epoch it has not caught up to, and a node's answers carry its own
+// epoch — a router that sees a newer one (or a "not assigned"
+// rejection) reloads the manifest instead of misrouting until its own
+// failover fires. The flock half of the partition lease guarantees the
+// rest: a deposed-but-alive node still holds its partitions' flocks, so
+// a standby's adoption fails outright rather than creating a second
+// writer.
 
 // RouterConfig assembles a front router.
 type RouterConfig struct {
@@ -258,11 +269,18 @@ func (r *Router) installLocked(m *Manifest) error {
 	if m.Vnodes != r.m.Vnodes {
 		r.ring = shard.NewPartitionerVnodes(m.Shards, m.Vnodes)
 	}
+	// Copy-on-write: fleetView hands the nodes map out beyond the lock,
+	// so never mutate the published map — build a successor and swap.
+	nodes := make(map[string]*nodeState, len(r.nodes)+len(m.Nodes))
+	for name, ns := range r.nodes {
+		nodes[name] = ns
+	}
 	for name := range m.Nodes {
-		if _, ok := r.nodes[name]; !ok {
-			r.nodes[name] = &nodeState{name: name, breaker: &fault.Breaker{Threshold: r.cfg.FailAfter, Cooldown: time.Hour}}
+		if _, ok := nodes[name]; !ok {
+			nodes[name] = &nodeState{name: name, breaker: &fault.Breaker{Threshold: r.cfg.FailAfter, Cooldown: time.Hour}}
 		}
 	}
+	r.nodes = nodes
 	r.m = m
 	r.cfg.Metrics.Gauge("cluster.router_epoch").Set(int64(m.Epoch))
 	return nil
@@ -328,6 +346,10 @@ type shareResult struct {
 	// errLabel classifies a whole-share failure ("node unreachable",
 	// "node dead", ...), empty when perPart is authoritative.
 	errLabel string
+	// nodeEpoch is the manifest epoch the node answered under (its
+	// EpochHeader; 0 when unreachable or not reported). A node ahead of
+	// the router's view makes the router reload its manifest.
+	nodeEpoch uint64
 }
 
 // Handler returns the router's HTTP surface:
@@ -430,7 +452,7 @@ func (r *Router) RouteBatch(lines []string) RouteResponse {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			res := r.postShare(s, nodes[s.node])
+			res := r.postShare(s, nodes[s.node], m.Epoch)
 			resMu.Lock()
 			results = append(results, res)
 			resMu.Unlock()
@@ -444,7 +466,11 @@ func (r *Router) RouteBatch(lines []string) RouteResponse {
 	// has an error" ⇔ "every line of that partition in this share was
 	// rejected".
 	byPart := map[int]*RoutePartition{}
+	stale := false
 	for _, res := range results {
+		if res.nodeEpoch > m.Epoch {
+			stale = true
+		}
 		rejectedParts := map[int]string{}
 		retryHints := map[int]int{}
 		if res.perPart == nil {
@@ -489,6 +515,9 @@ func (r *Router) RouteBatch(lines []string) RouteResponse {
 		}
 	}
 	for _, row := range byPart {
+		if row.Error == "not assigned" {
+			stale = true
+		}
 		resp.Partitions = append(resp.Partitions, *row)
 	}
 	sort.Slice(resp.Partitions, func(i, j int) bool { return resp.Partitions[i].Partition < resp.Partitions[j].Partition })
@@ -498,19 +527,34 @@ func (r *Router) RouteBatch(lines []string) RouteResponse {
 	if resp.RetryAfterSeconds > 0 {
 		r.retryAfter.Inc()
 	}
+	if stale && r.cfg.ManifestPath != "" {
+		// A node answered from a newer epoch, or rejected lines as "not
+		// assigned" (the partition moved under an epoch bump this router
+		// missed). Reload the manifest so the collector's retry routes
+		// under the current assignment instead of misrouting forever.
+		_ = r.Reload()
+	}
 	return resp
 }
 
-// postShare delivers one node share with bounded attempts. Transport
-// errors and 5xx answers retry with seeded-jitter backoff; a 429 or 503
-// is a node-level verdict the collector must see, not retried here.
-func (r *Router) postShare(s *nodeShare, ns *nodeState) shareResult {
+// postShare delivers one node share with bounded attempts, stamping
+// each request with the routing epoch. Transport errors and 5xx answers
+// retry with seeded-jitter backoff; a 429 or 503 is a node-level
+// verdict the collector must see, not retried here.
+func (r *Router) postShare(s *nodeShare, ns *nodeState, epoch uint64) shareResult {
 	if ns == nil {
 		return shareResult{share: s, errLabel: "unknown node"}
 	}
 	if ns.dead.Load() {
 		// Fail fast: the prober owns resurrecting a dead node.
 		return shareResult{share: s, errLabel: "node dead"}
+	}
+	if ns.breaker.Open() {
+		// The breaker may have been opened by ingest failures alone —
+		// probing disabled, or between ticks — so the send path consults
+		// it too instead of burning Attempts×RequestTimeout per batch.
+		r.unreachable.Inc()
+		return shareResult{share: s, errLabel: "node unreachable"}
 	}
 	salt := r.salt.Add(1)
 	body := strings.Join(s.lines, "\n")
@@ -520,7 +564,7 @@ func (r *Router) postShare(s *nodeShare, ns *nodeState) shareResult {
 			r.retries.Inc()
 			r.cfg.Sleep(r.cfg.Backoff.Delay(attempt-1, salt))
 		}
-		res, err := r.postOnce(s.addr, body)
+		res, err := r.postOnce(s.addr, body, epoch)
 		if err == nil {
 			ns.breaker.Record(nil)
 			res.share = s
@@ -534,10 +578,13 @@ func (r *Router) postShare(s *nodeShare, ns *nodeState) shareResult {
 	return shareResult{share: s, errLabel: "node unreachable"}
 }
 
-// postOnce performs one /ingest round trip. A transport error or a 5xx
-// status (other than 503's explicit closed verdict) returns err for the
-// retry loop; anything else is a node verdict.
-func (r *Router) postOnce(addr, body string) (shareResult, error) {
+// postOnce performs one /ingest round trip, stamped with the routing
+// epoch (EpochHeader) so the node can fence shares routed under a
+// mismatched manifest view. A transport error or a 5xx status (other
+// than 503's explicit closed verdict) returns err for the retry loop —
+// including 409, a node refusing an epoch it has not caught up to;
+// anything else is a node verdict.
+func (r *Router) postOnce(addr, body string, epoch uint64) (shareResult, error) {
 	r.sem <- struct{}{} // bounded in-flight backpressure
 	defer func() { <-r.sem }()
 	url := addr
@@ -549,6 +596,7 @@ func (r *Router) postOnce(addr, body string) (shareResult, error) {
 		return shareResult{}, err
 	}
 	req.Header.Set("Content-Type", "text/plain; charset=utf-8")
+	req.Header.Set(EpochHeader, strconv.FormatUint(epoch, 10))
 	ctx, cancel := contextWithTimeout(r.cfg.RequestTimeout)
 	defer cancel()
 	resp, err := r.client.Do(req.WithContext(ctx))
@@ -560,13 +608,17 @@ func (r *Router) postOnce(addr, body string) (shareResult, error) {
 	if err != nil {
 		return shareResult{}, err
 	}
+	var nodeEpoch uint64
+	if h := resp.Header.Get(EpochHeader); h != "" {
+		nodeEpoch, _ = strconv.ParseUint(h, 10, 64)
+	}
 	switch {
 	case resp.StatusCode == http.StatusAccepted || resp.StatusCode == http.StatusTooManyRequests:
 		var ir shard.IngestResponse
 		if err := json.Unmarshal(data, &ir); err != nil {
 			return shareResult{}, fmt.Errorf("cluster: node answered %d with an unparseable body: %w", resp.StatusCode, err)
 		}
-		res := shareResult{perPart: map[int]shard.PartitionResult{}}
+		res := shareResult{perPart: map[int]shard.PartitionResult{}, nodeEpoch: nodeEpoch}
 		for _, pr := range ir.Partitions {
 			res.perPart[pr.Partition] = pr
 		}
@@ -581,7 +633,7 @@ func (r *Router) postOnce(addr, body string) (shareResult, error) {
 	case resp.StatusCode == http.StatusServiceUnavailable:
 		// Intake closed: a deliberate verdict (shutdown), not a transport
 		// fault — reject the share as "closed" without burning retries.
-		return shareResult{errLabel: "closed"}, nil
+		return shareResult{errLabel: "closed", nodeEpoch: nodeEpoch}, nil
 	default:
 		return shareResult{}, fmt.Errorf("cluster: node answered %d: %s", resp.StatusCode, strings.TrimSpace(string(data)))
 	}
@@ -803,7 +855,11 @@ func (r *Router) scrapeNode(addr string) (obs.Snapshot, error) {
 	return obs.ParseSnapshot(data)
 }
 
-// StartProbing probes every node each interval until Close.
+// StartProbing probes every node each interval until Close. When the
+// router has a manifest path, each tick first reloads the manifest —
+// the router-side watch that picks up epoch bumps installed by another
+// router's failover or an operator edit, so this router does not route
+// under a stale assignment until its own failover fires.
 func (r *Router) StartProbing(interval time.Duration) {
 	if interval <= 0 {
 		interval = time.Second
@@ -818,6 +874,9 @@ func (r *Router) StartProbing(interval time.Duration) {
 			case <-r.stop:
 				return
 			case <-t.C:
+				if r.cfg.ManifestPath != "" {
+					_ = r.Reload()
+				}
 				r.ProbeOnce()
 			}
 		}

@@ -21,8 +21,10 @@ import (
 
 // ErrNotAssigned is returned when a line's key routes to a partition
 // this runtime does not serve (a Subset runtime in a cluster fleet).
-// The front router owns re-routing: it retries the line against the
-// node the cluster manifest currently assigns the partition to.
+// The rejected lines surface to the collector as a "not assigned"
+// partition rejection; a front router that sees one reloads its
+// manifest view (the assignment has moved under a newer epoch), so the
+// collector's retry routes to the partition's current owner.
 var ErrNotAssigned = errors.New("shard: partition not assigned to this runtime")
 
 // IngestResponse is the JSON body of a 202 or 429 from the sharded

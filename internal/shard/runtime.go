@@ -878,6 +878,42 @@ func (rt *Runtime) AdoptPartition(idx int) error {
 	return nil
 }
 
+// DropPartition closes partition idx crash-style — no final flush, no
+// state persist, no offset commit — and removes it from the runtime.
+// This is the fencing half of cluster failover: a node a newer manifest
+// epoch deposes must stop touching the partition's files on shared
+// storage immediately, because the new owner's crash recovery is about
+// to replay them. Whatever the last flushCommit persisted is exactly
+// what the adopter resumes from, so dropping loses nothing that was
+// ever acknowledged; a graceful final commit here would instead race
+// the adopter's writes. Lines keyed to a dropped partition answer
+// ErrNotAssigned from the moment it returns.
+func (rt *Runtime) DropPartition(idx int) error {
+	rt.routeMu.Lock()
+	if idx < 0 || idx >= len(rt.byIdx) || rt.byIdx[idx] == nil {
+		rt.routeMu.Unlock()
+		return fmt.Errorf("shard: partition %d is not open in this runtime", idx)
+	}
+	pt := rt.byIdx[idx]
+	rt.byIdx[idx] = nil
+	// Copy-on-write: partitions() hands the parts slice out without the
+	// lock, so never mutate the published backing array.
+	parts := make([]*partition, 0, len(rt.parts)-1)
+	for _, p := range rt.parts {
+		if p != pt {
+			parts = append(parts, p)
+		}
+	}
+	rt.parts = parts
+	rt.routeMu.Unlock()
+	pt.killed.Store(true)
+	pt.bk.Kill()
+	<-pt.done
+	pt.cons.Close()
+	rt.reg.Gauge("shard.partitions_owned").Add(-1)
+	return nil
+}
+
 // Stats sums pipeline stats across every partition.
 func (rt *Runtime) Stats() pipeline.Stats {
 	var total pipeline.Stats
