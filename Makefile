@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race bench bench-broker bench-broker-smoke bench-shard bench-shard-smoke bench-cluster bench-cluster-smoke chaos cover fuzz-smoke rebalance-test live-rebalance-test cluster-test verify
+.PHONY: build test vet race bench bench-broker bench-broker-smoke bench-shard bench-shard-smoke bench-cluster bench-cluster-smoke chaos cover fuzz-smoke rebalance-test live-rebalance-test cluster-test cluster-live-test api-check verify
 
 build:
 	$(GO) build ./...
@@ -73,6 +73,26 @@ live-rebalance-test:
 cluster-test:
 	$(GO) test -race -count=1 ./internal/cluster/
 
+# Cluster live-rebalance tier: networked N→N+1 growth under traffic,
+# under the race detector — router → 2-node fleet grows 2→3 while
+# fixed-seed traffic keeps flowing (including through a stale router's
+# view), one node is killed mid-splice and resumes from the journal on
+# exactly one layout per key, and the per-key score sequences and alert
+# multisets stay bit-identical to the single-process `-shards 3` run.
+# Also proves failover refuses to fire while a cutover is journaled,
+# and pins the versioned admin surface both participants serve.
+cluster-live-test:
+	$(GO) test -race -count=1 -run 'TestClusterLiveRebalance|TestClusterFailoverRefusedDuringLiveCutover|TestClusterRouterAdminSurface' ./internal/cluster/
+
+# API tier: the admin-surface contract. The script enforces that every
+# non-2xx answer flows through the shared envelope helpers (no
+# http.Error, no hand-rolled 4xx/5xx WriteHeader, no hand-spelled
+# /admin/v1 paths); the tests pin legacy-alias byte parity and the
+# envelope across 400/405/409/413/429/503.
+api-check:
+	sh scripts/api-check.sh
+	$(GO) test -race -count=1 -run 'TestAdminVersionedAliasParity|TestAdminErrorEnvelope' ./cmd/logsynergy/
+
 # Cluster bench tier: prices the router hop — fleet end-to-end lines/s
 # through the front router versus the single-process runtime over the
 # same corpus, writing BENCH_cluster.json. The full run enforces the
@@ -114,4 +134,4 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzParse -fuzztime 10s ./internal/drain/
 	$(GO) test -run '^$$' -fuzz FuzzSlide -fuzztime 10s ./internal/window/
 
-verify: vet test chaos rebalance-test live-rebalance-test cluster-test bench-broker-smoke bench-shard-smoke bench-cluster-smoke race
+verify: vet test api-check chaos rebalance-test live-rebalance-test cluster-test cluster-live-test bench-broker-smoke bench-shard-smoke bench-cluster-smoke race

@@ -6,7 +6,6 @@ import (
 	"fmt"
 	"net"
 	"net/http"
-	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -57,13 +56,10 @@ func runServeCluster(opts clusterServeOptions) error {
 		n.Close()
 		return err
 	}
-	mux := http.NewServeMux()
-	mux.Handle("/", n.Handler())
-	mountPprof(mux)
-	srv := &http.Server{Handler: mux}
+	srv := &http.Server{Handler: n.Handler()}
 	go srv.Serve(ln)
 	defer srv.Close()
-	fmt.Printf("node surface on http://%s (/ingest /healthz /metrics /metrics.json /admin/refresh)\n", ln.Addr())
+	fmt.Printf("node surface on http://%s (/ingest /healthz /metrics /metrics.json /admin/v1/*)\n", ln.Addr())
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -160,13 +156,10 @@ func runRoute(args []string) error {
 	if err != nil {
 		return err
 	}
-	mux := http.NewServeMux()
-	mux.Handle("/", r.Handler())
-	mountPprof(mux)
-	srv := &http.Server{Handler: mux}
+	srv := &http.Server{Handler: r.Handler()}
 	go srv.Serve(ln)
 	defer srv.Close()
-	fmt.Printf("routing intake on http://%s/ingest (federated metrics on /metrics)\n", ln.Addr())
+	fmt.Printf("routing intake on http://%s/ingest (federated metrics on /metrics, admin on /admin/v1/*)\n", ln.Addr())
 
 	if *probeEvery > 0 {
 		r.StartProbing(*probeEvery)
@@ -183,13 +176,4 @@ func runRoute(args []string) error {
 	shCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
 	return srv.Shutdown(shCtx)
-}
-
-// mountPprof registers the pprof profiling handlers on a mux.
-func mountPprof(mux *http.ServeMux) {
-	mux.HandleFunc("/debug/pprof/", pprof.Index)
-	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 }

@@ -11,6 +11,7 @@ import (
 	"strings"
 	"time"
 
+	"logsynergy/internal/httpapi"
 	"logsynergy/internal/shard"
 )
 
@@ -81,7 +82,8 @@ func runRebalance(args []string) error {
 }
 
 // liveRebalanceRequest asks the serving fleet at addr to grow to `to`
-// partitions and waits for the cutover to complete.
+// partitions and waits for the cutover to complete, polling the
+// versioned status endpoint for progress while the call is in flight.
 func liveRebalanceRequest(addr string, to int, timeout time.Duration) (*shard.RebalanceReport, error) {
 	if !strings.Contains(addr, "://") {
 		addr = "http://" + addr
@@ -90,16 +92,23 @@ func liveRebalanceRequest(addr string, to int, timeout time.Duration) (*shard.Re
 	if err != nil {
 		return nil, fmt.Errorf("rebalance -addr %q: %w", addr, err)
 	}
-	u.Path = "/admin/rebalance"
+	u.Path = httpapi.Prefix + "/rebalance"
 	u.RawQuery = "to=" + strconv.Itoa(to)
 	client := &http.Client{Timeout: timeout}
+
+	done := make(chan struct{})
+	go pollRebalanceProgress(addr, done)
 	resp, err := client.Post(u.String(), "text/plain", nil)
+	close(done)
 	if err != nil {
 		return nil, fmt.Errorf("reaching the serving fleet: %w", err)
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		if d := httpapi.DecodeDetail(body); d != nil {
+			return nil, fmt.Errorf("serving fleet refused the rebalance (%s) [%s]: %s", resp.Status, d.Code, d.Message)
+		}
 		return nil, fmt.Errorf("serving fleet refused the rebalance (%s): %s", resp.Status, strings.TrimSpace(string(body)))
 	}
 	var rep shard.RebalanceReport
@@ -107,6 +116,49 @@ func liveRebalanceRequest(addr string, to int, timeout time.Duration) (*shard.Re
 		return nil, fmt.Errorf("parsing rebalance report: %w", err)
 	}
 	return &rep, nil
+}
+
+// pollRebalanceProgress GETs /admin/v1/status every half second until
+// done closes, printing the live-cutover phase when it changes. The
+// status shapes of serve mode, a fleet node, and the front router all
+// decode into the common subset below.
+func pollRebalanceProgress(addr string, done <-chan struct{}) {
+	var last string
+	client := &http.Client{Timeout: 2 * time.Second}
+	t := time.NewTicker(500 * time.Millisecond)
+	defer t.Stop()
+	for {
+		select {
+		case <-done:
+			return
+		case <-t.C:
+		}
+		resp, err := client.Get(addr + httpapi.Prefix + "/status")
+		if err != nil {
+			continue
+		}
+		var st struct {
+			Cutover *struct {
+				From      int `json:"from"`
+				To        int `json:"to"`
+				Pending   int `json:"pending"`
+				Committed int `json:"committed"`
+				Released  int `json:"released"`
+			} `json:"cutover"`
+		}
+		err = json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&st)
+		resp.Body.Close()
+		if err != nil || st.Cutover == nil {
+			continue
+		}
+		c := st.Cutover
+		line := fmt.Sprintf("cutover %d -> %d: %d pending, %d committed, %d released",
+			c.From, c.To, c.Pending, c.Committed, c.Released)
+		if line != last {
+			fmt.Println(line)
+			last = line
+		}
+	}
 }
 
 // printRebalanceReport renders the summary line both modes share.

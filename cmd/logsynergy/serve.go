@@ -3,17 +3,14 @@ package main
 import (
 	"context"
 	"encoding/json"
-	"expvar"
 	"flag"
 	"fmt"
 	"net"
 	"net/http"
-	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strconv"
 	"strings"
-	"sync"
 	"syscall"
 	"time"
 
@@ -23,6 +20,7 @@ import (
 	"logsynergy/internal/drain"
 	"logsynergy/internal/embed"
 	"logsynergy/internal/fault"
+	"logsynergy/internal/httpapi"
 	"logsynergy/internal/lei"
 	"logsynergy/internal/obs"
 	"logsynergy/internal/pipeline"
@@ -491,26 +489,37 @@ func runServeSharded(opts shardServeOptions) error {
 	return srv.Shutdown(shCtx)
 }
 
-// newShardServeMux wires the sharded serve surface: /metrics serves the
-// fleet-merged snapshot, /ingest routes to shards, /admin/rebalance
-// grows the fleet live (POST, ?to=N), and the debug pages match
-// single-broker mode.
+// serveStatus is the GET /admin/v1/status body of single-process serve
+// mode — the same shape family as the fleet node's and router's status
+// answers, so `logsynergy rebalance -live` polls any of them alike.
+type serveStatus struct {
+	Role    string               `json:"role"`
+	Shards  int                  `json:"shards"`
+	Owned   []int                `json:"owned"`
+	Cutover *shard.CutoverStatus `json:"cutover,omitempty"`
+	Build   httpapi.BuildInfo    `json:"build"`
+}
+
+// newShardServeMux wires the sharded serve surface on the shared admin
+// mux (httpapi.Mux mounts /metrics, /metrics.json, /debug/vars and the
+// pprof pages): /ingest routes to shards, /admin/v1/rebalance grows the
+// fleet live (POST, to=N; the unversioned path stays as an alias), and
+// /admin/v1/status reports the live-cutover phase for progress polling.
 func newShardServeMux(rt *shard.Runtime, maxBatchBytes int64) *http.ServeMux {
-	mux := http.NewServeMux()
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		rt.Snapshot().WriteText(w)
-	})
+	mux := httpapi.Mux(httpapi.MuxOptions{Snapshot: rt.Snapshot})
 	mux.Handle("/ingest", rt.IngestHandler(maxBatchBytes))
-	mux.HandleFunc("/admin/rebalance", func(w http.ResponseWriter, r *http.Request) {
+	httpapi.HandleVersioned(mux, "/admin/rebalance", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
-			w.Header().Set("Allow", http.MethodPost)
-			http.Error(w, "rebalance accepts POST only", http.StatusMethodNotAllowed)
+			httpapi.MethodNotAllowed(w, http.MethodPost, "rebalance accepts POST only")
 			return
 		}
-		to, err := strconv.Atoi(r.URL.Query().Get("to"))
+		raw := r.FormValue("to") // query or form body, one explicit rule
+		to, err := strconv.Atoi(raw)
 		if err != nil || to <= 0 {
-			http.Error(w, "rebalance requires a positive ?to=<partitions>", http.StatusBadRequest)
+			httpapi.Error(w, http.StatusBadRequest, httpapi.Detail{
+				Code:    httpapi.CodeBadRequest,
+				Message: fmt.Sprintf("rebalance needs a positive partition count: to=%q is not one", raw),
+			})
 			return
 		}
 		// Blocks until the cutover completes: intake keeps flowing the
@@ -518,18 +527,26 @@ func newShardServeMux(rt *shard.Runtime, maxBatchBytes int64) *http.ServeMux {
 		// means the fleet IS serving the new layout.
 		rep, err := rt.LiveRebalance(to)
 		if err != nil {
-			http.Error(w, err.Error(), http.StatusConflict)
+			httpapi.Error(w, http.StatusConflict, httpapi.Detail{Code: httpapi.CodeConflict, Message: err.Error()})
 			return
 		}
 		w.Header().Set("Content-Type", "application/json")
 		json.NewEncoder(w).Encode(rep)
-	})
-	mux.Handle("/debug/vars", expvar.Handler())
-	mux.HandleFunc("/debug/pprof/", pprof.Index)
-	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}))
+	httpapi.HandleVersioned(mux, "/admin/status", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			httpapi.MethodNotAllowed(w, http.MethodGet, "status accepts GET only")
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(serveStatus{
+			Role:    "serve",
+			Shards:  rt.Shards(),
+			Owned:   rt.Owned(),
+			Cutover: rt.CutoverStatus(),
+			Build:   httpapi.Build(),
+		})
+	}))
 	return mux
 }
 
@@ -563,25 +580,11 @@ func parseDropPolicy(s string) (pipeline.DropPolicy, error) {
 	}
 }
 
-// publishExpvarOnce guards the process-global expvar name registration
-// (expvar panics on duplicate Publish).
-var publishExpvarOnce sync.Once
-
-// newObsMux mounts the observability surface: the registry's text
-// /metrics page, expvar JSON, and the pprof profiling handlers.
+// newObsMux mounts the observability surface — the shared admin mux
+// with the registry's snapshot behind /metrics, /metrics.json,
+// /debug/vars and the pprof pages.
 func newObsMux(reg *obs.Registry) *http.ServeMux {
-	publishExpvarOnce.Do(func() {
-		expvar.Publish("logsynergy", expvar.Func(func() any { return reg.Snapshot() }))
-	})
-	mux := http.NewServeMux()
-	mux.Handle("/metrics", reg.Handler())
-	mux.Handle("/debug/vars", expvar.Handler())
-	mux.HandleFunc("/debug/pprof/", pprof.Index)
-	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	return mux
+	return httpapi.Mux(httpapi.MuxOptions{Snapshot: reg.Snapshot})
 }
 
 // repeatSource replays a fixed slice of lines a number of times.

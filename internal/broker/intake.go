@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"strings"
 
+	"logsynergy/internal/httpapi"
 	"logsynergy/internal/obs"
 )
 
@@ -16,11 +17,12 @@ import (
 // 202 with the acked record count and offset range — the collector-side
 // contract is "202 means your lines are in the log" (durable per the
 // broker's fsync policy). Failure statuses map the broker's admission
-// and lifecycle errors:
+// and lifecycle errors, each carrying the shared httpapi error
+// envelope:
 //
-//	413 request body exceeds the batch limit
-//	429 backlog full under FullReject (Retry-After: 1)
-//	503 intake closed (shutdown in progress)
+//	413 too_large      request body exceeds the batch limit
+//	429 backpressure   backlog full under FullReject (Retry-After: 1)
+//	503 intake_closed  shutdown in progress
 //	405 anything but POST
 
 // DefaultMaxBatchBytes bounds one /ingest request body when the handler
@@ -61,13 +63,15 @@ func (b *Broker) IngestHandler(maxBatchBytes int64) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		om.requests.Inc()
 		if r.Method != http.MethodPost {
-			w.Header().Set("Allow", http.MethodPost)
-			http.Error(w, "ingest accepts POST only", http.StatusMethodNotAllowed)
+			httpapi.MethodNotAllowed(w, http.MethodPost, "ingest accepts POST only")
 			return
 		}
 		if r.ContentLength > maxBatchBytes {
 			om.oversized.Inc()
-			http.Error(w, fmt.Sprintf("batch of %d bytes exceeds limit %d", r.ContentLength, maxBatchBytes), http.StatusRequestEntityTooLarge)
+			httpapi.Error(w, http.StatusRequestEntityTooLarge, httpapi.Detail{
+				Code:    httpapi.CodeTooLarge,
+				Message: fmt.Sprintf("batch of %d bytes exceeds limit %d", r.ContentLength, maxBatchBytes),
+			})
 			return
 		}
 		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBatchBytes))
@@ -75,10 +79,16 @@ func (b *Broker) IngestHandler(maxBatchBytes int64) http.Handler {
 			var tooBig *http.MaxBytesError
 			if errors.As(err, &tooBig) {
 				om.oversized.Inc()
-				http.Error(w, fmt.Sprintf("batch exceeds limit %d bytes", maxBatchBytes), http.StatusRequestEntityTooLarge)
+				httpapi.Error(w, http.StatusRequestEntityTooLarge, httpapi.Detail{
+					Code:    httpapi.CodeTooLarge,
+					Message: fmt.Sprintf("batch exceeds limit %d bytes", maxBatchBytes),
+				})
 				return
 			}
-			http.Error(w, "reading request body: "+err.Error(), http.StatusBadRequest)
+			httpapi.Error(w, http.StatusBadRequest, httpapi.Detail{
+				Code:    httpapi.CodeBadRequest,
+				Message: "reading request body: " + err.Error(),
+			})
 			return
 		}
 		lines := splitBatch(body)
@@ -88,14 +98,23 @@ func (b *Broker) IngestHandler(maxBatchBytes int64) http.Handler {
 			switch {
 			case errors.Is(err, ErrBacklogFull):
 				om.rejected.Inc()
-				w.Header().Set("Retry-After", "1")
-				http.Error(w, err.Error(), http.StatusTooManyRequests)
+				httpapi.Error(w, http.StatusTooManyRequests, httpapi.Detail{
+					Code:        httpapi.CodeBackpressure,
+					Message:     err.Error(),
+					RetryAfterS: 1,
+				})
 				return
 			case errors.Is(err, ErrClosed):
-				http.Error(w, "intake closed", http.StatusServiceUnavailable)
+				httpapi.Error(w, http.StatusServiceUnavailable, httpapi.Detail{
+					Code:    httpapi.CodeClosed,
+					Message: "intake closed",
+				})
 				return
 			case err != nil:
-				http.Error(w, err.Error(), http.StatusInternalServerError)
+				httpapi.Error(w, http.StatusInternalServerError, httpapi.Detail{
+					Code:    httpapi.CodeInternal,
+					Message: err.Error(),
+				})
 				return
 			}
 			resp = IngestResponse{Acked: len(lines), FirstOffset: first, LastOffset: last}

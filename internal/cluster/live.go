@@ -1,0 +1,736 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"logsynergy/internal/httpapi"
+	"logsynergy/internal/shard"
+)
+
+// Networked live rebalancing: grow a running fleet N -> N+1 partitions
+// under traffic, driving the in-process journaled per-key cutover
+// (internal/shard/live.go) over the admin API. The router is the
+// coordinator; the journal lives in the cluster directory next to
+// cluster.json and is the single source of truth for crash recovery on
+// every participant:
+//
+//   - a NODE restarting mid-cutover reads the journal via StartNode and
+//     opens straight into the protocol state (donors at the old layout
+//     with the recorded freeze offsets, the destination with committed
+//     splices applied), then serves passively.
+//   - a ROUTER restarting (or a second, stale router reloading) reads
+//     the journal and resumes double-write routing for unreleased
+//     moving keys; Router.LiveRebalance called again resumes driving
+//     from the journal, idempotently re-beginning every participant.
+//   - the journal's removal is the cutover's commit point, strictly
+//     after the epoch-bumped manifest with the new shard count is
+//     installed — a crash anywhere in between resumes as finish-only.
+//
+// Zero acknowledged loss holds by the same argument as in-process: a
+// moving key is double-written (donor + destination partition, acked
+// only when both land) from the instant the journal exists until its
+// entry reads "released"; donor freeze offsets are captured under each
+// node's route write lock inside cutover/begin, so no acknowledged
+// line ever sits past a donor's freeze point without a destination
+// copy.
+
+// cutoverJournalName is the journal file next to cluster.json.
+const cutoverJournalName = "live-cutover.json"
+
+// clusterJournal is the cluster-level live-cutover journal. It extends
+// the in-process journal's shape with the destination node, so every
+// participant (and any router) can reconstruct the full topology of the
+// move from the file alone.
+type clusterJournal struct {
+	Version int `json:"version"`
+	From    int `json:"from"`
+	To      int `json:"to"`
+	Vnodes  int `json:"vnodes"`
+	// DestNode hosts the new partition To-1 until the manifest bump
+	// assigns it there permanently.
+	DestNode string `json:"dest_node"`
+	// Freeze maps donor partition -> first double-written offset,
+	// captured on the owning nodes at begin.
+	Freeze map[int]uint64 `json:"freeze"`
+	// Keys is the per-key ledger: key -> "committed" | "released";
+	// pending keys are absent.
+	Keys map[string]string `json:"keys"`
+}
+
+// clusterJournalPath locates the journal next to the manifest.
+func clusterJournalPath(manifestPath string) string {
+	return filepath.Join(filepath.Dir(manifestPath), cutoverJournalName)
+}
+
+// loadClusterJournal reads the journal, nil when none exists.
+func loadClusterJournal(path string) (*clusterJournal, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("cluster: reading cutover journal: %w", err)
+	}
+	var j clusterJournal
+	if err := json.Unmarshal(data, &j); err != nil {
+		return nil, fmt.Errorf("cluster: corrupt cutover journal %s: %w", path, err)
+	}
+	if j.To != j.From+1 || j.From < 1 || j.DestNode == "" {
+		return nil, fmt.Errorf("cluster: cutover journal %s is inconsistent (%d -> %d, dest %q)", path, j.From, j.To, j.DestNode)
+	}
+	return &j, nil
+}
+
+// saveClusterJournal writes the journal with the manifest's atomic
+// rename + fsync discipline — each per-key commit must be durable
+// before the key's destination copy is the one detection consumes.
+func saveClusterJournal(path string, j *clusterJournal) error {
+	data, err := json.MarshalIndent(j, "", "  ")
+	if err != nil {
+		return fmt.Errorf("cluster: encoding cutover journal: %w", err)
+	}
+	return atomicWriteFile(path, append(data, '\n'))
+}
+
+// removeClusterJournal deletes the journal — the cutover's commit point
+// — and syncs the directory so the removal survives a crash.
+func removeClusterJournal(path string) error {
+	if err := os.Remove(path); err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("cluster: removing cutover journal: %w", err)
+	}
+	if dir, err := os.Open(filepath.Dir(path)); err == nil {
+		dir.Sync()
+		dir.Close()
+	}
+	return nil
+}
+
+// routeCutover is the router's routing overlay while a cutover is in
+// flight: which keys move, which have been released, and where the
+// destination partition lives.
+type routeCutover struct {
+	from, to int
+	destNode string
+	oldRing  *shard.Partitioner
+	newRing  *shard.Partitioner
+
+	mu       sync.RWMutex
+	released map[string]bool
+}
+
+func newRouteCutover(j *clusterJournal) *routeCutover {
+	rc := &routeCutover{
+		from:     j.From,
+		to:       j.To,
+		destNode: j.DestNode,
+		oldRing:  shard.NewPartitionerVnodes(j.From, j.Vnodes),
+		newRing:  shard.NewPartitionerVnodes(j.To, j.Vnodes),
+		released: map[string]bool{},
+	}
+	for k, ph := range j.Keys {
+		if ph == "released" {
+			rc.released[k] = true
+		}
+	}
+	return rc
+}
+
+// moving reports whether the key changes partition in this cutover.
+func (rc *routeCutover) moving(key string) bool {
+	return rc.oldRing.Partition(key) != rc.newRing.Partition(key)
+}
+
+func (rc *routeCutover) isReleased(key string) bool {
+	rc.mu.RLock()
+	defer rc.mu.RUnlock()
+	return rc.released[key]
+}
+
+func (rc *routeCutover) release(key string) {
+	rc.mu.Lock()
+	rc.released[key] = true
+	rc.mu.Unlock()
+}
+
+// reloadCutover converges the router's routing overlay on the on-disk
+// journal. Called after every manifest reload and at router start: a
+// journal for a cutover the router does not know about installs the
+// overlay (the stale-router path — double-writes resume immediately);
+// a journal the router already follows only merges newly released keys
+// (the overlay object stays, because the driving coordinator mutates
+// it); no journal, or one the manifest has caught up with, clears it.
+func (r *Router) reloadCutover() {
+	if r.cfg.ManifestPath == "" {
+		return
+	}
+	j, err := loadClusterJournal(clusterJournalPath(r.cfg.ManifestPath))
+	if err != nil {
+		return
+	}
+	m := r.Manifest()
+	cur := r.rcut.Load()
+	if j == nil || j.To <= m.Shards {
+		if cur != nil {
+			r.rcut.Store(nil)
+		}
+		return
+	}
+	if cur != nil && cur.from == j.From && cur.to == j.To {
+		for k, ph := range j.Keys {
+			if ph == "released" {
+				cur.release(k)
+			}
+		}
+		return
+	}
+	r.rcut.Store(newRouteCutover(j))
+}
+
+// LiveRebalance grows the fleet from the manifest's shard count to
+// `to` partitions under traffic — the networked form of
+// shard.Runtime.LiveRebalance, with this router as the coordinator.
+// destNode names the node that hosts the new partition (empty picks
+// the node owning the fewest partitions). Blocks until every moving
+// key is released and the epoch-bumped manifest with the new count is
+// installed; safe to call again after any crash — the journal decides
+// whether it starts fresh, resumes driving, or only finishes.
+func (r *Router) LiveRebalance(to int, destNode string) (*shard.RebalanceReport, error) {
+	r.liveMu.Lock()
+	defer r.liveMu.Unlock()
+	if r.cfg.ManifestPath == "" {
+		return nil, fmt.Errorf("cluster: live rebalance needs a ManifestPath (the journal lives next to the manifest)")
+	}
+	start := time.Now()
+	_ = r.Reload() // freshest view; also installs the overlay from any existing journal
+	jpath := clusterJournalPath(r.cfg.ManifestPath)
+	j, err := loadClusterJournal(jpath)
+	if err != nil {
+		return nil, err
+	}
+	m := r.Manifest()
+
+	if j == nil && m.Shards == to {
+		return &shard.RebalanceReport{From: to, To: to, Dir: m.Dir, AlreadyBalanced: true}, nil
+	}
+	if j != nil && j.To != to {
+		return nil, fmt.Errorf("cluster: a live cutover %d -> %d is journaled; finish it before asking for %d partitions", j.From, j.To, to)
+	}
+	if j == nil {
+		if to != m.Shards+1 {
+			return nil, fmt.Errorf("cluster: live rebalance grows one partition at a time; fleet serves %d, asked for %d", m.Shards, to)
+		}
+		if destNode == "" {
+			destNode = pickDestNode(m)
+		} else if _, ok := m.Nodes[destNode]; !ok {
+			return nil, fmt.Errorf("cluster: destination node %q is not in the manifest (nodes: %v)", destNode, m.NodeNames())
+		}
+		j, err = r.beginFleet(m, to, destNode)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		destNode = j.DestNode
+		if m.Shards != j.To {
+			// Mid-drive resume: re-begin every participant with the
+			// journaled freezes and phases, then keep driving.
+			if err := r.resumeFleet(m, j); err != nil {
+				return nil, err
+			}
+		}
+		// m.Shards == j.To: the manifest bump landed but the journal
+		// removal did not — finish-only.
+	}
+
+	report := &shard.RebalanceReport{From: j.From, To: j.To, Dir: m.Dir}
+	if m.Shards != j.To {
+		moved, lines, err := r.driveFleet(m, j, jpath)
+		if err != nil {
+			return nil, err
+		}
+		report.MovedKeys, report.MovedLines = moved, lines
+	}
+	if err := r.finishFleet(m, j, jpath); err != nil {
+		return nil, err
+	}
+	report.Duration = time.Since(start)
+	return report, nil
+}
+
+// pickDestNode chooses the node owning the fewest partitions
+// (name-ordered tiebreak) to host the new one.
+func pickDestNode(m *Manifest) string {
+	best, bestOwned := "", -1
+	for _, name := range m.NodeNames() {
+		owned := len(m.PartitionsOf(name))
+		if bestOwned == -1 || owned < bestOwned {
+			best, bestOwned = name, owned
+		}
+	}
+	return best
+}
+
+// participants lists every node serving a donor partition plus the
+// destination node, name-ordered.
+func participants(m *Manifest, from int, destNode string) []string {
+	set := map[string]bool{destNode: true}
+	for p := 0; p < from && p < len(m.Assignments); p++ {
+		set[m.Assignments[p]] = true
+	}
+	names := make([]string, 0, len(set))
+	for name := range set {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// beginFleet runs the fresh flip: with routing gated, every participant
+// begins the cutover (the destination node first opens and fences the
+// new partition; each node captures freeze offsets for its donors under
+// its route write lock), and only when every begin has answered is the
+// journal written and double-write routing installed. A begin that
+// fails leaves no journal — the begun nodes' gating causes retryable
+// rejections until they restart, but nothing is ever lost and nothing
+// resumes: the cleanest abort.
+func (r *Router) beginFleet(m *Manifest, to int, destNode string) (*clusterJournal, error) {
+	r.gate.Lock()
+	defer r.gate.Unlock()
+	from := m.Shards
+	freeze := map[int]uint64{}
+	for _, name := range participants(m, from, destNode) {
+		spec := shard.CutoverSpec{From: from, To: to, Vnodes: m.Vnodes, Dest: name == destNode}
+		res, err := r.beginNode(m, name, spec)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: beginning cutover on node %q: %w", name, err)
+		}
+		for p, off := range res.Freeze {
+			freeze[p] = off
+		}
+	}
+	for p := 0; p < from; p++ {
+		if _, ok := freeze[p]; !ok {
+			return nil, fmt.Errorf("cluster: no node reported a freeze offset for donor partition %d", p)
+		}
+	}
+	j := &clusterJournal{Version: 1, From: from, To: to, Vnodes: m.Vnodes, DestNode: destNode, Freeze: freeze, Keys: map[string]string{}}
+	if err := saveClusterJournal(clusterJournalPath(r.cfg.ManifestPath), j); err != nil {
+		return nil, err
+	}
+	r.rcut.Store(newRouteCutover(j))
+	return j, nil
+}
+
+// resumeFleet re-begins every participant from the journal (idempotent
+// on nodes already in the cutover; nodes that restarted since re-enter
+// it with the journaled freezes and phases) and installs the routing
+// overlay.
+func (r *Router) resumeFleet(m *Manifest, j *clusterJournal) error {
+	r.gate.Lock()
+	defer r.gate.Unlock()
+	for _, name := range participants(m, j.From, j.DestNode) {
+		spec := shard.CutoverSpec{From: j.From, To: j.To, Vnodes: j.Vnodes, Freeze: j.Freeze, Keys: j.Keys, Dest: name == j.DestNode}
+		if _, err := r.beginNode(m, name, spec); err != nil {
+			return fmt.Errorf("cluster: resuming cutover on node %q: %w", name, err)
+		}
+	}
+	if cur := r.rcut.Load(); cur == nil || cur.from != j.From || cur.to != j.To {
+		r.rcut.Store(newRouteCutover(j))
+	}
+	return nil
+}
+
+// driveFleet runs the per-key cutover sequence over the network until
+// no donor holds a pending moving key. Keys already journaled
+// "committed" are rolled forward first (install + forget + release) —
+// exactly one layout owns each key at every step, resumable from any
+// crash point.
+func (r *Router) driveFleet(m *Manifest, j *clusterJournal, jpath string) (movedKeys, movedLines int, err error) {
+	rc := r.rcut.Load()
+	if rc == nil {
+		return 0, 0, fmt.Errorf("cluster: no routing overlay installed for the cutover")
+	}
+	committed := make([]string, 0, len(j.Keys))
+	for k, ph := range j.Keys {
+		if ph == "committed" {
+			committed = append(committed, k)
+		}
+	}
+	sort.Strings(committed)
+	for _, k := range committed {
+		if err := r.rollForward(m, j, jpath, rc, k); err != nil {
+			return movedKeys, movedLines, err
+		}
+		movedKeys++
+	}
+	for {
+		pending, err := r.pendingFleetKeys(m, j)
+		if err != nil {
+			return movedKeys, movedLines, err
+		}
+		if len(pending) == 0 {
+			return movedKeys, movedLines, nil
+		}
+		for _, k := range pending {
+			lines, err := r.moveFleetKey(m, j, jpath, rc, k)
+			if err != nil {
+				return movedKeys, movedLines, err
+			}
+			movedKeys++
+			movedLines += lines
+		}
+	}
+}
+
+// pendingFleetKeys unions every donor node's pending moving keys.
+func (r *Router) pendingFleetKeys(m *Manifest, j *clusterJournal) ([]string, error) {
+	seen := map[string]bool{}
+	var keys []string
+	for _, name := range participants(m, j.From, j.DestNode) {
+		var body struct {
+			Keys []string `json:"keys"`
+		}
+		err := r.adminRetry(fmt.Sprintf("listing pending keys on node %q", name), func() error {
+			return r.adminJSON(http.MethodGet, m.Nodes[name].Addr, httpapi.Prefix+"/cutover/keys", nil, &body)
+		})
+		if err != nil {
+			return nil, err
+		}
+		for _, k := range body.Keys {
+			if !seen[k] {
+				seen[k] = true
+				keys = append(keys, k)
+			}
+		}
+	}
+	sort.Strings(keys)
+	return keys, nil
+}
+
+// moveFleetKey cuts one pending key over across the network: capture
+// on the donor's node (refused until the donor consumed through its
+// freeze point — the capture retry loop is the networked await), stage
+// on the destination's, commit in the journal, install, forget,
+// release. The per-key order of operations is identical to the
+// in-process moveKey; only the transport changed.
+func (r *Router) moveFleetKey(m *Manifest, j *clusterJournal, jpath string, rc *routeCutover, key string) (int, error) {
+	donorNode := m.NodeFor(rc.oldRing.Partition(key))
+	donorAddr := m.Nodes[donorNode].Addr
+	destAddr := m.Nodes[j.DestNode].Addr
+	if err := r.callLiveHook("double-write", key); err != nil {
+		return 0, err
+	}
+
+	var sp shard.KeySplice
+	err := r.adminRetry(fmt.Sprintf("capturing key %q on node %q", key, donorNode), func() error {
+		return r.adminJSON(http.MethodPost, donorAddr, httpapi.Prefix+"/cutover/capture?key="+queryEscape(key), nil, &sp)
+	})
+	if err != nil {
+		return 0, err
+	}
+	if err := r.callLiveHook("tail-landed", key); err != nil {
+		return 0, err
+	}
+
+	err = r.adminRetry(fmt.Sprintf("staging key %q on node %q", key, j.DestNode), func() error {
+		return r.adminJSON(http.MethodPost, destAddr, httpapi.Prefix+"/cutover/stage", sp, nil)
+	})
+	if err != nil {
+		return 0, err
+	}
+	if err := r.callLiveHook("staged", key); err != nil {
+		return 0, err
+	}
+
+	// Commit: from here the key is destination-owned and any recovery
+	// rolls it forward.
+	j.Keys[key] = "committed"
+	if err := saveClusterJournal(jpath, j); err != nil {
+		return 0, err
+	}
+	r.syncFleetKey(m, j, key, "committed", donorNode)
+	if err := r.callLiveHook("committed", key); err != nil {
+		return 0, err
+	}
+
+	if err := r.rollForward(m, j, jpath, rc, key); err != nil {
+		return 0, err
+	}
+	return len(sp.Tail.Lines), nil
+}
+
+// rollForward takes a journaled-committed key the rest of the way:
+// install the staged splice on the destination, forget the tail on the
+// donor, journal "released", and stop double-writing it.
+func (r *Router) rollForward(m *Manifest, j *clusterJournal, jpath string, rc *routeCutover, key string) error {
+	donorNode := m.NodeFor(rc.oldRing.Partition(key))
+	donorAddr := m.Nodes[donorNode].Addr
+	destAddr := m.Nodes[j.DestNode].Addr
+
+	err := r.adminRetry(fmt.Sprintf("installing key %q on node %q", key, j.DestNode), func() error {
+		return r.adminJSON(http.MethodPost, destAddr, httpapi.Prefix+"/cutover/install?key="+queryEscape(key), nil, nil)
+	})
+	if err != nil {
+		return err
+	}
+	err = r.adminRetry(fmt.Sprintf("forgetting key %q on node %q", key, donorNode), func() error {
+		return r.adminJSON(http.MethodPost, donorAddr, httpapi.Prefix+"/cutover/forget?key="+queryEscape(key), nil, nil)
+	})
+	if err != nil {
+		return err
+	}
+
+	j.Keys[key] = "released"
+	if err := saveClusterJournal(jpath, j); err != nil {
+		return err
+	}
+	r.syncFleetKey(m, j, key, "released", donorNode)
+	rc.release(key)
+	return r.callLiveHook("released", key)
+}
+
+// syncFleetKey pokes the key's donor and destination nodes with its new
+// journal phase. Best-effort with retries: a node that stays down
+// re-reads the journal at restart, so the poke is an optimization (it
+// unparks the destination's consumer now instead of then), not a
+// correctness step.
+func (r *Router) syncFleetKey(m *Manifest, j *clusterJournal, key, phase, donorNode string) {
+	body := map[string]map[string]string{"keys": {key: phase}}
+	for _, name := range []string{donorNode, j.DestNode} {
+		addr := m.Nodes[name].Addr
+		_ = r.adminRetry(fmt.Sprintf("syncing key %q on node %q", key, name), func() error {
+			return r.adminJSON(http.MethodPost, addr, httpapi.Prefix+"/cutover/sync", body, nil)
+		})
+		if name == donorNode && donorNode == j.DestNode {
+			break
+		}
+	}
+}
+
+// finishFleet ends the cutover: with routing gated, every participant
+// restamps at the new layout (idempotent), the epoch-bumped manifest
+// with the new shard count installs, and the journal is removed — the
+// commit point. Every node is then poked to refresh; one that misses
+// the poke catches up through the data-path epoch fence.
+func (r *Router) finishFleet(m *Manifest, j *clusterJournal, jpath string) error {
+	if err := r.callLiveHook("finish", ""); err != nil {
+		return err
+	}
+	r.gate.Lock()
+	for _, name := range participants(m, j.From, j.DestNode) {
+		addr := m.Nodes[name].Addr
+		err := r.adminRetry(fmt.Sprintf("finishing cutover on node %q", name), func() error {
+			return r.adminJSON(http.MethodPost, addr, httpapi.Prefix+fmt.Sprintf("/cutover/finish?to=%d", j.To), nil, nil)
+		})
+		if err != nil {
+			r.gate.Unlock()
+			return err
+		}
+	}
+	cur := r.Manifest()
+	if cur.Shards != j.To {
+		nm := cur.Clone()
+		nm.Epoch++
+		nm.Shards = j.To
+		nm.Assignments = append(nm.Assignments, j.DestNode)
+		if err := Save(r.cfg.ManifestPath, nm); err != nil {
+			r.gate.Unlock()
+			return err
+		}
+		r.mu.Lock()
+		if err := r.installLocked(nm); err != nil {
+			r.mu.Unlock()
+			r.gate.Unlock()
+			return err
+		}
+		r.mu.Unlock()
+	}
+	if err := removeClusterJournal(jpath); err != nil {
+		r.gate.Unlock()
+		return err
+	}
+	r.rcut.Store(nil)
+	r.gate.Unlock()
+
+	// Best-effort immediate adoption of the new epoch fleet-wide.
+	final := r.Manifest()
+	for _, name := range final.NodeNames() {
+		_ = r.pokeRefresh(final.Nodes[name].Addr)
+	}
+	return nil
+}
+
+// callLiveHook fires the router's test hook (nil in production).
+func (r *Router) callLiveHook(phase, key string) error {
+	if r.liveHook == nil {
+		return nil
+	}
+	return r.liveHook(phase, key)
+}
+
+// adminRetry retries fn against transient failures (a node restarting
+// mid-splice, a connection refused during failback) with a flat short
+// sleep and a hard deadline. The cutover protocol is idempotent at
+// every step, so blind retry is safe.
+func (r *Router) adminRetry(desc string, fn func() error) error {
+	deadline := time.Now().Add(60 * time.Second)
+	var err error
+	for {
+		if err = fn(); err == nil {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("%s: %w", desc, err)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+}
+
+// adminJSON performs one admin round trip: JSON (or empty) request
+// body, epoch-stamped, JSON answer decoded into out (when non-nil).
+// Non-2xx answers decode the shared error envelope into the returned
+// error.
+func (r *Router) adminJSON(method, addr, path string, in, out any) error {
+	url := addr
+	if !strings.Contains(url, "://") {
+		url = "http://" + url
+	}
+	var body io.Reader
+	if in != nil {
+		data, err := json.Marshal(in)
+		if err != nil {
+			return err
+		}
+		body = bytes.NewReader(data)
+	}
+	req, err := http.NewRequest(method, url+path, body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	req.Header.Set(EpochHeader, fmt.Sprintf("%d", r.Manifest().Epoch))
+	ctx, cancel := contextWithTimeout(r.cfg.RequestTimeout)
+	defer cancel()
+	resp, err := r.client.Do(req.WithContext(ctx))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, maxSpliceBytes))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		if d := httpapi.DecodeDetail(data); d != nil {
+			return fmt.Errorf("cluster: %s %s answered %d [%s]: %s", method, path, resp.StatusCode, d.Code, d.Message)
+		}
+		return fmt.Errorf("cluster: %s %s answered %d: %s", method, path, resp.StatusCode, strings.TrimSpace(string(data)))
+	}
+	if out != nil {
+		if err := json.Unmarshal(data, out); err != nil {
+			return fmt.Errorf("cluster: decoding %s %s answer: %w", method, path, err)
+		}
+	}
+	return nil
+}
+
+// beginNode POSTs one node's cutover/begin with retries.
+func (r *Router) beginNode(m *Manifest, name string, spec shard.CutoverSpec) (*shard.CutoverBeginResult, error) {
+	var res shard.CutoverBeginResult
+	err := r.adminRetry(fmt.Sprintf("cutover/begin on node %q", name), func() error {
+		return r.adminJSON(http.MethodPost, m.Nodes[name].Addr, httpapi.Prefix+"/cutover/begin", spec, &res)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &res, nil
+}
+
+func queryEscape(s string) string { return url.QueryEscape(s) }
+
+// RouterCutoverStatus is the live-rebalance progress block of the
+// router's status answer, read from the journal.
+type RouterCutoverStatus struct {
+	From      int    `json:"from"`
+	To        int    `json:"to"`
+	DestNode  string `json:"dest_node"`
+	Committed int    `json:"committed"`
+	Released  int    `json:"released"`
+}
+
+// RouterStatus is the GET /admin/v1/status body of a front router.
+type RouterStatus struct {
+	Role    string               `json:"role"`
+	Epoch   uint64               `json:"epoch"`
+	Shards  int                  `json:"shards"`
+	Nodes   map[string]bool      `json:"nodes"` // name -> alive (breaker view)
+	Cutover *RouterCutoverStatus `json:"cutover,omitempty"`
+	Build   httpapi.BuildInfo    `json:"build"`
+}
+
+func (r *Router) handleStatus(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodGet {
+		httpapi.MethodNotAllowed(w, http.MethodGet, "status accepts GET only")
+		return
+	}
+	m, _, nodes := r.fleetView()
+	st := RouterStatus{Role: "router", Epoch: m.Epoch, Shards: m.Shards, Nodes: map[string]bool{}, Build: httpapi.Build()}
+	for name := range m.Nodes {
+		st.Nodes[name] = !nodes[name].dead.Load()
+	}
+	if r.cfg.ManifestPath != "" {
+		if j, err := loadClusterJournal(clusterJournalPath(r.cfg.ManifestPath)); err == nil && j != nil {
+			cs := &RouterCutoverStatus{From: j.From, To: j.To, DestNode: j.DestNode}
+			for _, ph := range j.Keys {
+				switch ph {
+				case "committed":
+					cs.Committed++
+				case "released":
+					cs.Released++
+				}
+			}
+			st.Cutover = cs
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(st)
+}
+
+// handleRebalance is POST /admin/v1/rebalance?to=N[&node=NAME]: run the
+// networked live rebalance to N partitions, blocking until it finishes.
+// Method and parameters are validated explicitly through the envelope.
+func (r *Router) handleRebalance(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodPost {
+		httpapi.MethodNotAllowed(w, http.MethodPost, "rebalance accepts POST only")
+		return
+	}
+	raw := req.FormValue("to")
+	to, err := strconv.Atoi(raw)
+	if err != nil || to <= 0 {
+		httpapi.Error(w, http.StatusBadRequest, httpapi.Detail{
+			Code:    httpapi.CodeBadRequest,
+			Message: fmt.Sprintf("rebalance needs a positive partition count: to=%q is not one", raw),
+		})
+		return
+	}
+	report, err := r.LiveRebalance(to, req.FormValue("node"))
+	if err != nil {
+		httpapi.Error(w, http.StatusConflict, httpapi.Detail{Code: httpapi.CodeConflict, Message: err.Error()})
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(report)
+}

@@ -1,0 +1,505 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"logsynergy/internal/obs"
+	"logsynergy/internal/shard"
+)
+
+// The networked live-rebalance proof, one level up from the shard
+// suite's in-process cutover: a front router grows a 2-node fleet from
+// 2 to 3 partitions while fixed-seed traffic keeps flowing, driving the
+// per-key capture → stage → commit → install → forget → release
+// protocol over the admin API. Traffic is injected from the
+// coordinator's own hook points, so "under traffic" is deterministic:
+// batches land exactly at double-write start (through both the
+// coordinating router and a second router holding a stale view), and at
+// the first key's release. The destination node is killed mid-splice
+// and restarted on the same address; the cluster journal next to the
+// manifest resumes the cutover on exactly one layout per key. The
+// merged fleet output must match a single-process `-shards 3` runtime
+// bit for bit — per-key score sequences score by score, alert multisets
+// signature by signature — with zero acknowledged loss.
+
+// liveEqMovingKeys splits keys by whether the 2→3 growth (default
+// vnodes, the manifest's setting here) moves them.
+func liveEqMovingKeys(keys []string) (moving, staying []string) {
+	oldRing, newRing := shard.NewPartitioner(2), shard.NewPartitioner(3)
+	for _, k := range keys {
+		if oldRing.Partition(k) != newRing.Partition(k) {
+			moving = append(moving, k)
+		} else {
+			staying = append(staying, k)
+		}
+	}
+	return moving, staying
+}
+
+// retryRejected drives one batch through a router's RouteBatch until
+// every line is acked, re-posting exactly the rejected lines. The
+// per-key order survives because a cutover gate rejects every line of a
+// gated key in the batch, never a suffix.
+func retryRejected(t *testing.T, r *Router, batch []string) {
+	t.Helper()
+	chunk := batch
+	for attempt := 0; len(chunk) > 0; attempt++ {
+		if attempt > 10 {
+			t.Fatalf("batch still rejected after %d retries", attempt)
+		}
+		rr := r.RouteBatch(chunk)
+		if rr.Rejected == 0 {
+			return
+		}
+		retry := make([]string, 0, rr.Rejected)
+		for _, idx := range rr.RejectedLines {
+			retry = append(retry, chunk[idx])
+		}
+		chunk = retry
+	}
+}
+
+func TestClusterLiveRebalanceEquivalenceUnderTraffic(t *testing.T) {
+	keys := eqKeys(12)
+	moving, staying := liveEqMovingKeys(keys)
+	if len(moving) == 0 || len(staying) == 0 {
+		t.Fatalf("fixture needs both moving and staying keys (got %d moving, %d staying)", len(moving), len(staying))
+	}
+
+	pre := genEqLines(6001, 1500, keys)
+	midDW := genEqLines(6002, 200, keys)    // lands the instant double-writing starts
+	midStale := genEqLines(6003, 200, keys) // through a second router with a stale view
+	midRel := genEqLines(6004, 200, keys)   // after the first key flips to dest-only routing
+	post := genEqLines(6005, 1500, keys)
+	var stream []string
+	for _, seg := range [][]string{pre, midDW, midStale, midRel, post} {
+		stream = append(stream, seg...)
+	}
+	ref := runShardReference(t, stream, 3)
+	if len(ref.alerts) == 0 {
+		t.Fatal("reference produced no alerts; the equivalence comparison is vacuous")
+	}
+
+	root := t.TempDir()
+	manifestPath := filepath.Join(root, "cluster.json")
+	dataDir := filepath.Join(root, "data")
+	lnA, lnB := localListener(t), localListener(t)
+	addrB := lnB.Addr().String()
+	m := &Manifest{
+		Epoch:  1,
+		Shards: 2,
+		Dir:    dataDir,
+		Nodes: map[string]NodeSpec{
+			"a": {Addr: lnA.Addr().String()},
+			"b": {Addr: addrB},
+		},
+		Assignments: []string{"a", "b"},
+	}
+	if err := Save(manifestPath, m); err != nil {
+		t.Fatal(err)
+	}
+
+	a := startFleetNode(t, manifestPath, "a", lnA)
+	defer a.srv.Close()
+	defer a.node.Close()
+	b := startFleetNode(t, manifestPath, "b", lnB)
+
+	reg := obs.NewRegistry()
+	r, err := NewRouter(RouterConfig{
+		ManifestPath: manifestPath,
+		Metrics:      reg,
+		Attempts:     2,
+		FailAfter:    100,
+		Sleep:        func(time.Duration) {},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	rsrv := httptest.NewServer(r.Handler())
+	defer rsrv.Close()
+
+	// The second router: same manifest, its own view. It will not hear
+	// about the cutover until a node's "cutover in progress" rejection
+	// makes it reload.
+	r2, err := NewRouter(RouterConfig{
+		ManifestPath: manifestPath,
+		Attempts:     2,
+		FailAfter:    100,
+		Sleep:        func(time.Duration) {},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Close()
+
+	postAcked := func(lines []string, wantEpoch uint64) {
+		t.Helper()
+		const batch = 100
+		for i := 0; i < len(lines); i += batch {
+			end := min(i+batch, len(lines))
+			status, rr := postLines(t, rsrv.URL, lines[i:end])
+			if status != http.StatusAccepted || rr.Rejected != 0 {
+				t.Fatalf("batch at %d: status %d, %d rejected (%+v)", i, status, rr.Rejected, rr.Partitions)
+			}
+			if wantEpoch != 0 && rr.Epoch != wantEpoch {
+				t.Fatalf("batch at %d routed under epoch %d, want %d", i, rr.Epoch, wantEpoch)
+			}
+		}
+	}
+	postAcked(pre, 1)
+
+	// The coordinator's hook injects traffic at the protocol's own
+	// boundaries and crashes the destination node at the first staged
+	// splice.
+	boom := errors.New("injected dest-node crash")
+	fedDW, fedStale, fedRel, killed := false, false, false, false
+	r.liveHook = func(phase, key string) error {
+		switch {
+		case phase == "double-write" && !fedDW:
+			fedDW = true
+			postAcked(midDW, 1)
+		case phase == "tail-landed" && !fedStale:
+			fedStale = true
+			// The stale router first routes moving keys as plain shares;
+			// the begun nodes gate them with retryable "cutover in
+			// progress" rejections, the router reloads its view from the
+			// journal, and the retry double-writes. Nothing acked is lost.
+			for i := 0; i < len(midStale); i += 50 {
+				retryRejected(t, r2, midStale[i:min(i+50, len(midStale))])
+			}
+		case phase == "staged" && !killed:
+			killed = true
+			return boom
+		case phase == "released" && !fedRel:
+			fedRel = true
+			postAcked(midRel, 1)
+		}
+		return nil
+	}
+
+	if _, err := r.LiveRebalance(3, "b"); !errors.Is(err, boom) {
+		t.Fatalf("LiveRebalance with injected crash: err = %v, want the injected crash", err)
+	}
+	jpath := clusterJournalPath(manifestPath)
+	if _, err := os.Stat(jpath); err != nil {
+		t.Fatalf("cluster journal missing after the crash: %v", err)
+	}
+
+	// Crash the destination node mid-splice: quiesce to a committed
+	// boundary (a parked destination consumer counts — the gate commits
+	// before parking), then drop the WAL handles and flocks the way the
+	// OS drops a dead process's.
+	drainCtx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	if err := b.node.Drain(drainCtx); err != nil {
+		cancel()
+		t.Fatalf("draining node b before the kill: %v", err)
+	}
+	cancel()
+	b.node.Kill()
+	b.srv.Close()
+
+	// Restart it on the same address. StartNode finds the cluster
+	// journal next to the manifest and opens straight into the journaled
+	// cutover: donors at the old layout with the recorded freezes, the
+	// destination partition fenced and staged splices kept.
+	var lnB2 net.Listener
+	for i := 0; ; i++ {
+		var lerr error
+		lnB2, lerr = net.Listen("tcp", addrB)
+		if lerr == nil {
+			break
+		}
+		if i > 100 {
+			t.Fatalf("rebinding %s: %v", addrB, lerr)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	b2 := startFleetNode(t, manifestPath, "b", lnB2)
+	defer b2.srv.Close()
+	defer b2.node.Close()
+	if got := b2.node.Runtime().Shards(); got != 3 {
+		t.Fatalf("restarted dest node serves %d partitions, want 3 (mid-cutover layout)", got)
+	}
+	if got := b2.node.Runtime().Owned(); !reflect.DeepEqual(got, []int{1, 2}) {
+		t.Fatalf("restarted dest node owns %v, want [1 2]", got)
+	}
+
+	// The restarted node's status surface reports the in-flight cutover.
+	sresp, err := http.Get(b2.srv.URL + "/admin/v1/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var nst NodeStatus
+	if err := json.NewDecoder(sresp.Body).Decode(&nst); err != nil {
+		t.Fatal(err)
+	}
+	sresp.Body.Close()
+	if nst.Node != "b" || nst.Shards != 3 || nst.Cutover == nil || nst.Cutover.From != 2 || nst.Cutover.To != 3 {
+		t.Fatalf("restarted node status: %+v (cutover %+v)", nst, nst.Cutover)
+	}
+
+	// Resume: the journal decides — re-begin every participant, drive
+	// the remaining keys (the half-staged one re-captures on the donor,
+	// whose tail was never forgotten: exactly one layout owned it
+	// throughout), and finish with the epoch-bumped manifest.
+	report, err := r.LiveRebalance(3, "b")
+	if err != nil {
+		t.Fatalf("resuming LiveRebalance: %v", err)
+	}
+	if report.From != 2 || report.To != 3 || report.AlreadyBalanced {
+		t.Fatalf("resume report: %+v", report)
+	}
+	if report.MovedKeys == 0 {
+		t.Fatal("resumed rebalance moved no keys")
+	}
+	if !fedDW || !fedStale || !fedRel || !killed {
+		t.Fatalf("hook coverage: double-write=%v stale=%v released=%v killed=%v", fedDW, fedStale, fedRel, killed)
+	}
+
+	if _, err := os.Stat(jpath); !os.IsNotExist(err) {
+		t.Fatalf("cluster journal still present after a completed rebalance (stat err %v)", err)
+	}
+	got := r.Manifest()
+	if got.Epoch != 2 || got.Shards != 3 || !reflect.DeepEqual(got.Assignments, []string{"a", "b", "b"}) {
+		t.Fatalf("post-rebalance manifest: epoch %d, %d shards, assignments %v", got.Epoch, got.Shards, got.Assignments)
+	}
+	newRing := shard.NewPartitioner(3)
+	for _, k := range moving {
+		if newRing.Partition(k) != 2 {
+			t.Fatalf("moving key %s does not route to the new partition", k)
+		}
+	}
+
+	// The rest of the stream routes under the new layout and epoch.
+	postAcked(post, 2)
+
+	// The router's status surface agrees the cutover is over.
+	sresp, err = http.Get(rsrv.URL + "/admin/v1/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rst RouterStatus
+	if err := json.NewDecoder(sresp.Body).Decode(&rst); err != nil {
+		t.Fatal(err)
+	}
+	sresp.Body.Close()
+	if rst.Role != "router" || rst.Epoch != 2 || rst.Shards != 3 || rst.Cutover != nil {
+		t.Fatalf("router status after the rebalance: %+v", rst)
+	}
+
+	for _, fn := range []*fleetNode{a, b2} {
+		ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+		if err := fn.node.Drain(ctx); err != nil {
+			cancel()
+			t.Fatalf("draining node %s: %v", fn.node.Name(), err)
+		}
+		cancel()
+	}
+
+	// The verdict. Merge order a → b → b2: a donor's windows for a moved
+	// key strictly precede the destination's (the capture barrier), and
+	// the killed node's pre-crash windows precede its successor's (the
+	// drain pinned them to a committed boundary).
+	merged := eqResult{scores: map[string][]float64{}, alerts: map[string]int{}}
+	for _, fn := range []*fleetNode{a, b, b2} {
+		res := fn.result()
+		for k, v := range res.scores {
+			merged.scores[k] = append(merged.scores[k], v...)
+		}
+		for sig, n := range res.alerts {
+			merged.alerts[sig] += n
+		}
+	}
+	requireEqual(t, "live fleet 2→3", merged, ref)
+}
+
+// Failover is refused while a live cutover is journaled: the journal's
+// freeze offsets and double-write topology are pinned to the current
+// assignment, so reassigning a dead node's partitions mid-cutover would
+// strand them.
+func TestClusterFailoverRefusedDuringLiveCutover(t *testing.T) {
+	root := t.TempDir()
+	manifestPath := filepath.Join(root, "cluster.json")
+	ln := localListener(t)
+	addr := ln.Addr().String()
+	ln.Close() // nobody listens: the node is dead on arrival
+	m := &Manifest{
+		Epoch:  1,
+		Shards: 2,
+		Dir:    filepath.Join(root, "data"),
+		Nodes: map[string]NodeSpec{
+			"a":       {Addr: addr},
+			"b":       {Addr: addr},
+			"standby": {Addr: addr, Standby: true},
+		},
+		Assignments: []string{"a", "b"},
+	}
+	if err := Save(manifestPath, m); err != nil {
+		t.Fatal(err)
+	}
+	j := &clusterJournal{Version: 1, From: 2, To: 3, DestNode: "b",
+		Freeze: map[int]uint64{0: 1, 1: 1}, Keys: map[string]string{}}
+	if err := saveClusterJournal(clusterJournalPath(manifestPath), j); err != nil {
+		t.Fatal(err)
+	}
+
+	reg := obs.NewRegistry()
+	r, err := NewRouter(RouterConfig{
+		ManifestPath: manifestPath,
+		Metrics:      reg,
+		FailAfter:    1,
+		Failover:     true,
+		Attempts:     1,
+		Sleep:        func(time.Duration) {},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	var dead ProbeResult
+	for _, pr := range r.ProbeOnce() {
+		if pr.Node == "a" {
+			dead = pr
+		}
+	}
+	if dead.Alive {
+		t.Fatalf("unreachable node probed alive: %+v", dead)
+	}
+	if dead.FailedOver {
+		t.Fatal("failover proceeded over a journaled live cutover")
+	}
+	if !strings.Contains(dead.Err, "refusing failover") {
+		t.Fatalf("probe error %q does not carry the refusal", dead.Err)
+	}
+	if got := r.Manifest().Epoch; got != 1 {
+		t.Fatalf("epoch %d after refused failover, want 1", got)
+	}
+	if got := reg.Snapshot().Counters["cluster.failovers_total"]; got != 0 {
+		t.Fatalf("failovers_total %d, want 0", got)
+	}
+}
+
+// The router's admin surface: /admin/v1/status answers the role block
+// (GET only, envelope on the wrong method), the unversioned alias is
+// byte-identical, and /admin/v1/rebalance validates its parameter
+// through the envelope.
+func TestClusterRouterAdminSurface(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "cluster.json")
+	m := testManifest()
+	if err := Save(path, m); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewRouter(RouterConfig{ManifestPath: path, Sleep: func(time.Duration) {}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+
+	fetch := func(method, p string) (int, http.Header, []byte) {
+		t.Helper()
+		req, err := http.NewRequest(method, srv.URL+p, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, resp.Header, body
+	}
+
+	code, hdr, body := fetch(http.MethodGet, "/admin/v1/status")
+	if code != http.StatusOK {
+		t.Fatalf("GET /admin/v1/status: %d\n%s", code, body)
+	}
+	if got := hdr.Get(EpochHeader); got != "1" {
+		t.Fatalf("status answered with epoch header %q, want 1", got)
+	}
+	var st RouterStatus
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Role != "router" || st.Epoch != 1 || st.Shards != m.Shards || st.Cutover != nil {
+		t.Fatalf("router status: %+v", st)
+	}
+	names := make([]string, 0, len(st.Nodes))
+	for n := range st.Nodes {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	if !reflect.DeepEqual(names, m.NodeNames()) {
+		t.Fatalf("status nodes %v, want %v", names, m.NodeNames())
+	}
+
+	// The unversioned alias answers byte-identically (one handler, two
+	// registrations).
+	code2, _, body2 := fetch(http.MethodGet, "/admin/status")
+	if code2 != code || string(body2) != string(body) {
+		t.Fatalf("alias mismatch: %d vs %d\n%s\nvs\n%s", code, code2, body, body2)
+	}
+
+	// Wrong method and bad parameter both answer through the envelope.
+	code, hdr, body = fetch(http.MethodPost, "/admin/v1/status")
+	if code != http.StatusMethodNotAllowed || hdr.Get("Allow") != http.MethodGet {
+		t.Fatalf("POST status: %d (Allow %q)", code, hdr.Get("Allow"))
+	}
+	assertEnvelope(t, body, "method_not_allowed")
+
+	code, hdr, body = fetch(http.MethodGet, "/admin/v1/rebalance")
+	if code != http.StatusMethodNotAllowed || hdr.Get("Allow") != http.MethodPost {
+		t.Fatalf("GET rebalance: %d (Allow %q)", code, hdr.Get("Allow"))
+	}
+	assertEnvelope(t, body, "method_not_allowed")
+
+	code, _, body = fetch(http.MethodPost, "/admin/v1/rebalance?to=x")
+	if code != http.StatusBadRequest {
+		t.Fatalf("POST rebalance?to=x: %d\n%s", code, body)
+	}
+	assertEnvelope(t, body, "bad_request")
+
+	code, _, body = fetch(http.MethodPost, "/admin/v1/rebalance?to=9")
+	if code != http.StatusConflict {
+		t.Fatalf("POST rebalance?to=9 (a multi-step jump): %d\n%s", code, body)
+	}
+	assertEnvelope(t, body, "conflict")
+}
+
+// assertEnvelope decodes the shared error envelope and checks its code.
+func assertEnvelope(t *testing.T, body []byte, wantCode string) {
+	t.Helper()
+	var env struct {
+		Err struct {
+			Code    string `json:"code"`
+			Message string `json:"message"`
+		} `json:"error"`
+	}
+	if err := json.Unmarshal(body, &env); err != nil {
+		t.Fatalf("non-2xx body is not the envelope: %v\n%s", err, body)
+	}
+	if env.Err.Code != wantCode {
+		t.Fatalf("envelope code %q, want %q\n%s", env.Err.Code, wantCode, body)
+	}
+	if env.Err.Message == "" {
+		t.Fatalf("envelope without a message: %s", body)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"strconv"
 	"sync"
 
+	"logsynergy/internal/httpapi"
 	"logsynergy/internal/obs"
 	"logsynergy/internal/shard"
 )
@@ -50,6 +51,7 @@ type NodeConfig struct {
 type Node struct {
 	cfg  NodeConfig
 	name string
+	dir  string // runtime root (Runtime.Dir or the manifest's shared dir)
 	rt   *shard.Runtime
 	reg  *obs.Registry
 
@@ -102,6 +104,37 @@ func StartNode(cfg NodeConfig) (*Node, error) {
 		rcfg.Metrics = obs.NewRegistry()
 	}
 
+	// A live-cutover journal next to the manifest is the single source
+	// of truth for crash recovery: a node restarting mid-cutover opens
+	// straight into the journaled protocol state (donors at the old
+	// layout with the recorded freeze offsets, the destination with its
+	// staged splices applied) and waits for the coordinator to resume
+	// driving it.
+	if cfg.ManifestPath != "" {
+		j, err := loadClusterJournal(clusterJournalPath(cfg.ManifestPath))
+		if err != nil {
+			return nil, err
+		}
+		if j != nil && j.To != m.Shards {
+			if j.From != m.Shards {
+				return nil, fmt.Errorf("cluster: cutover journal grows %d -> %d but the manifest serves %d partitions", j.From, j.To, m.Shards)
+			}
+			rcfg.Shards = j.To
+			if j.DestNode == cfg.Name {
+				own = append(append([]int{}, own...), j.To-1)
+			}
+			rcfg.Subset = own
+			rcfg.Cutover = &shard.CutoverSpec{
+				From:   j.From,
+				To:     j.To,
+				Vnodes: m.Vnodes,
+				Freeze: j.Freeze,
+				Keys:   j.Keys,
+				Dest:   j.DestNode == cfg.Name,
+			}
+		}
+	}
+
 	// Fence before open: the flock refuses a partition whose owner is
 	// still alive, and the epoch record refuses a lease from a newer
 	// epoch (we hold a stale manifest) or another node's same-epoch
@@ -129,6 +162,7 @@ func StartNode(cfg NodeConfig) (*Node, error) {
 	n := &Node{
 		cfg:       cfg,
 		name:      cfg.Name,
+		dir:       rcfg.Dir,
 		rt:        rt,
 		reg:       rcfg.Metrics,
 		m:         m,
@@ -210,7 +244,10 @@ func (n *Node) Refresh() (RefreshReport, error) {
 	if m.Epoch <= n.m.Epoch {
 		return RefreshReport{Epoch: n.m.Epoch, Stale: true}, nil
 	}
-	if m.Shards != n.m.Shards {
+	if m.Shards != n.m.Shards && n.rt.Shards() != m.Shards {
+		// A live rebalance finish bumps the manifest's shard count after
+		// every runtime has already restamped to the new layout; only
+		// then is a count change a legal refresh.
 		return RefreshReport{Epoch: n.m.Epoch, Stale: true},
 			fmt.Errorf("cluster: manifest epoch %d changes the shard count %d -> %d; a layout change needs a rebalance and a fleet restart, not a refresh",
 				m.Epoch, n.m.Shards, m.Shards)
@@ -228,6 +265,12 @@ func (n *Node) Refresh() (RefreshReport, error) {
 	// 1. Drop what the new epoch takes away: stop writing, then unlock.
 	for p, l := range n.leases {
 		if assigned[p] {
+			continue
+		}
+		if p >= m.Shards {
+			// The destination partition of an in-flight live cutover: the
+			// manifest does not list it yet, but the lease (taken at
+			// cutover begin) must hold until the finish bump assigns it.
 			continue
 		}
 		if err := n.rt.DropPartition(p); err != nil {
@@ -292,7 +335,7 @@ func (n *Node) Health() HealthReport {
 	}
 }
 
-// Handler returns the node's HTTP surface:
+// Handler returns the node's HTTP surface. Data path:
 //
 //	POST /ingest         the sharded intake over this node's partitions,
 //	                     epoch-fenced: a request routed under a newer
@@ -305,57 +348,132 @@ func (n *Node) Health() HealthReport {
 //	GET  /healthz        liveness + per-partition lag/backlog JSON
 //	GET  /metrics        text metrics (runtime-merged, shard<i>. prefixed)
 //	GET  /metrics.json   JSON snapshot for the router's federated scrape
-//	POST /admin/refresh  re-read the manifest, adopt newly-assigned
-//	                     partitions and drop deposed ones (the router
-//	                     pokes this after a failover installs a new
-//	                     epoch)
+//
+// Admin surface, versioned under /admin/v1 (refresh and status keep
+// their legacy unversioned aliases; every answer is epoch-stamped and
+// every non-2xx body carries the httpapi error envelope):
+//
+//	POST /admin/v1/refresh            re-read the manifest, adopt newly
+//	                                  assigned partitions, drop deposed ones
+//	GET  /admin/v1/status             node name, epoch, owned partitions,
+//	                                  live-cutover phase, build info
+//	POST /admin/v1/append?partition=P directed append to one partition's
+//	                                  WAL (the router's double-write path
+//	                                  during a live cutover), epoch-fenced
+//	POST /admin/v1/cutover/begin      flip this node into a journaled live
+//	                                  cutover (body: shard.CutoverSpec)
+//	POST /admin/v1/cutover/sync       advance per-key phases from the
+//	                                  coordinator's journal
+//	GET  /admin/v1/cutover/keys       moving keys still pending on owned donors
+//	POST /admin/v1/cutover/capture    capture one key's splice from its donor
+//	POST /admin/v1/cutover/stage      stage a splice file in the destination
+//	                                  partition's directory (the transfer
+//	                                  endpoint)
+//	POST /admin/v1/cutover/install    apply a staged splice to the destination
+//	POST /admin/v1/cutover/forget     drop a moved key's tail from its donor
+//	POST /admin/v1/cutover/finish     restamp every partition at the new layout
 func (n *Node) Handler() http.Handler {
-	mux := http.NewServeMux()
+	mux := httpapi.Mux(httpapi.MuxOptions{Snapshot: n.rt.Snapshot})
 	ingest := n.rt.IngestHandler(n.cfg.MaxBatchBytes)
 	mux.HandleFunc("/ingest", func(w http.ResponseWriter, r *http.Request) {
-		if h := r.Header.Get(EpochHeader); h != "" {
-			reqEpoch, err := strconv.ParseUint(h, 10, 64)
-			if err != nil {
-				http.Error(w, "bad "+EpochHeader+" header: "+err.Error(), http.StatusBadRequest)
-				return
-			}
-			if reqEpoch > n.Epoch() && n.cfg.ManifestPath != "" {
-				// Best-effort catch-up; the re-check below is the verdict.
-				n.Refresh()
-			}
-			if cur := n.Epoch(); reqEpoch > cur {
-				w.Header().Set(EpochHeader, strconv.FormatUint(cur, 10))
-				http.Error(w, fmt.Sprintf("cluster: node %q serves epoch %d but the request was routed under epoch %d; refusing shares it might no longer own", n.name, cur, reqEpoch), http.StatusConflict)
-				return
-			}
+		if !n.fenceEpoch(w, r) {
+			return
 		}
-		w.Header().Set(EpochHeader, strconv.FormatUint(n.Epoch(), 10))
 		ingest.ServeHTTP(w, r)
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		json.NewEncoder(w).Encode(n.Health())
 	})
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		n.rt.Snapshot().WriteText(w)
-	})
-	mux.Handle("/metrics.json", obs.SnapshotJSONHandler(n.rt.Snapshot))
-	mux.HandleFunc("/admin/refresh", func(w http.ResponseWriter, r *http.Request) {
-		if r.Method != http.MethodPost {
-			w.Header().Set("Allow", http.MethodPost)
-			http.Error(w, "refresh accepts POST only", http.StatusMethodNotAllowed)
-			return
-		}
-		rep, err := n.Refresh()
-		if err != nil {
-			http.Error(w, err.Error(), http.StatusConflict)
-			return
-		}
-		w.Header().Set("Content-Type", "application/json")
-		json.NewEncoder(w).Encode(rep)
-	})
+	stamp := func(h http.HandlerFunc) http.Handler { return httpapi.EpochStamp(EpochHeader, n.Epoch, h) }
+	httpapi.HandleVersioned(mux, "/admin/refresh", stamp(n.handleRefresh))
+	httpapi.HandleVersioned(mux, "/admin/status", stamp(n.handleStatus))
+	mux.Handle(httpapi.Prefix+"/append", http.HandlerFunc(n.handleDirectedAppend))
+	mux.Handle(httpapi.Prefix+"/cutover/begin", stamp(n.handleCutoverBegin))
+	mux.Handle(httpapi.Prefix+"/cutover/sync", stamp(n.handleCutoverSync))
+	mux.Handle(httpapi.Prefix+"/cutover/keys", stamp(n.handleCutoverKeys))
+	mux.Handle(httpapi.Prefix+"/cutover/capture", stamp(n.handleCutoverCapture))
+	mux.Handle(httpapi.Prefix+"/cutover/stage", stamp(n.handleCutoverStage))
+	mux.Handle(httpapi.Prefix+"/cutover/install", stamp(n.handleCutoverInstall))
+	mux.Handle(httpapi.Prefix+"/cutover/forget", stamp(n.handleCutoverForget))
+	mux.Handle(httpapi.Prefix+"/cutover/finish", stamp(n.handleCutoverFinish))
 	return mux
+}
+
+// fenceEpoch applies the data-path epoch fence: a request stamped with
+// a newer epoch than the node serves under triggers a refresh and is
+// refused with 409 if the node still cannot catch up. Returns false
+// when it wrote the refusal. Every answer carries the node's epoch.
+func (n *Node) fenceEpoch(w http.ResponseWriter, r *http.Request) bool {
+	if h := r.Header.Get(EpochHeader); h != "" {
+		reqEpoch, err := strconv.ParseUint(h, 10, 64)
+		if err != nil {
+			w.Header().Set(EpochHeader, strconv.FormatUint(n.Epoch(), 10))
+			httpapi.Error(w, http.StatusBadRequest, httpapi.Detail{
+				Code:    httpapi.CodeBadRequest,
+				Message: "bad " + EpochHeader + " header: " + err.Error(),
+			})
+			return false
+		}
+		if reqEpoch > n.Epoch() && n.cfg.ManifestPath != "" {
+			// Best-effort catch-up; the re-check below is the verdict.
+			n.Refresh()
+		}
+		if cur := n.Epoch(); reqEpoch > cur {
+			w.Header().Set(EpochHeader, strconv.FormatUint(cur, 10))
+			httpapi.Error(w, http.StatusConflict, httpapi.Detail{
+				Code:    httpapi.CodeConflict,
+				Message: fmt.Sprintf("cluster: node %q serves epoch %d but the request was routed under epoch %d; refusing shares it might no longer own", n.name, cur, reqEpoch),
+			})
+			return false
+		}
+	}
+	w.Header().Set(EpochHeader, strconv.FormatUint(n.Epoch(), 10))
+	return true
+}
+
+func (n *Node) handleRefresh(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpapi.MethodNotAllowed(w, http.MethodPost, "refresh accepts POST only")
+		return
+	}
+	rep, err := n.Refresh()
+	if err != nil {
+		httpapi.Error(w, http.StatusConflict, httpapi.Detail{Code: httpapi.CodeConflict, Message: err.Error()})
+		return
+	}
+	w.Header().Set(EpochHeader, strconv.FormatUint(n.Epoch(), 10))
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(rep)
+}
+
+// NodeStatus is the GET /admin/v1/status body of a fleet node.
+type NodeStatus struct {
+	Node       string                  `json:"node"`
+	Epoch      uint64                  `json:"epoch"`
+	Shards     int                     `json:"shards"`
+	Owned      []int                   `json:"owned"`
+	Cutover    *shard.CutoverStatus    `json:"cutover,omitempty"`
+	Partitions []shard.PartitionHealth `json:"partitions"`
+	Build      httpapi.BuildInfo       `json:"build"`
+}
+
+func (n *Node) handleStatus(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpapi.MethodNotAllowed(w, http.MethodGet, "status accepts GET only")
+		return
+	}
+	st := NodeStatus{
+		Node:       n.name,
+		Epoch:      n.Epoch(),
+		Shards:     n.rt.Shards(),
+		Owned:      n.rt.Owned(),
+		Cutover:    n.rt.CutoverStatus(),
+		Partitions: n.rt.Health(),
+		Build:      httpapi.Build(),
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(st)
 }
 
 // Drain blocks until every owned partition has consumed, flushed and

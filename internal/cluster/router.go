@@ -17,6 +17,7 @@ import (
 
 	"logsynergy/internal/broker"
 	"logsynergy/internal/fault"
+	"logsynergy/internal/httpapi"
 	"logsynergy/internal/obs"
 	"logsynergy/internal/shard"
 )
@@ -155,6 +156,16 @@ type Router struct {
 	ring  *shard.Partitioner
 	nodes map[string]*nodeState
 
+	// gate write-blocks the routing path across live-cutover flips (the
+	// begin and finish barriers); every RouteBatch holds it for read.
+	gate sync.RWMutex
+	// rcut is the live-cutover routing overlay, nil outside one.
+	rcut atomic.Pointer[routeCutover]
+	// liveMu serializes LiveRebalance coordinators on this router.
+	liveMu sync.Mutex
+	// liveHook observes per-key cutover phases (tests only).
+	liveHook func(phase, key string) error
+
 	stopOnce  sync.Once
 	stop      chan struct{}
 	probeDone chan struct{}
@@ -230,6 +241,10 @@ func NewRouter(cfg RouterConfig) (*Router, error) {
 	}
 	r.fleetAlive.Set(int64(len(m.Nodes)))
 	cfg.Metrics.Gauge("cluster.router_epoch").Set(int64(m.Epoch))
+	// A journal next to the manifest means a live cutover is in flight:
+	// a router starting (or restarting) mid-cutover must double-write
+	// moving keys from its first batch.
+	r.reloadCutover()
 	return r, nil
 }
 
@@ -241,13 +256,16 @@ func (r *Router) Manifest() *Manifest {
 }
 
 // Reload swaps in the manifest at ManifestPath if its epoch is newer
-// (another router's failover, or an operator edit). The ring is rebuilt
-// only if vnodes changed; a shard-count change is refused — that is a
+// (another router's failover, a live rebalance's finish bump, or an
+// operator edit), then converges the live-cutover routing overlay on
+// the on-disk journal. A shard-count change is accepted only when it
+// is a live rebalance's one-partition growth; anything else is a
 // rebalance plus fleet restart, not a reload.
 func (r *Router) Reload() error {
 	if r.cfg.ManifestPath == "" {
 		return fmt.Errorf("cluster: router has no manifest path to reload from")
 	}
+	defer r.reloadCutover() // after the unlock below
 	m, err := Load(r.cfg.ManifestPath)
 	if err != nil {
 		return err
@@ -263,8 +281,15 @@ func (r *Router) Reload() error {
 // installLocked swaps the fleet view. Caller holds r.mu.
 func (r *Router) installLocked(m *Manifest) error {
 	if m.Shards != r.m.Shards {
-		return fmt.Errorf("cluster: manifest epoch %d changes the shard count %d -> %d; restart the router for a layout change",
-			m.Epoch, r.m.Shards, m.Shards)
+		// The only legal in-place layout change is a live rebalance's
+		// finish: exactly one new partition, same vnode count, every old
+		// partition's assignment preserved. Anything else (a shrink, a
+		// jump) still needs a planned rebalance and a restart.
+		if m.Shards != r.m.Shards+1 || m.Vnodes != r.m.Vnodes || !prefixPreserved(r.m, m) {
+			return fmt.Errorf("cluster: manifest epoch %d changes the shard count %d -> %d; restart the router for a layout change",
+				m.Epoch, r.m.Shards, m.Shards)
+		}
+		r.ring = shard.NewPartitionerVnodes(m.Shards, m.Vnodes)
 	}
 	if m.Vnodes != r.m.Vnodes {
 		r.ring = shard.NewPartitionerVnodes(m.Shards, m.Vnodes)
@@ -284,6 +309,20 @@ func (r *Router) installLocked(m *Manifest) error {
 	r.m = m
 	r.cfg.Metrics.Gauge("cluster.router_epoch").Set(int64(m.Epoch))
 	return nil
+}
+
+// prefixPreserved reports whether every partition of the old manifest
+// keeps its assignment in the new one — the signature of a pure growth.
+func prefixPreserved(old, new_ *Manifest) bool {
+	if len(new_.Assignments) < len(old.Assignments) {
+		return false
+	}
+	for p, node := range old.Assignments {
+		if new_.Assignments[p] != node {
+			return false
+		}
+	}
+	return true
 }
 
 // fleetView snapshots the routing topology.
@@ -324,15 +363,20 @@ type RouteResponse struct {
 	// non-empty lines) of the lines that were not acked — the exact
 	// retry set.
 	RejectedLines []int `json:"rejected_lines,omitempty"`
+	// Err is the uniform admin-API error detail on a non-2xx answer,
+	// nil on 202. The legacy top-level fields stay populated, so
+	// collectors written against the pre-envelope shape keep decoding.
+	Err *httpapi.Detail `json:"error,omitempty"`
 }
 
 // nodeShare is one node's slice of a batch.
 type nodeShare struct {
 	node  string
 	addr  string
+	path  string // "" routes /ingest; a live cutover posts directed shares
 	lines []string
 	index []int // request-order index of each line
-	parts []int // owning partition of each line
+	parts []int // owning partition of each line (the node-side result row)
 }
 
 // shareResult is the outcome of posting one share.
@@ -352,17 +396,33 @@ type shareResult struct {
 	nodeEpoch uint64
 }
 
-// Handler returns the router's HTTP surface:
+// Handler returns the router's HTTP surface. Data path:
 //
 //	POST /ingest    route a newline-delimited batch across the fleet
 //	GET  /healthz   the router's own liveness + per-node fleet view
 //	GET  /metrics   federated text metrics: router + fleet totals +
 //	                node.<name>.-prefixed per-node series
+//
+// Admin surface, versioned under /admin/v1 (status keeps a legacy
+// unversioned alias; non-2xx bodies carry the httpapi error envelope):
+//
+//	GET  /admin/v1/status      role, epoch, shard count, per-node
+//	                           liveness, live-cutover progress, build info
+//	POST /admin/v1/rebalance   grow the fleet one partition under traffic
+//	                           (?to=N, optional &node= destination) — the
+//	                           networked LiveRebalance; blocks until done
 func (r *Router) Handler() http.Handler {
-	mux := http.NewServeMux()
+	mux := httpapi.Mux(httpapi.MuxOptions{
+		Snapshot: r.cfg.Metrics.Snapshot,
+		Metrics:  http.HandlerFunc(r.handleMetrics),
+	})
 	mux.HandleFunc("/ingest", r.handleIngest)
 	mux.HandleFunc("/healthz", r.handleHealthz)
-	mux.HandleFunc("/metrics", r.handleMetrics)
+	stamp := func(h http.HandlerFunc) http.Handler {
+		return httpapi.EpochStamp(EpochHeader, func() uint64 { return r.Manifest().Epoch }, h)
+	}
+	httpapi.HandleVersioned(mux, "/admin/status", stamp(r.handleStatus))
+	mux.Handle(httpapi.Prefix+"/rebalance", stamp(r.handleRebalance))
 	return mux
 }
 
@@ -370,41 +430,58 @@ func (r *Router) Handler() http.Handler {
 func (r *Router) handleIngest(w http.ResponseWriter, req *http.Request) {
 	r.requests.Inc()
 	if req.Method != http.MethodPost {
-		w.Header().Set("Allow", http.MethodPost)
-		http.Error(w, "ingest accepts POST only", http.StatusMethodNotAllowed)
+		httpapi.MethodNotAllowed(w, http.MethodPost, "ingest accepts POST only")
 		return
 	}
 	if req.ContentLength > r.cfg.MaxBatchBytes {
-		http.Error(w, fmt.Sprintf("batch of %d bytes exceeds limit %d", req.ContentLength, r.cfg.MaxBatchBytes), http.StatusRequestEntityTooLarge)
+		httpapi.Error(w, http.StatusRequestEntityTooLarge, httpapi.Detail{
+			Code:    httpapi.CodeTooLarge,
+			Message: fmt.Sprintf("batch of %d bytes exceeds limit %d", req.ContentLength, r.cfg.MaxBatchBytes),
+		})
 		return
 	}
 	body, err := io.ReadAll(http.MaxBytesReader(w, req.Body, r.cfg.MaxBatchBytes))
 	if err != nil {
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
-			http.Error(w, fmt.Sprintf("batch exceeds limit %d bytes", r.cfg.MaxBatchBytes), http.StatusRequestEntityTooLarge)
+			httpapi.Error(w, http.StatusRequestEntityTooLarge, httpapi.Detail{
+				Code:    httpapi.CodeTooLarge,
+				Message: fmt.Sprintf("batch exceeds limit %d bytes", r.cfg.MaxBatchBytes),
+			})
 			return
 		}
-		http.Error(w, "reading request body: "+err.Error(), http.StatusBadRequest)
+		httpapi.Error(w, http.StatusBadRequest, httpapi.Detail{
+			Code:    httpapi.CodeBadRequest,
+			Message: "reading request body: " + err.Error(),
+		})
 		return
 	}
 	resp := r.RouteBatch(splitBatch(body))
-	w.Header().Set("Content-Type", "application/json")
 	switch {
 	case resp.Rejected == 0:
+		w.Header().Set("Content-Type", "application/json")
 		w.WriteHeader(http.StatusAccepted)
+		json.NewEncoder(w).Encode(resp)
 	case resp.Acked == 0 && allClosed(resp.Partitions):
-		http.Error(w, "intake closed fleet-wide", http.StatusServiceUnavailable)
-		return
+		httpapi.Error(w, http.StatusServiceUnavailable, httpapi.Detail{
+			Code:       httpapi.CodeClosed,
+			Message:    "intake closed fleet-wide",
+			Partitions: resp.Partitions,
+		})
 	default:
 		hint := resp.RetryAfterSeconds
 		if hint <= 0 {
 			hint = 1
 		}
-		w.Header().Set("Retry-After", strconv.Itoa(hint))
-		w.WriteHeader(http.StatusTooManyRequests)
+		d := httpapi.Detail{
+			Code:        httpapi.CodeBackpressure,
+			Message:     fmt.Sprintf("%d of %d lines rejected; retry the rejected lines", resp.Rejected, resp.Acked+resp.Rejected),
+			RetryAfterS: hint,
+			Partitions:  resp.Partitions,
+		}
+		resp.Err = &d
+		httpapi.ErrorWithBody(w, http.StatusTooManyRequests, d, resp)
 	}
-	json.NewEncoder(w).Encode(resp)
 }
 
 // allClosed reports whether every rejection was a closed intake.
@@ -424,100 +501,162 @@ func allClosed(parts []RoutePartition) bool {
 
 // RouteBatch routes lines to their owning nodes and merges the results.
 // It is the programmatic form of POST /ingest.
+//
+// Outside a live cutover every line is one /ingest share to its
+// partition's owner. During one, a moving key's line is double-written
+// until its journal entry is released: a directed append to the donor
+// partition first, then — only if the donor copy landed — a directed
+// append to the destination partition on its node, and the line is
+// acked only when both landed. The donor-first order is what makes the
+// collector's retry of a half-landed line safe: the destination never
+// holds a copy of a line that was not also in the donor's WAL, so a
+// retry can duplicate only the donor copy, which sits past the freeze
+// point and is never fed. A released key routes directly to the
+// destination partition.
 func (r *Router) RouteBatch(lines []string) RouteResponse {
+	r.gate.RLock()
+	defer r.gate.RUnlock()
 	m, ring, nodes := r.fleetView()
 	resp := RouteResponse{Epoch: m.Epoch}
 	if len(lines) == 0 {
 		return resp
 	}
+	rc := r.rcut.Load()
+
+	// Per-line accounting: acked iff every required copy landed (two for
+	// an unreleased moving key, one otherwise). attrPart/attrNode pick
+	// the partition row a line reports under — the donor's during a
+	// double-write, matching what the collector would see in-process.
+	need := make([]int, len(lines))
+	acks := make([]int, len(lines))
+	labels := make([]string, len(lines))
+	hints := make([]int, len(lines))
+	attrPart := make([]int, len(lines))
+	attrNode := make([]string, len(lines))
+	double := make([]bool, len(lines))
+
 	shares := map[string]*nodeShare{}
-	for i, line := range lines {
-		p := ring.Partition(r.cfg.KeyFunc(line))
-		node := m.NodeFor(p)
-		s := shares[node]
+	addShare := func(node, path string, part, i int, line string) {
+		k := node + "\x00" + path
+		s := shares[k]
 		if s == nil {
-			s = &nodeShare{node: node, addr: m.Nodes[node].Addr}
-			shares[node] = s
+			s = &nodeShare{node: node, addr: m.Nodes[node].Addr, path: path}
+			shares[k] = s
 		}
 		s.lines = append(s.lines, line)
 		s.index = append(s.index, i)
-		s.parts = append(s.parts, p)
+		s.parts = append(s.parts, part)
+	}
+	directedPath := func(part int) string { return httpapi.Prefix + fmt.Sprintf("/append?partition=%d", part) }
+	for i, line := range lines {
+		key := r.cfg.KeyFunc(line)
+		p := ring.Partition(key)
+		if rc != nil && rc.moving(key) {
+			destPart := rc.to - 1
+			if rc.isReleased(key) {
+				need[i] = 1
+				attrPart[i], attrNode[i] = destPart, rc.destNode
+				addShare(rc.destNode, directedPath(destPart), destPart, i, line)
+			} else {
+				need[i] = 2
+				double[i] = true
+				donor := m.NodeFor(p)
+				attrPart[i], attrNode[i] = p, donor
+				addShare(donor, directedPath(p), p, i, line)
+			}
+			continue
+		}
+		need[i] = 1
+		node := m.NodeFor(p)
+		attrPart[i], attrNode[i] = p, node
+		addShare(node, "", p, i, line)
 	}
 
-	results := make([]shareResult, 0, len(shares))
-	var wg sync.WaitGroup
-	var resMu sync.Mutex
-	for _, s := range shares {
-		s := s
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			res := r.postShare(s, nodes[s.node], m.Epoch)
-			resMu.Lock()
-			results = append(results, res)
-			resMu.Unlock()
-		}()
-	}
-	wg.Wait()
-
-	// Merge: per-partition rows (ascending) plus the exact rejected-line
-	// index set. A node share is grouped per partition on the node side,
-	// and a partition's sub-share is all-or-nothing, so "partition row
-	// has an error" ⇔ "every line of that partition in this share was
-	// rejected".
-	byPart := map[int]*RoutePartition{}
 	stale := false
-	for _, res := range results {
-		if res.nodeEpoch > m.Epoch {
+	absorb := func(results []shareResult) {
+		for _, res := range results {
+			if res.nodeEpoch > m.Epoch {
+				stale = true
+			}
+			if res.retryAfter > resp.RetryAfterSeconds {
+				resp.RetryAfterSeconds = res.retryAfter
+			}
+			for j, gi := range res.share.index {
+				p := res.share.parts[j]
+				label := res.errLabel
+				if res.perPart != nil {
+					label = res.perPart[p].Error
+				}
+				if label == "" {
+					acks[gi]++
+					continue
+				}
+				if labels[gi] == "" {
+					labels[gi] = label
+				}
+				if res.retryAfter > hints[gi] {
+					hints[gi] = res.retryAfter
+				}
+			}
+		}
+	}
+	absorb(r.postShares(shares, nodes, m.Epoch))
+
+	// Second wave: destination copies for double-written lines whose
+	// donor copy landed (donor-first, see above).
+	if rc != nil {
+		destShares := map[string]*nodeShare{}
+		destPart := rc.to - 1
+		for i, line := range lines {
+			if double[i] && acks[i] == 1 {
+				k := rc.destNode + "\x00" + directedPath(destPart)
+				s := destShares[k]
+				if s == nil {
+					s = &nodeShare{node: rc.destNode, addr: m.Nodes[rc.destNode].Addr, path: directedPath(destPart)}
+					destShares[k] = s
+				}
+				s.lines = append(s.lines, line)
+				s.index = append(s.index, i)
+				s.parts = append(s.parts, destPart)
+			}
+		}
+		if len(destShares) > 0 {
+			absorb(r.postShares(destShares, nodes, m.Epoch))
+		}
+	}
+
+	// Merge into per-partition rows (ascending) plus the exact
+	// rejected-line index set.
+	byPart := map[int]*RoutePartition{}
+	for i := range lines {
+		row := byPart[attrPart[i]]
+		if row == nil {
+			row = &RoutePartition{Partition: attrPart[i], Node: attrNode[i]}
+			byPart[attrPart[i]] = row
+		}
+		if acks[i] == need[i] {
+			row.Acked++
+			resp.Acked++
+			continue
+		}
+		label := labels[i]
+		if label == "" {
+			label = "partially acked"
+		}
+		if label == "not assigned" || label == "cutover in progress" {
 			stale = true
 		}
-		rejectedParts := map[int]string{}
-		retryHints := map[int]int{}
-		if res.perPart == nil {
-			// Whole share failed (unreachable/dead): every partition of the
-			// share is rejected with the share-level label.
-			for _, p := range res.share.parts {
-				rejectedParts[p] = res.errLabel
-			}
-		} else {
-			for p, pr := range res.perPart {
-				if pr.Error != "" {
-					rejectedParts[p] = pr.Error
-					if res.retryAfter > 0 {
-						retryHints[p] = res.retryAfter
-					}
-				}
-			}
+		row.Rejected++
+		if row.Error == "" {
+			row.Error = label
 		}
-		if res.retryAfter > resp.RetryAfterSeconds {
-			resp.RetryAfterSeconds = res.retryAfter
+		if hints[i] > row.RetryAfterSeconds {
+			row.RetryAfterSeconds = hints[i]
 		}
-		for j, p := range res.share.parts {
-			row := byPart[p]
-			if row == nil {
-				row = &RoutePartition{Partition: p, Node: res.share.node}
-				byPart[p] = row
-			}
-			if label, bad := rejectedParts[p]; bad {
-				row.Rejected++
-				if row.Error == "" {
-					row.Error = label
-				}
-				if hint := retryHints[p]; hint > row.RetryAfterSeconds {
-					row.RetryAfterSeconds = hint
-				}
-				resp.Rejected++
-				resp.RejectedLines = append(resp.RejectedLines, res.share.index[j])
-			} else {
-				row.Acked++
-				resp.Acked++
-			}
-		}
+		resp.Rejected++
+		resp.RejectedLines = append(resp.RejectedLines, i)
 	}
 	for _, row := range byPart {
-		if row.Error == "not assigned" {
-			stale = true
-		}
 		resp.Partitions = append(resp.Partitions, *row)
 	}
 	sort.Slice(resp.Partitions, func(i, j int) bool { return resp.Partitions[i].Partition < resp.Partitions[j].Partition })
@@ -530,11 +669,33 @@ func (r *Router) RouteBatch(lines []string) RouteResponse {
 	if stale && r.cfg.ManifestPath != "" {
 		// A node answered from a newer epoch, or rejected lines as "not
 		// assigned" (the partition moved under an epoch bump this router
-		// missed). Reload the manifest so the collector's retry routes
-		// under the current assignment instead of misrouting forever.
+		// missed) or "cutover in progress" (a live cutover began that this
+		// router has not seen). Reload the manifest + journal so the
+		// collector's retry routes under the current topology instead of
+		// misrouting forever.
 		_ = r.Reload()
 	}
 	return resp
+}
+
+// postShares fans a share set out concurrently and collects results.
+func (r *Router) postShares(shares map[string]*nodeShare, nodes map[string]*nodeState, epoch uint64) []shareResult {
+	results := make([]shareResult, 0, len(shares))
+	var wg sync.WaitGroup
+	var resMu sync.Mutex
+	for _, s := range shares {
+		s := s
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res := r.postShare(s, nodes[s.node], epoch)
+			resMu.Lock()
+			results = append(results, res)
+			resMu.Unlock()
+		}()
+	}
+	wg.Wait()
+	return results
 }
 
 // postShare delivers one node share with bounded attempts, stamping
@@ -564,7 +725,7 @@ func (r *Router) postShare(s *nodeShare, ns *nodeState, epoch uint64) shareResul
 			r.retries.Inc()
 			r.cfg.Sleep(r.cfg.Backoff.Delay(attempt-1, salt))
 		}
-		res, err := r.postOnce(s.addr, body, epoch)
+		res, err := r.postOnce(s.addr, s.path, body, epoch)
 		if err == nil {
 			ns.breaker.Record(nil)
 			res.share = s
@@ -578,20 +739,24 @@ func (r *Router) postShare(s *nodeShare, ns *nodeState, epoch uint64) shareResul
 	return shareResult{share: s, errLabel: "node unreachable"}
 }
 
-// postOnce performs one /ingest round trip, stamped with the routing
+// postOnce performs one data-path round trip — /ingest, or a directed
+// /admin/v1/append during a live cutover — stamped with the routing
 // epoch (EpochHeader) so the node can fence shares routed under a
 // mismatched manifest view. A transport error or a 5xx status (other
 // than 503's explicit closed verdict) returns err for the retry loop —
 // including 409, a node refusing an epoch it has not caught up to;
 // anything else is a node verdict.
-func (r *Router) postOnce(addr, body string, epoch uint64) (shareResult, error) {
+func (r *Router) postOnce(addr, path, body string, epoch uint64) (shareResult, error) {
 	r.sem <- struct{}{} // bounded in-flight backpressure
 	defer func() { <-r.sem }()
 	url := addr
 	if !strings.Contains(url, "://") {
 		url = "http://" + url
 	}
-	req, err := http.NewRequest(http.MethodPost, url+"/ingest", bytes.NewReader([]byte(body)))
+	if path == "" {
+		path = "/ingest"
+	}
+	req, err := http.NewRequest(http.MethodPost, url+path, bytes.NewReader([]byte(body)))
 	if err != nil {
 		return shareResult{}, err
 	}
@@ -623,10 +788,17 @@ func (r *Router) postOnce(addr, body string, epoch uint64) (shareResult, error) 
 			res.perPart[pr.Partition] = pr
 		}
 		if resp.StatusCode == http.StatusTooManyRequests {
-			if ra, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && ra > 0 {
-				res.retryAfter = ra
-			} else {
-				res.retryAfter = 1
+			// The error envelope's retry_after_s is authoritative; the
+			// Retry-After header is the fallback for pre-envelope nodes.
+			switch {
+			case ir.Err != nil && ir.Err.RetryAfterS > 0:
+				res.retryAfter = ir.Err.RetryAfterS
+			default:
+				if ra, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && ra > 0 {
+					res.retryAfter = ra
+				} else {
+					res.retryAfter = 1
+				}
 			}
 		}
 		return res, nil
@@ -725,6 +897,13 @@ func (r *Router) probeNode(addr string) (HealthReport, error) {
 // is poked over /admin/refresh so it adopts immediately rather than on
 // its next watch tick.
 func (r *Router) failover(dead string) error {
+	if j, _ := loadClusterJournal(clusterJournalPath(r.cfg.ManifestPath)); j != nil {
+		// A live cutover is journaled: its freeze offsets and double-write
+		// topology are pinned to the current assignment. Reassigning
+		// partitions mid-cutover would strand them; the operator resumes
+		// or finishes the rebalance first, then failover may proceed.
+		return fmt.Errorf("cluster: refusing failover of %q while live cutover %d -> %d is journaled; resume the rebalance first", dead, j.From, j.To)
+	}
 	r.mu.Lock()
 	m := r.m
 	var successor string

@@ -1,0 +1,461 @@
+package shard
+
+import (
+	"fmt"
+	"sort"
+)
+
+// The networked live cutover: the same per-key protocol live.go drives
+// in-process, decomposed into primitives a cluster coordinator calls
+// over each node's admin surface. The division of labor:
+//
+//   - the coordinator (cluster.Router.LiveRebalance) owns the journal —
+//     it lives in the cluster directory next to the manifest, not in
+//     any runtime root — and drives the per-key sequence: capture on
+//     the donor's node, stage on the destination's, commit in the
+//     journal, install, forget, release.
+//   - each node's runtime holds the node-local invariants: BeginCutover
+//     captures freeze offsets under the route write lock (no append can
+//     land between a donor's captured offset and the start of gating),
+//     workers gate and park exactly as in-process, and CompleteCutover
+//     restamps owned partitions on the new layout.
+//
+// A node that crashes mid-cutover restarts into the journaled state via
+// Config.Cutover (the cluster layer passes the journal's spec) and then
+// serves passively until the coordinator resumes driving.
+
+// CutoverSpec carries a networked live cutover's parameters from the
+// coordinator's journal to a node's runtime.
+type CutoverSpec struct {
+	// From and To are the old and new partition counts (To = From+1).
+	From int `json:"from"`
+	To   int `json:"to"`
+	// Vnodes is the ring's virtual-node override the cutover was
+	// computed with (0 = default).
+	Vnodes int `json:"vnodes"`
+	// Freeze maps donor partition → first double-written offset. At the
+	// initial begin the coordinator leaves it empty — each node captures
+	// offsets for the donors it owns and reports them back; on resume it
+	// carries the journal's recorded offsets.
+	Freeze map[int]uint64 `json:"freeze,omitempty"`
+	// Keys is the journal's per-key ledger (key → "committed" |
+	// "released"); pending keys are absent.
+	Keys map[string]string `json:"keys,omitempty"`
+	// Dest marks this runtime as the destination partition's host: it
+	// opens partition To-1 on the new layout.
+	Dest bool `json:"dest,omitempty"`
+}
+
+// CutoverBeginResult is what BeginCutover reports back to the
+// coordinator.
+type CutoverBeginResult struct {
+	// Freeze maps the donor partitions this runtime owns to their
+	// freeze offsets (captured now, or the cutover's existing ones on an
+	// idempotent re-begin).
+	Freeze map[int]uint64 `json:"freeze,omitempty"`
+	// Finished is set when the runtime already serves To partitions — a
+	// finish landed before this begin was retried; there is nothing to
+	// (re)start.
+	Finished bool `json:"finished,omitempty"`
+}
+
+// CutoverStatus summarizes an active live cutover for a status answer.
+type CutoverStatus struct {
+	From int `json:"from"`
+	To   int `json:"to"`
+	// Pending counts moving keys still donor-owned on partitions this
+	// runtime serves; Committed and Released count journaled phases the
+	// runtime has been told about.
+	Pending   int `json:"pending"`
+	Committed int `json:"committed"`
+	Released  int `json:"released"`
+}
+
+// advance moves a key's phase forward (never back — syncs can arrive
+// out of order) and wakes the destination's parked consumer.
+func (c *cutover) advance(key string, phase int) {
+	c.mu.Lock()
+	if phase > c.phase[key] {
+		c.phase[key] = phase
+		c.cond.Broadcast()
+	}
+	c.mu.Unlock()
+}
+
+// BeginCutover flips this runtime into a networked live cutover: the
+// route write lock is held while freeze offsets are captured for owned
+// donors, partition To-1 opens on the new layout (when spec.Dest), and
+// the cutover is published — from the caller's view one atomic step, so
+// no append lands between a donor's captured freeze offset and the
+// start of gating. Idempotent: re-beginning the same (From, To) syncs
+// the spec's per-key phases and reports the existing freeze offsets; a
+// runtime already serving To partitions answers Finished.
+func (rt *Runtime) BeginCutover(spec CutoverSpec) (*CutoverBeginResult, error) {
+	rt.liveMu.Lock()
+	defer rt.liveMu.Unlock()
+	rt.routeMu.Lock()
+	defer rt.routeMu.Unlock()
+
+	if cut := rt.cut.Load(); cut != nil {
+		if cut.from != spec.From || cut.to != spec.To {
+			return nil, fmt.Errorf("shard: a live cutover %d -> %d is already in progress; cannot begin %d -> %d",
+				cut.from, cut.to, spec.From, spec.To)
+		}
+		for k, name := range spec.Keys {
+			ph, ok := journalPhaseNames[name]
+			if !ok {
+				return nil, fmt.Errorf("shard: unknown cutover phase %q for key %q", name, k)
+			}
+			cut.advance(k, ph)
+		}
+		return &CutoverBeginResult{Freeze: rt.ownedFreezesLocked(cut)}, nil
+	}
+	if rt.cfg.Shards == spec.To {
+		return &CutoverBeginResult{Finished: true}, nil
+	}
+	if rt.cfg.Shards != spec.From {
+		return nil, fmt.Errorf("shard: cutover begins at %d partitions but this runtime serves %d", spec.From, rt.cfg.Shards)
+	}
+	if spec.To != spec.From+1 {
+		return nil, fmt.Errorf("shard: live cutover grows one partition at a time (%d -> %d)", spec.From, spec.To)
+	}
+	if spec.Vnodes != rt.cfg.Vnodes {
+		return nil, fmt.Errorf("shard: cutover was computed with Vnodes=%d but this runtime uses %d", spec.Vnodes, rt.cfg.Vnodes)
+	}
+
+	newRing := NewPartitionerVnodes(spec.To, rt.cfg.Vnodes)
+	cut := newCutover(spec.From, spec.To, rt.part, newRing)
+	for k, name := range spec.Keys {
+		ph, ok := journalPhaseNames[name]
+		if !ok {
+			return nil, fmt.Errorf("shard: unknown cutover phase %q for key %q", name, k)
+		}
+		cut.phase[k] = ph
+	}
+
+	// Every participant's routing table grows to To — Append indexes
+	// byIdx by new-ring partitions for released keys even on pure-donor
+	// nodes (where the destination slot stays nil and rejects).
+	rt.byIdx = append(rt.byIdx, nil)
+	var dest *partition
+	if spec.Dest {
+		accept := func(s int) bool { return s == 0 || s == spec.From || s == spec.To }
+		var err error
+		dest, err = rt.openPartitionAt(spec.To-1, openOpts{layout: spec.To, ring: newRing, acceptStamp: accept, keepSpliced: true})
+		if err != nil {
+			rt.byIdx = rt.byIdx[:spec.From]
+			return nil, fmt.Errorf("shard: opening cutover destination partition %d: %w", spec.To-1, err)
+		}
+		rt.byIdx[spec.To-1] = dest
+	}
+
+	// Freeze offsets: the journal's recorded value wins (resume); owned
+	// donors without one capture their next append offset now, under the
+	// route write lock.
+	for i := 0; i < spec.From; i++ {
+		if off, ok := spec.Freeze[i]; ok {
+			cut.freeze[i] = off
+			continue
+		}
+		if pt := rt.byIdx[i]; pt != nil {
+			cut.freeze[i] = pt.bk.NextOffset()
+		}
+	}
+	// Scrub already-committed keys from owned donor tails and roll their
+	// splices forward on an owned destination (the resume-under-traffic
+	// path; a fresh begin has no committed keys).
+	for i := 0; i < spec.From; i++ {
+		pt := rt.byIdx[i]
+		if pt == nil {
+			continue
+		}
+		pt.feedMu.Lock()
+		pt.keyed.TakeTails(func(k string) bool { return cut.phase[k] >= phaseCommitted })
+		pt.forceSave = true
+		pt.feedMu.Unlock()
+	}
+	if dest != nil {
+		moved := make([]string, 0, len(cut.phase))
+		for k := range cut.phase {
+			moved = append(moved, k)
+		}
+		sort.Strings(moved)
+		for _, k := range moved {
+			if cut.newRing.Partition(k) != spec.To-1 {
+				continue
+			}
+			if err := rt.ensureSpliced(cut, k); err != nil {
+				dest.cons.Close()
+				dest.bk.Close()
+				rt.byIdx = rt.byIdx[:spec.From]
+				return nil, err
+			}
+		}
+		rt.parts = append(rt.parts, dest)
+	}
+	rt.cut.Store(cut)
+	rt.reg.Gauge("shard.cutover_active").Set(1)
+	if dest != nil {
+		go dest.run()
+	}
+	return &CutoverBeginResult{Freeze: rt.ownedFreezesLocked(cut)}, nil
+}
+
+// ownedFreezesLocked collects owned donor partitions' freeze offsets.
+// Caller holds routeMu.
+func (rt *Runtime) ownedFreezesLocked(cut *cutover) map[int]uint64 {
+	out := make(map[int]uint64)
+	for i := 0; i < cut.from && i < len(rt.byIdx); i++ {
+		if rt.byIdx[i] != nil {
+			out[i] = cut.freeze[i]
+		}
+	}
+	return out
+}
+
+// SyncCutover advances per-key phases from the coordinator's journal
+// view — the networked counterpart of the in-process setPhase calls. A
+// "released" sync wakes an owned destination's parked consumer; donor
+// tails are dropped separately via ForgetKey.
+func (rt *Runtime) SyncCutover(keys map[string]string) error {
+	rt.routeMu.RLock()
+	defer rt.routeMu.RUnlock()
+	cut := rt.cut.Load()
+	if cut == nil {
+		return fmt.Errorf("shard: no live cutover to sync (runtime serves %d partitions)", rt.cfg.Shards)
+	}
+	for k, name := range keys {
+		ph, ok := journalPhaseNames[name]
+		if !ok {
+			return fmt.Errorf("shard: unknown cutover phase %q for key %q", name, k)
+		}
+		cut.advance(k, ph)
+	}
+	return nil
+}
+
+// PendingMovingKeys enumerates moving keys still donor-owned on the
+// partitions this runtime serves, sorted — the coordinator's per-node
+// work list.
+func (rt *Runtime) PendingMovingKeys() ([]string, error) {
+	rt.routeMu.RLock()
+	defer rt.routeMu.RUnlock()
+	cut := rt.cut.Load()
+	if cut == nil {
+		return nil, fmt.Errorf("shard: no live cutover in progress")
+	}
+	var keys []string
+	seen := make(map[string]bool)
+	for i := 0; i < cut.from && i < len(rt.byIdx); i++ {
+		pt := rt.byIdx[i]
+		if pt == nil {
+			continue
+		}
+		pt.feedMu.Lock()
+		tails := pt.keyed.Tails()
+		pt.feedMu.Unlock()
+		for k := range tails {
+			if seen[k] || !cut.moving(k) || cut.keyPhase(k) >= phaseCommitted {
+				continue
+			}
+			seen[k] = true
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	return keys, nil
+}
+
+// CaptureKey snapshots one moving key's splice from its donor: the
+// key's final window tail plus the donor's full event space, captured
+// under the donor's feed lock. Refused until the donor has consumed
+// through its freeze point — a non-final tail must never ship.
+func (rt *Runtime) CaptureKey(key string) (KeySplice, error) {
+	rt.routeMu.RLock()
+	defer rt.routeMu.RUnlock()
+	cut := rt.cut.Load()
+	if cut == nil {
+		return KeySplice{}, fmt.Errorf("shard: no live cutover in progress")
+	}
+	if !cut.moving(key) {
+		return KeySplice{}, fmt.Errorf("shard: key %q does not move in this cutover", key)
+	}
+	donorIdx := cut.oldRing.Partition(key)
+	donor := rt.byIdx[donorIdx]
+	if donor == nil {
+		return KeySplice{}, fmt.Errorf("shard: donor partition %d for key %q is not served by this runtime", donorIdx, key)
+	}
+	donor.feedMu.Lock()
+	defer donor.feedMu.Unlock()
+	if donor.consumed+1 < cut.freeze[donorIdx] {
+		return KeySplice{}, fmt.Errorf("shard: donor partition %d has consumed through offset %d of its freeze point %d; capture once the tail lands",
+			donorIdx, donor.consumed, cut.freeze[donorIdx])
+	}
+	donor.keyed.Flush()
+	tail, _ := donor.keyed.Tail(key)
+	return KeySplice{
+		Version:  1,
+		Key:      key,
+		Tail:     tail,
+		Events:   donor.pipe.Parser().Export(),
+		Patterns: donor.pipe.Library().Export(),
+	}, nil
+}
+
+// StageSplice durably writes a captured splice into the destination
+// partition's directory — the receiving half of the transfer endpoint.
+// Idempotent (rewrites the same file).
+func (rt *Runtime) StageSplice(sp KeySplice) error {
+	rt.routeMu.RLock()
+	defer rt.routeMu.RUnlock()
+	cut := rt.cut.Load()
+	if cut == nil {
+		return fmt.Errorf("shard: no live cutover in progress")
+	}
+	if sp.Key == "" {
+		return fmt.Errorf("shard: splice names no key")
+	}
+	destIdx := cut.newRing.Partition(sp.Key)
+	dest := rt.byIdx[destIdx]
+	if dest == nil {
+		return fmt.Errorf("shard: destination partition %d for key %q is not served by this runtime", destIdx, sp.Key)
+	}
+	if err := writeJSONFile(splicePath(dest.dir, sp.Key), sp); err != nil {
+		return fmt.Errorf("shard: staging splice for key %q: %w", sp.Key, err)
+	}
+	return nil
+}
+
+// InstallSplice applies a staged splice to the live destination
+// partition (idempotent via the Spliced marker).
+func (rt *Runtime) InstallSplice(key string) error {
+	rt.routeMu.RLock()
+	defer rt.routeMu.RUnlock()
+	cut := rt.cut.Load()
+	if cut == nil {
+		return fmt.Errorf("shard: no live cutover in progress")
+	}
+	return rt.ensureSpliced(cut, key)
+}
+
+// ForgetKey drops a moved key's window tail from its donor (the next
+// persist makes the drop durable; in the interim the coordinator's
+// journal is what recovery trusts). Idempotent.
+func (rt *Runtime) ForgetKey(key string) error {
+	rt.routeMu.RLock()
+	defer rt.routeMu.RUnlock()
+	cut := rt.cut.Load()
+	if cut == nil {
+		return fmt.Errorf("shard: no live cutover in progress")
+	}
+	donorIdx := cut.oldRing.Partition(key)
+	donor := rt.byIdx[donorIdx]
+	if donor == nil {
+		return fmt.Errorf("shard: donor partition %d for key %q is not served by this runtime", donorIdx, key)
+	}
+	donor.feedMu.Lock()
+	donor.keyed.TakeTails(func(k string) bool { return k == key })
+	donor.forceSave = true
+	donor.feedMu.Unlock()
+	return nil
+}
+
+// CompleteCutover finishes a networked live cutover on this runtime:
+// every owned partition restamps and persists on the new layout and the
+// routing ring swaps — finishCutover minus the journal removal, which
+// belongs to the coordinator (the journal is the cluster's, not this
+// root's). Idempotent: a runtime already serving to partitions answers
+// nil.
+func (rt *Runtime) CompleteCutover(to int) error {
+	rt.routeMu.Lock()
+	defer rt.routeMu.Unlock()
+	cut := rt.cut.Load()
+	if cut == nil {
+		if rt.cfg.Shards == to {
+			return nil
+		}
+		return fmt.Errorf("shard: no live cutover to complete (runtime serves %d partitions, finish asked for %d)", rt.cfg.Shards, to)
+	}
+	if cut.to != to {
+		return fmt.Errorf("shard: live cutover targets %d partitions, finish asked for %d", cut.to, to)
+	}
+	for _, pt := range rt.parts {
+		pt.feedMu.Lock()
+		pt.layout = cut.to
+		pt.ring = cut.newRing
+		pt.forceSave = true
+		err := pt.flushCommit()
+		pt.feedMu.Unlock()
+		if err != nil {
+			return fmt.Errorf("shard: persisting partition %d on the new layout: %w", pt.idx, err)
+		}
+	}
+	for _, pt := range rt.parts {
+		pt.feedMu.Lock()
+		pt.spliced = nil
+		pt.feedMu.Unlock()
+	}
+	if dest := rt.byIdx[cut.to-1]; dest != nil {
+		sweepSplices(dest.dir)
+	}
+	rt.part = cut.newRing
+	rt.cfg.Shards = cut.to
+	rt.reg.Gauge("shard.partitions").Set(int64(cut.to))
+	rt.reg.Gauge("shard.cutover_active").Set(0)
+	cut.mu.Lock()
+	cut.finished = true
+	cut.cond.Broadcast()
+	cut.mu.Unlock()
+	rt.cut.Store(nil)
+	return nil
+}
+
+// CutoverStatus reports the active cutover's per-key progress as seen
+// by this runtime, or nil outside one.
+func (rt *Runtime) CutoverStatus() *CutoverStatus {
+	cut := rt.cut.Load()
+	if cut == nil {
+		return nil
+	}
+	st := &CutoverStatus{From: cut.from, To: cut.to}
+	cut.mu.Lock()
+	for _, ph := range cut.phase {
+		switch ph {
+		case phaseCommitted:
+			st.Committed++
+		case phaseReleased:
+			st.Released++
+		}
+	}
+	cut.mu.Unlock()
+	if pending, err := rt.PendingMovingKeys(); err == nil {
+		st.Pending = len(pending)
+	}
+	return st
+}
+
+// DirectedAppendBatch appends lines straight to partition part's WAL,
+// bypassing ring routing — the fleet router's double-write data path
+// during a networked live cutover (the router, not this runtime, knows
+// which node holds the other side of each double-write). The usual
+// at-least-once rules apply: an error means none of the lines were
+// acked by this partition and the caller retries.
+func (rt *Runtime) DirectedAppendBatch(part int, lines []string) error {
+	rt.routeMu.RLock()
+	defer rt.routeMu.RUnlock()
+	if part < 0 || part >= len(rt.byIdx) {
+		rt.rejectedByBP.Add(int64(len(lines)))
+		return fmt.Errorf("partition %d: %w", part, ErrNotAssigned)
+	}
+	pt := rt.byIdx[part]
+	if pt == nil {
+		rt.rejectedByBP.Add(int64(len(lines)))
+		return fmt.Errorf("partition %d: %w", part, ErrNotAssigned)
+	}
+	if _, _, err := pt.bk.AppendBatch(lines); err != nil {
+		rt.rejectedByBP.Add(int64(len(lines)))
+		return fmt.Errorf("partition %d: %w", part, err)
+	}
+	rt.routedLines.Add(int64(len(lines)))
+	return nil
+}

@@ -107,10 +107,13 @@ type liveJournal struct {
 	Keys map[string]string `json:"keys"`
 }
 
-// keySplice is one staged per-key handoff: the moving key's window tail
+// KeySplice is one staged per-key handoff: the moving key's window tail
 // plus the donor's full event space at capture time (the key's parse
 // history is scattered through it, and translation dedups by template).
-type keySplice struct {
+// It is the payload of the networked cutover's transfer endpoint: a
+// donor node captures it, the coordinator ships it, and the
+// destination node stages it as a splice file.
+type KeySplice struct {
 	Version  int                     `json:"version"`
 	Key      string                  `json:"key"`
 	Tail     pipeline.WindowTail     `json:"tail"`
@@ -155,14 +158,14 @@ func splicePath(dir, key string) string {
 }
 
 // loadSplice reads a staged splice file.
-func loadSplice(path string) (keySplice, error) {
+func loadSplice(path string) (KeySplice, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
-		return keySplice{}, fmt.Errorf("shard: reading splice file %s: %w", path, err)
+		return KeySplice{}, fmt.Errorf("shard: reading splice file %s: %w", path, err)
 	}
-	var sp keySplice
+	var sp KeySplice
 	if err := json.Unmarshal(data, &sp); err != nil {
-		return keySplice{}, fmt.Errorf("shard: corrupt splice file %s: %w", path, err)
+		return KeySplice{}, fmt.Errorf("shard: corrupt splice file %s: %w", path, err)
 	}
 	return sp, nil
 }
@@ -472,7 +475,7 @@ func (rt *Runtime) moveKey(cut *cutover, j *liveJournal, o liveOpts, key string)
 	donor.feedMu.Lock()
 	donor.keyed.Flush()
 	tail, _ := donor.keyed.Tail(key)
-	sp := keySplice{
+	sp := KeySplice{
 		Version:  1,
 		Key:      key,
 		Tail:     tail,
@@ -527,7 +530,7 @@ func (rt *Runtime) moveKey(cut *cutover, j *liveJournal, o liveOpts, key string)
 // tail restores. Idempotent — a destination that already carries the
 // key's Spliced marker is left alone, and re-merging the same donor
 // export translates onto the same ids.
-func (rt *Runtime) applySplice(dest *partition, sp keySplice) error {
+func (rt *Runtime) applySplice(dest *partition, sp KeySplice) error {
 	dest.feedMu.Lock()
 	defer dest.feedMu.Unlock()
 	if dest.spliced[sp.Key] {
@@ -558,7 +561,11 @@ func (rt *Runtime) applySplice(dest *partition, sp keySplice) error {
 // re-apply it from the staged file — guaranteed present, it was fsynced
 // before the journal entry.
 func (rt *Runtime) ensureSpliced(cut *cutover, key string) error {
-	dest := rt.parts[cut.newRing.Partition(key)]
+	destIdx := cut.newRing.Partition(key)
+	dest := rt.byIdx[destIdx]
+	if dest == nil {
+		return fmt.Errorf("shard: destination partition %d for key %q is not open in this runtime", destIdx, key)
+	}
 	dest.feedMu.Lock()
 	done := dest.spliced[key]
 	dest.feedMu.Unlock()

@@ -9,6 +9,7 @@ import (
 	"strings"
 
 	"logsynergy/internal/broker"
+	"logsynergy/internal/httpapi"
 )
 
 // The sharded intake: the router hashes each line's stream key onto a
@@ -27,6 +28,14 @@ import (
 // collector's retry routes to the partition's current owner.
 var ErrNotAssigned = errors.New("shard: partition not assigned to this runtime")
 
+// ErrCutover is returned when a line's key is mid-cutover but this
+// runtime does not hold both sides of the double-write (a Subset
+// runtime in a fleet whose live rebalance is driven by a front
+// router). The rejection is retryable: a cutover-aware router routes
+// the key's double-write across nodes; one that is not yet aware
+// reloads its view on seeing the "cutover in progress" label.
+var ErrCutover = errors.New("shard: key is mid-cutover; route it through a cutover-aware router")
+
 // IngestResponse is the JSON body of a 202 or 429 from the sharded
 // /ingest endpoint.
 type IngestResponse struct {
@@ -37,6 +46,10 @@ type IngestResponse struct {
 	Rejected int `json:"rejected"`
 	// Partitions breaks the batch down per partition, in partition order.
 	Partitions []PartitionResult `json:"partitions,omitempty"`
+	// Err is the uniform admin-API error detail on a non-2xx answer,
+	// nil on 202. The legacy top-level fields stay populated, so
+	// collectors written against the pre-envelope shape keep decoding.
+	Err *httpapi.Detail `json:"error,omitempty"`
 }
 
 // PartitionResult is one partition's share of an ingest batch.
@@ -95,12 +108,16 @@ func (rt *Runtime) appendDouble(cut *cutover, line string) (int, uint64, error) 
 	key := rt.cfg.KeyFunc(line)
 	donor := cut.oldRing.Partition(key)
 	dest := cut.newRing.Partition(key)
-	off, err := rt.parts[donor].bk.Append(line)
+	if rt.byIdx[donor] == nil || rt.byIdx[dest] == nil {
+		rt.rejectedByBP.Inc()
+		return donor, 0, fmt.Errorf("partition %d: %w", donor, ErrCutover)
+	}
+	off, err := rt.byIdx[donor].bk.Append(line)
 	if err != nil {
 		rt.rejectedByBP.Inc()
 		return donor, 0, fmt.Errorf("partition %d: %w", donor, err)
 	}
-	if _, err := rt.parts[dest].bk.Append(line); err != nil {
+	if _, err := rt.byIdx[dest].bk.Append(line); err != nil {
 		rt.rejectedByBP.Inc()
 		return dest, 0, fmt.Errorf("partition %d: %w", dest, err)
 	}
@@ -144,7 +161,7 @@ func (rt *Runtime) AppendBatch(lines []string) ([]PartitionResult, error) {
 	reject := func(res *PartitionResult, p, count int, err error) {
 		res.Rejected += count
 		if res.Error == "" {
-			res.Error = rejectionLabel(err)
+			res.Error = RejectionLabel(err)
 		}
 		rt.rejectedByBP.Add(int64(count))
 		if firstErr == nil {
@@ -152,43 +169,72 @@ func (rt *Runtime) AppendBatch(lines []string) ([]PartitionResult, error) {
 		}
 	}
 	for p := 0; p < n; p++ {
+		plain, dbl := byPart[p], double[p]
+		total := len(plain) + len(dbl)
+		if total == 0 {
+			continue
+		}
+		// A partition's answer is all-or-nothing across its plain and
+		// double-write shares. Callers attribute rejections per partition
+		// row, not per line — a stale front router that cannot tell a
+		// moving key from a staying one retries every line it routed to a
+		// row whose Error is set. A mixed row (plain acked, double
+		// rejected) would make it re-append — and re-detect — the acked
+		// lines; a homogeneous rejection makes the retry land each line
+		// exactly once.
 		res := PartitionResult{Partition: p}
-		used := false
-		if share := byPart[p]; len(share) > 0 {
-			used = true
-			if rt.byIdx[p] == nil {
-				reject(&res, p, len(share), ErrNotAssigned)
-			} else if _, _, err := rt.byIdx[p].bk.AppendBatch(share); err != nil {
-				reject(&res, p, len(share), err)
-			} else {
-				res.Acked += len(share)
-				rt.routedLines.Add(int64(len(share)))
+		destIdx := -1
+		if len(dbl) > 0 {
+			destIdx = cut.to - 1
+		}
+		switch {
+		case rt.byIdx[p] == nil:
+			reject(&res, p, total, ErrNotAssigned)
+		case destIdx >= 0 && rt.byIdx[destIdx] == nil:
+			// This subset runtime lacks the double-write's destination:
+			// bounce the whole partition share before appending anything,
+			// so the router reloads its cutover view and retries all of it.
+			reject(&res, p, total, ErrCutover)
+		default:
+			// Donor copies first, then the plain share, then the
+			// destination copies. A failure rejects the whole unit; at the
+			// first two failure points nothing fed has landed (donor
+			// double-write copies sit past the freeze and are never fed),
+			// so the retry is exact. Only a destination append failing
+			// after the plain share landed — a fresh, near-empty backlog
+			// refusing — would leave the retry with a duplicate.
+			ok := true
+			if len(dbl) > 0 {
+				if _, _, err := rt.byIdx[p].bk.AppendBatch(dbl); err != nil {
+					reject(&res, p, total, err)
+					ok = false
+				}
+			}
+			if ok && len(plain) > 0 {
+				if _, _, err := rt.byIdx[p].bk.AppendBatch(plain); err != nil {
+					reject(&res, p, total, err)
+					ok = false
+				}
+			}
+			if ok && len(dbl) > 0 {
+				if _, _, err := rt.byIdx[destIdx].bk.AppendBatch(dbl); err != nil {
+					reject(&res, destIdx, total, err)
+					ok = false
+				}
+			}
+			if ok {
+				res.Acked = total
+				rt.routedLines.Add(int64(total))
 			}
 		}
-		if share := double[p]; len(share) > 0 {
-			used = true
-			destIdx := cut.to - 1
-			if _, _, err := rt.byIdx[p].bk.AppendBatch(share); err != nil {
-				reject(&res, p, len(share), err)
-			} else if _, _, err := rt.byIdx[destIdx].bk.AppendBatch(share); err != nil {
-				// Donor copies landed but will never be fed (they are past
-				// the freeze point); without the destination copies the
-				// lines are not acked.
-				reject(&res, destIdx, len(share), err)
-			} else {
-				res.Acked += len(share)
-				rt.routedLines.Add(int64(len(share)))
-			}
-		}
-		if used {
-			results = append(results, res)
-		}
+		results = append(results, res)
 	}
 	return results, firstErr
 }
 
-// rejectionLabel classifies an append error for the wire.
-func rejectionLabel(err error) string {
+// RejectionLabel classifies an append error for the wire: the stable
+// per-partition Error strings of an IngestResponse.
+func RejectionLabel(err error) string {
 	switch {
 	case errors.Is(err, broker.ErrBacklogFull):
 		return "backlog full"
@@ -196,6 +242,8 @@ func rejectionLabel(err error) string {
 		return "closed"
 	case errors.Is(err, ErrNotAssigned):
 		return "not assigned"
+	case errors.Is(err, ErrCutover):
+		return "cutover in progress"
 	default:
 		return err.Error()
 	}
@@ -221,13 +269,15 @@ func (rt *Runtime) IngestHandler(maxBatchBytes int64) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		requests.Inc()
 		if r.Method != http.MethodPost {
-			w.Header().Set("Allow", http.MethodPost)
-			http.Error(w, "ingest accepts POST only", http.StatusMethodNotAllowed)
+			httpapi.MethodNotAllowed(w, http.MethodPost, "ingest accepts POST only")
 			return
 		}
 		if r.ContentLength > maxBatchBytes {
 			oversized.Inc()
-			http.Error(w, fmt.Sprintf("batch of %d bytes exceeds limit %d", r.ContentLength, maxBatchBytes), http.StatusRequestEntityTooLarge)
+			httpapi.Error(w, http.StatusRequestEntityTooLarge, httpapi.Detail{
+				Code:    httpapi.CodeTooLarge,
+				Message: fmt.Sprintf("batch of %d bytes exceeds limit %d", r.ContentLength, maxBatchBytes),
+			})
 			return
 		}
 		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBatchBytes))
@@ -235,10 +285,16 @@ func (rt *Runtime) IngestHandler(maxBatchBytes int64) http.Handler {
 			var tooBig *http.MaxBytesError
 			if errors.As(err, &tooBig) {
 				oversized.Inc()
-				http.Error(w, fmt.Sprintf("batch exceeds limit %d bytes", maxBatchBytes), http.StatusRequestEntityTooLarge)
+				httpapi.Error(w, http.StatusRequestEntityTooLarge, httpapi.Detail{
+					Code:    httpapi.CodeTooLarge,
+					Message: fmt.Sprintf("batch exceeds limit %d bytes", maxBatchBytes),
+				})
 				return
 			}
-			http.Error(w, "reading request body: "+err.Error(), http.StatusBadRequest)
+			httpapi.Error(w, http.StatusBadRequest, httpapi.Detail{
+				Code:    httpapi.CodeBadRequest,
+				Message: "reading request body: " + err.Error(),
+			})
 			return
 		}
 		lines := splitBatch(body)
@@ -255,17 +311,27 @@ func (rt *Runtime) IngestHandler(maxBatchBytes int64) http.Handler {
 				}
 			}
 			if allClosed {
-				http.Error(w, "intake closed", http.StatusServiceUnavailable)
+				httpapi.Error(w, http.StatusServiceUnavailable, httpapi.Detail{
+					Code:       httpapi.CodeClosed,
+					Message:    "intake closed",
+					Partitions: results,
+				})
 				return
 			}
 		}
-		w.Header().Set("Content-Type", "application/json")
 		if resp.Rejected > 0 {
-			w.Header().Set("Retry-After", "1")
-			w.WriteHeader(http.StatusTooManyRequests)
-		} else {
-			w.WriteHeader(http.StatusAccepted)
+			d := httpapi.Detail{
+				Code:        httpapi.CodeBackpressure,
+				Message:     fmt.Sprintf("%d of %d lines rejected; retry the rejected partitions' shares", resp.Rejected, len(lines)),
+				RetryAfterS: 1,
+				Partitions:  resp.Partitions,
+			}
+			resp.Err = &d
+			httpapi.ErrorWithBody(w, http.StatusTooManyRequests, d, resp)
+			return
 		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusAccepted)
 		json.NewEncoder(w).Encode(resp)
 	})
 }

@@ -50,6 +50,15 @@ type Config struct {
 	// partition (the single-process default); an empty non-nil slice opens
 	// none (a standby node waiting to adopt).
 	Subset []int
+	// Cutover, when non-nil, opens the runtime into a live cutover whose
+	// journal is held elsewhere (a cluster coordinator's directory, not
+	// this root): partitions open under their mid-cutover layouts with
+	// the spec's recorded freeze offsets and per-key phases, committed
+	// keys roll forward from staged splices, and the runtime then serves
+	// passively — the networked coordinator drives the per-key protocol
+	// over the admin surface and calls CompleteCutover. Shards must
+	// equal Cutover.To. Mutually exclusive with a journal at Dir.
+	Cutover *CutoverSpec
 	// Broker is the per-partition broker template; Dir, Metrics and
 	// Faults are overridden per partition.
 	Broker broker.Config
@@ -230,6 +239,24 @@ func Open(cfg Config) (*Runtime, error) {
 	if err != nil {
 		return nil, err
 	}
+	if spec := cfg.Cutover; spec != nil {
+		if j != nil {
+			return nil, fmt.Errorf("shard: %s has its own live-cutover journal and the config names a networked cutover; "+
+				"finish one before starting the other", cfg.Dir)
+		}
+		if spec.To != spec.From+1 {
+			return nil, fmt.Errorf("shard: networked cutover grows one partition at a time (%d -> %d)", spec.From, spec.To)
+		}
+		if cfg.Shards != spec.To {
+			return nil, fmt.Errorf("shard: networked cutover targets %d partitions but the runtime is opening %d", spec.To, cfg.Shards)
+		}
+		if cfg.Vnodes != spec.Vnodes {
+			return nil, fmt.Errorf("shard: networked cutover was computed with Vnodes=%d but the runtime is opening with %d", spec.Vnodes, cfg.Vnodes)
+		}
+		if len(spec.Freeze) != spec.From {
+			return nil, fmt.Errorf("shard: networked cutover records %d freeze offsets for %d donor partitions", len(spec.Freeze), spec.From)
+		}
+	}
 	if j != nil {
 		if cfg.Subset != nil {
 			return nil, fmt.Errorf("shard: %s has a live cutover in progress; finish it with a full runtime "+
@@ -282,6 +309,9 @@ func Open(cfg Config) (*Runtime, error) {
 	}
 	cfg.Metrics.Gauge("shard.partitions_owned").Set(int64(len(own)))
 	rt.byIdx = make([]*partition, cfg.Shards)
+	if cfg.Cutover != nil {
+		return rt.openMidCutover(cfg.Cutover, own)
+	}
 	for _, i := range own {
 		pt, err := rt.openPartitionAt(i, openOpts{})
 		if err != nil {
@@ -344,6 +374,81 @@ func (rt *Runtime) openResuming(j *liveJournal) (*Runtime, error) {
 		cut.interrupt()
 		rt.Kill()
 		return nil, fmt.Errorf("shard: resuming live cutover: %w", err)
+	}
+	return rt, nil
+}
+
+// openMidCutover opens a (possibly subset) runtime into a networked
+// live cutover described by spec: the counterpart of openResuming for
+// a cutover whose journal lives in the cluster directory. Donors open
+// under the old layout and ring with the spec's freeze offsets;
+// partition To-1, when owned, opens as the destination with its
+// persisted Spliced markers and rolls committed keys forward from
+// their staged splice files before its worker starts. Unlike
+// openResuming, the cutover is NOT driven here — the runtime serves
+// passively under it until the coordinator finishes the protocol over
+// the admin surface.
+func (rt *Runtime) openMidCutover(spec *CutoverSpec, own []int) (*Runtime, error) {
+	oldRing := NewPartitionerVnodes(spec.From, rt.cfg.Vnodes)
+	accept := func(s int) bool { return s == 0 || s == spec.From || s == spec.To }
+	fail := func(err error) (*Runtime, error) {
+		rt.closePartitions()
+		return nil, err
+	}
+	cut := newCutover(spec.From, spec.To, oldRing, rt.part)
+	for i := 0; i < spec.From; i++ {
+		cut.freeze[i] = spec.Freeze[i]
+	}
+	for k, name := range spec.Keys {
+		ph, ok := journalPhaseNames[name]
+		if !ok {
+			return fail(fmt.Errorf("shard: networked cutover has unknown phase %q for key %q", name, k))
+		}
+		cut.phase[k] = ph
+	}
+	for _, i := range own {
+		o := openOpts{layout: spec.From, ring: oldRing, acceptStamp: accept}
+		if i == spec.To-1 {
+			if !spec.Dest {
+				return fail(fmt.Errorf("shard: partition %d is the cutover destination but the spec does not mark this runtime as its host", i))
+			}
+			o = openOpts{layout: spec.To, ring: rt.part, acceptStamp: accept, keepSpliced: true}
+		}
+		pt, err := rt.openPartitionAt(i, o)
+		if err != nil {
+			return fail(fmt.Errorf("shard: opening partition %d: %w", i, err))
+		}
+		rt.parts = append(rt.parts, pt)
+		rt.byIdx[i] = pt
+	}
+	// Scrub committed keys from owned donor tails (their donors may have
+	// crashed before persisting the drop) and roll committed keys forward
+	// on an owned destination — both before any worker runs.
+	for _, pt := range rt.parts {
+		if pt.idx >= spec.From {
+			continue
+		}
+		pt.keyed.TakeTails(func(k string) bool { return cut.phase[k] >= phaseCommitted })
+	}
+	if rt.byIdx[spec.To-1] != nil {
+		moved := make([]string, 0, len(cut.phase))
+		for k := range cut.phase {
+			moved = append(moved, k)
+		}
+		sort.Strings(moved)
+		for _, k := range moved {
+			if cut.newRing.Partition(k) != spec.To-1 {
+				continue
+			}
+			if err := rt.ensureSpliced(cut, k); err != nil {
+				return fail(err)
+			}
+		}
+	}
+	rt.cut.Store(cut)
+	rt.reg.Gauge("shard.cutover_active").Set(1)
+	for _, pt := range rt.parts {
+		go pt.run()
 	}
 	return rt, nil
 }
@@ -824,7 +929,11 @@ type PartitionHealth struct {
 	Lag        uint64 `json:"lag"`
 	NextOffset uint64 `json:"next_offset"`
 	Committed  uint64 `json:"committed"`
-	Idle       bool   `json:"idle"`
+	// Consumed is the highest offset handed to the partition's worker —
+	// a live cutover's coordinator compares it against the donor's
+	// freeze offset to know when the key tails are final.
+	Consumed uint64 `json:"consumed"`
+	Idle     bool   `json:"idle"`
 }
 
 // Health reports per-partition lag/backlog for every partition this
@@ -838,11 +947,15 @@ func (rt *Runtime) Health() []PartitionHealth {
 		if pt == nil {
 			continue
 		}
+		pt.feedMu.Lock()
+		consumed := pt.consumed
+		pt.feedMu.Unlock()
 		out = append(out, PartitionHealth{
 			Partition:  i,
 			Lag:        pt.bk.Lag(pt.group),
 			NextOffset: pt.bk.NextOffset(),
 			Committed:  pt.bk.Committed(pt.group),
+			Consumed:   consumed,
 			Idle:       pt.idle.Load(),
 		})
 	}
